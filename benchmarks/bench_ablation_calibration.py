@@ -1,0 +1,88 @@
+"""Ablation — calibration strategy under measurement noise.
+
+The paper solves Eq. 5 exactly from three points ("alternatively, regression
+techniques may be used").  This ablation quantifies that alternative: with
+noisy measurements, how do the 3-point exact solve and an all-points
+least-squares fit compare at recovering (t_sim, α, β)?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro import paper
+from repro.core.calibration import (
+    CalibrationPoint,
+    calibrate_exact,
+    calibrate_least_squares,
+)
+from repro.core.model import PerformanceModel
+
+NOISE_LEVELS = (0.0, 0.005, 0.01, 0.02, 0.05)
+N_TRIALS = 200
+
+TRUTH = PerformanceModel(
+    t_sim_ref=paper.EQ5_T_SIM,
+    iter_ref=paper.CAMPAIGN_TIMESTEPS,
+    alpha=paper.EQ5_ALPHA_S_PER_GB,
+    beta=paper.EQ5_BETA_S_PER_IMAGE,
+)
+
+#: The measured grid's workload descriptors: (S_io GB, N_viz).
+GRID = ((0.6, 540), (0.2, 180), (0.1, 60), (230.0, 540), (80.0, 180), (27.0, 60))
+EXACT_SUBSET = (2, 0, 4)  # in-situ@72h, in-situ@8h, post@24h — the paper's
+
+
+def _alpha_errors(noise: float, rng: np.random.Generator) -> tuple[float, float]:
+    """RMS relative α error of (exact 3-point, least-squares 6-point)."""
+    exact_sq = ls_sq = 0.0
+    n_ok = 0
+    for _ in range(N_TRIALS):
+        points = [
+            CalibrationPoint(
+                s_io_gb=s,
+                n_viz=n,
+                total_time=TRUTH.execution_time(TRUTH.iter_ref, s, n)
+                * float(rng.normal(1.0, noise))
+                if noise
+                else TRUTH.execution_time(TRUTH.iter_ref, s, n),
+            )
+            for s, n in GRID
+        ]
+        try:
+            exact = calibrate_exact([points[i] for i in EXACT_SUBSET])
+            ls = calibrate_least_squares(points)
+        except Exception:
+            continue  # noise produced a negative coefficient; skip the trial
+        exact_sq += (exact.model.alpha / TRUTH.alpha - 1.0) ** 2
+        ls_sq += (ls.model.alpha / TRUTH.alpha - 1.0) ** 2
+        n_ok += 1
+    return float(np.sqrt(exact_sq / n_ok)), float(np.sqrt(ls_sq / n_ok))
+
+
+def test_ablation_calibration_noise(benchmark):
+    rng = np.random.default_rng(7)
+    rows = [(noise, *_alpha_errors(noise, rng)) for noise in NOISE_LEVELS]
+
+    benchmark(lambda: _alpha_errors(0.01, np.random.default_rng(0)))
+
+    lines = [
+        "Ablation — RMS relative error of alpha under measurement noise",
+        f"{'noise sigma':>12s} {'exact 3-pt':>11s} {'lstsq 6-pt':>11s}",
+    ]
+    for noise, exact_err, ls_err in rows:
+        lines.append(f"{noise:>12.3f} {100 * exact_err:>10.2f}% {100 * ls_err:>10.2f}%")
+    lines.append(
+        "noise-free, both are exact; under noise the 6-point regression is "
+        "consistently more robust than the paper's 3-point solve"
+    )
+    emit("ablation_calibration", lines)
+
+    # Noise-free: both exact.
+    assert rows[0][1] == pytest.approx(0.0, abs=1e-9)
+    assert rows[0][2] == pytest.approx(0.0, abs=1e-9)
+    # Under nontrivial noise, least squares beats the exact 3-point solve.
+    for noise, exact_err, ls_err in rows[2:]:
+        assert ls_err < exact_err, f"at noise {noise}"

@@ -1,0 +1,79 @@
+"""Ablation — can compression rescue post-processing from the storage wall?
+
+Fig. 9's conclusion ("post-processing is forced to one output per 8 days
+under a 2 TB budget") assumes uncompressed raw output.  This ablation
+measures, on real fields from the mini ocean, what bounded-error
+quantization + shuffle/zlib actually buys — and re-derives the Fig. 9
+storage limit with the measured ratio applied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro import paper
+from repro.core.metrics import POST_PROCESSING
+from repro.io.compression import compress_field, compression_ratio, decompress_field
+from repro.ocean.driver import MiniOceanDriver
+from repro.units import years
+
+#: Quantization precisions as fractions of each field's standard deviation.
+PRECISIONS = (None, 1e-6, 1e-4, 1e-2)
+
+
+def _measured_ratios(fields) -> list[tuple[object, float]]:
+    rows = []
+    for p in PRECISIONS:
+        if p is None:
+            rows.append(("lossless", compression_ratio(fields)))
+        else:
+            total_raw = sum(np.asarray(f).nbytes for f in fields.values())
+            total = 0
+            for f in fields.values():
+                f = np.asarray(f, dtype=float)
+                total += len(compress_field(f, precision=p * float(np.std(f)) + 1e-300))
+            rows.append((f"{p:g} sigma", total / total_raw))
+    return rows
+
+
+def test_ablation_compression(study, benchmark):
+    driver = MiniOceanDriver(nx=128, ny=64, seed=5)
+    driver.advance(30)
+    fields = driver.output_fields()
+
+    rows = benchmark.pedantic(lambda: _measured_ratios(fields), rounds=1, iterations=1)
+
+    analyzer = study.analyzer()
+    duration = years(paper.WHATIF_YEARS)
+    base_limit_days = (
+        analyzer.finest_interval_for_storage(POST_PROCESSING, 2_000.0, duration) / 24
+    )
+    lines = [
+        "Ablation — compression of post-processing output (real mini-ocean fields)",
+        f"{'precision':>12s} {'ratio':>7s} {'Fig.9 limit @2TB':>17s}",
+    ]
+    for label, ratio in rows:
+        # Eq. 6 is linear in volume: the storage-forced cadence scales with it.
+        limit = base_limit_days * ratio
+        lines.append(f"{label:>12s} {ratio:>7.3f} {limit:>13.2f} days")
+    lines += [
+        f"uncompressed limit: every {base_limit_days:.1f} days (paper: ~8)",
+        "bounded-error quantization buys one cadence step or two, but cannot",
+        "approach the in-situ pipeline's orders-of-magnitude reduction",
+    ]
+    emit("ablation_compression", lines)
+
+    ratios = [r for _, r in rows]
+    # Lossless shrinks modestly; ratios improve monotonically as precision coarsens.
+    assert 0.5 < ratios[0] < 1.0
+    assert ratios == sorted(ratios, reverse=True)
+    # Even the coarsest (1e-2 sigma) stays far from in-situ's ~0.2 % footprint.
+    assert ratios[-1] > 0.02
+
+    # Round-trip error stays bounded at the tightest lossy level.
+    w = np.asarray(fields["okubo_weiss"], dtype=float)
+    p = 1e-6 * float(np.std(w))
+    back = decompress_field(compress_field(w, precision=p))
+    assert np.max(np.abs(back - w)) <= p / 2 + 1e-18

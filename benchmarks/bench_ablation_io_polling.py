@@ -1,0 +1,74 @@
+"""Ablation — MPI busy-polling vs blocking waits (Hypothesis 3).
+
+The paper found in-situ does *not* harness trapped capacity (Finding 3)
+because ranks spin-poll during collective I/O, keeping CPUs hot.  Section
+VIII suggests managing those wait states.  This ablation sweeps the I/O-wait
+utilization level: with blocking waits (low utilization), post-processing
+power drops, in-situ *does* raise power utilization — and Hypothesis 3 comes
+true, exactly as the paper's discussion predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.cluster.machine import PhaseProfile
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.ocean.driver import MPASOceanConfig
+from repro.pipelines.base import PipelineSpec
+from repro.pipelines.insitu import InSituPipeline
+from repro.pipelines.platform import SimulatedPlatform
+from repro.pipelines.postprocessing import PostProcessingPipeline
+from repro.pipelines.sampling import SamplingPolicy
+from repro.units import MONTH
+
+IO_WAIT_LEVELS = (0.85, 0.6, 0.4, 0.2, 0.05)
+
+
+def _power_pair(io_wait: float):
+    spec = PipelineSpec(
+        ocean=MPASOceanConfig(duration_seconds=2 * MONTH),
+        sampling=SamplingPolicy(8.0),
+    )
+    out = {}
+    for pipeline in (InSituPipeline(), PostProcessingPipeline()):
+        profile = PhaseProfile(io_wait=io_wait)
+        platform = SimulatedPlatform(phase_profile=profile)
+        m = platform.run(pipeline, spec)
+        out[pipeline.name] = m.average_power
+    return out
+
+
+def test_ablation_io_wait_polling(benchmark):
+    rows = []
+    for level in IO_WAIT_LEVELS:
+        p = _power_pair(level)
+        change = p[IN_SITU] / p[POST_PROCESSING] - 1.0
+        rows.append((level, p[IN_SITU], p[POST_PROCESSING], change))
+
+    benchmark(lambda: _power_pair(0.85))
+
+    lines = [
+        "Ablation — Hypothesis 3 vs I/O-wait CPU utilization (8 h cadence)",
+        f"{'io-wait util':>13s} {'in-situ kW':>11s} {'post kW':>9s} {'power change':>13s}",
+    ]
+    for level, insitu, post, change in rows:
+        lines.append(
+            f"{level:>13.2f} {insitu / 1e3:>11.1f} {post / 1e3:>9.1f} {100 * change:>+12.1f}%"
+        )
+    lines += [
+        "util 0.85 (spin-polling MPI, the measured machine): power flat -> "
+        "Hypothesis 3 disproved (Finding 3)",
+        "util 0.05 (blocking waits, Section VIII's proposal): in-situ raises "
+        "power utilization -> Hypothesis 3 would hold",
+    ]
+    emit("ablation_io_polling", lines)
+
+    # Spin-polling: no meaningful difference (the paper's measurement).
+    assert abs(rows[0][3]) < 0.05
+    # Blocking waits: in-situ visibly harnesses trapped capacity.
+    assert rows[-1][3] > 0.10
+    # The effect strengthens monotonically as waits get idler.
+    changes = [r[3] for r in rows]
+    assert changes == sorted(changes)

@@ -1,0 +1,82 @@
+"""Ablation — when would Hypothesis 1 hold?
+
+The paper disproves "in-situ reduces storage power" because the rack is only
+1.3 % power-proportional.  This ablation sweeps the storage dynamic range:
+with a perfectly proportional rack (idle -> 0 W), how much power *would*
+in-situ save?  The answer quantifies how far real storage hardware is from
+making the hypothesis true.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.events.engine import Simulator
+from repro.pipelines.base import PipelineSpec
+from repro.pipelines.insitu import InSituPipeline
+from repro.pipelines.platform import SimulatedPlatform
+from repro.pipelines.postprocessing import PostProcessingPipeline
+from repro.pipelines.sampling import SamplingPolicy
+from repro.storage.lustre import StorageCluster
+from repro.storage.power import StoragePowerModel
+from repro.units import MONTH
+from repro.ocean.driver import MPASOceanConfig
+
+#: Storage idle power as a fraction of its full-load power (1.0 = the
+#: paper's rack; 0.0 = perfectly power-proportional storage).
+IDLE_FRACTIONS = (1.0, 0.75, 0.5, 0.25, 0.0)
+
+
+def _run_pair(idle_fraction: float):
+    results = {}
+    spec = PipelineSpec(
+        ocean=MPASOceanConfig(duration_seconds=2 * MONTH),
+        sampling=SamplingPolicy(8.0),
+    )
+    for pipeline in (InSituPipeline(), PostProcessingPipeline()):
+        sim = Simulator()
+        from repro.cluster.machine import caddy
+
+        cluster = caddy(sim)
+        # Keep the 29 W dynamic swing; scale only the idle floor.
+        power_model = StoragePowerModel(
+            idle_watts=idle_fraction * 2_273.0,
+            full_load_watts=idle_fraction * 2_273.0 + (2_302.0 - 2_273.0),
+        )
+        storage = StorageCluster(sim, power_model=power_model)
+        platform = SimulatedPlatform(cluster=cluster, storage=storage)
+        results[pipeline.name] = platform.run(pipeline, spec)
+    return results
+
+
+def test_ablation_storage_proportionality(benchmark):
+    rows = []
+    for frac in IDLE_FRACTIONS:
+        res = _run_pair(frac)
+        insitu = res[IN_SITU].power_report.average_storage_power
+        post = res[POST_PROCESSING].power_report.average_storage_power
+        saving = 1.0 - insitu / post if post > 0 else 0.0
+        rows.append((frac, insitu, post, saving))
+
+    benchmark(lambda: _run_pair(1.0))
+
+    lines = [
+        "Ablation — storage power savings of in-situ vs rack proportionality",
+        f"{'idle fraction':>14s} {'in-situ W':>10s} {'post W':>10s} {'saving':>8s}",
+    ]
+    for frac, insitu, post, saving in rows:
+        lines.append(f"{frac:>14.2f} {insitu:>10.1f} {post:>10.1f} {100 * saving:>7.1f}%")
+    lines.append(
+        "paper rack (idle fraction 1.0): no measurable saving — Finding 2; "
+        "a perfectly proportional rack would finally reward in-situ"
+    )
+    emit("ablation_storage_proportionality", lines)
+
+    # Finding 2 at the paper's rack...
+    assert rows[0][3] == pytest.approx(0.0, abs=0.01)
+    # ...and a monotone trend toward real savings as idle power vanishes.
+    savings = [r[3] for r in rows]
+    assert savings[-1] > 0.5
+    assert savings == sorted(savings)

@@ -1,0 +1,79 @@
+"""Ablation — render cost β vs the in-situ energy advantage.
+
+In-situ wins because β·N_viz (rendering it must do anyway) is far cheaper
+than the α·S_io it avoids.  As rendering gets more expensive, the advantage
+shrinks; this sweep locates the crossover where in-situ stops paying off at
+the paper's 24-hour cadence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import paper
+from repro.core.model import DataModel, PerformanceModel, PipelinePredictor
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.core.whatif import WhatIfAnalyzer
+
+BETA_MULTIPLIERS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+def _analyzer(beta: float) -> WhatIfAnalyzer:
+    model = PerformanceModel(
+        t_sim_ref=paper.EQ5_T_SIM,
+        iter_ref=paper.CAMPAIGN_TIMESTEPS,
+        alpha=paper.EQ5_ALPHA_S_PER_GB,
+        beta=beta,
+        power_watts=46_300.0,
+    )
+    insitu = PipelinePredictor(
+        IN_SITU, model, DataModel(24.0, 0.2, 180.0, paper.CAMPAIGN_TIMESTEPS)
+    )
+    post_model = PerformanceModel(
+        t_sim_ref=model.t_sim_ref, iter_ref=model.iter_ref,
+        alpha=model.alpha, beta=paper.EQ5_BETA_S_PER_IMAGE,
+        power_watts=model.power_watts,
+    )
+    # Post-processing renders offline at the paper's measured cost; only the
+    # in-situ render slot competes with simulation time.
+    post = PipelinePredictor(
+        POST_PROCESSING, post_model, DataModel(24.0, 80.0, 180.0, paper.CAMPAIGN_TIMESTEPS)
+    )
+    return WhatIfAnalyzer(insitu, post, timestep_seconds=paper.TIMESTEP_SECONDS)
+
+
+def test_ablation_render_cost(benchmark):
+    rows = []
+    for mult in BETA_MULTIPLIERS:
+        analyzer = _analyzer(mult * paper.EQ5_BETA_S_PER_IMAGE)
+        (row,) = analyzer.sweep([24.0])
+        rows.append((mult, row.time_savings(), row.energy_savings()))
+
+    benchmark(lambda: _analyzer(paper.EQ5_BETA_S_PER_IMAGE).sweep([24.0]))
+
+    lines = [
+        "Ablation — in-situ savings vs per-image render cost (24 h cadence)",
+        f"{'beta multiplier':>16s} {'beta s/img':>11s} {'time saving':>12s} {'energy saving':>14s}",
+    ]
+    for mult, t, e in rows:
+        lines.append(
+            f"{mult:>16.1f} {mult * paper.EQ5_BETA_S_PER_IMAGE:>11.1f} "
+            f"{100 * t:>11.1f}% {100 * e:>13.1f}%"
+        )
+    crossover = next((m for m, t, _ in rows if t <= 0), None)
+    lines.append(
+        f"in-situ stops winning near beta x{crossover:g} "
+        f"(≈{crossover * paper.EQ5_BETA_S_PER_IMAGE:.0f} s/image)"
+        if crossover
+        else "in-situ wins across the whole sweep"
+    )
+    emit("ablation_render_cost", lines)
+
+    # At the paper's beta, savings match Fig. 3's 38 %.
+    at_paper = next(r for r in rows if r[0] == 1.0)
+    assert at_paper[1] == pytest.approx(0.38, abs=0.03)
+    # Savings decrease monotonically and eventually go negative.
+    savings = [t for _, t, _ in rows]
+    assert savings == sorted(savings, reverse=True)
+    assert savings[-1] < 0

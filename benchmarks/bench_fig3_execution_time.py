@@ -1,0 +1,48 @@
+"""Fig. 3 — execution time of in-situ vs post-processing at 8/24/72 h.
+
+Prints the measured grid next to the paper's reported savings and
+benchmarks one full campaign-scale in-situ run on the DES platform.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import paper
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.pipelines.base import PipelineSpec
+from repro.pipelines.insitu import InSituPipeline
+from repro.pipelines.platform import SimulatedPlatform
+from repro.pipelines.sampling import SamplingPolicy
+
+
+def test_fig3_execution_time(study, benchmark):
+    lines = [
+        "Fig. 3 — execution time (seconds), 6-simulated-month campaign",
+        f"{'cadence':>10s} {'in-situ':>10s} {'post':>10s} {'saving':>8s} {'paper':>8s}",
+    ]
+    savings = benchmark(
+        lambda: {h: study.metrics.time_savings(h) for h in paper.SAMPLING_INTERVALS_HOURS}
+    )
+    for hours in paper.SAMPLING_INTERVALS_HOURS:
+        insitu = study.metrics.get(IN_SITU, hours)
+        post = study.metrics.get(POST_PROCESSING, hours)
+        saving = savings[hours]
+        lines.append(
+            f"{hours:>8.0f} h {insitu.execution_time:>10.0f} {post.execution_time:>10.0f} "
+            f"{100 * saving:>7.0f}% {100 * paper.TIME_SAVINGS[hours]:>7.0f}%"
+        )
+        assert saving == pytest.approx(paper.TIME_SAVINGS[hours], abs=0.07)
+    emit("fig3_execution_time", lines)
+
+
+def test_fig3_insitu_run_cost(benchmark):
+    """Wall cost of one full 540-sample in-situ campaign on the simulator."""
+    spec = PipelineSpec(sampling=SamplingPolicy(8.0))
+
+    def run():
+        return SimulatedPlatform().run(InSituPipeline(), spec)
+
+    m = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert m.n_outputs == 540

@@ -1,0 +1,57 @@
+"""Fig. 5 — average total power of both pipelines at 8/24/72 h.
+
+The paper's surprise result: "there is practically no difference in the
+power consumed by the various pipelines studied."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import paper
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.power.trace import PowerTrace
+
+
+def test_fig5_average_power(study, benchmark):
+    lines = [
+        "Fig. 5 — average power (kW), compute + storage",
+        f"{'cadence':>10s} {'in-situ':>9s} {'post':>9s} {'delta':>7s}",
+    ]
+    deltas = benchmark(
+        lambda: {h: study.metrics.power_change(h) for h in paper.SAMPLING_INTERVALS_HOURS}
+    )
+    for hours in paper.SAMPLING_INTERVALS_HOURS:
+        insitu = study.metrics.get(IN_SITU, hours).average_power
+        post = study.metrics.get(POST_PROCESSING, hours).average_power
+        delta = deltas[hours]
+        lines.append(
+            f"{hours:>8.0f} h {insitu / 1e3:>9.1f} {post / 1e3:>9.1f} {100 * delta:>+6.1f}%"
+        )
+        # Finding 3: practically no difference (we allow 5 %).
+        assert abs(delta) < 0.05
+    lines.append("paper: 'practically no difference in the power consumed'")
+    emit("fig5_power", lines)
+
+
+def test_fig5_trace_summation_cost(benchmark, study):
+    """Cost of combining the 15 cage traces + PDU into total power."""
+    m = study.metrics.get(IN_SITU, 24.0)
+    compute, storage = m.power_report.compute, m.power_report.storage
+
+    total = benchmark(lambda: (compute + storage).average_power())
+
+    assert total == pytest.approx(m.average_power, rel=1e-9)
+
+
+def test_fig5_power_is_flat_across_cadences(study, benchmark):
+    """Within one pipeline, cadence barely moves average power."""
+    benchmark(study.average_power)
+    for pipeline in (IN_SITU, POST_PROCESSING):
+        powers = [
+            study.metrics.get(pipeline, h).average_power
+            for h in paper.SAMPLING_INTERVALS_HOURS
+        ]
+        spread = max(powers) / min(powers) - 1.0
+        assert spread < 0.06, f"{pipeline}: {spread:.3f}"

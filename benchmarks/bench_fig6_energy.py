@@ -1,0 +1,52 @@
+"""Fig. 6 — energy consumption of both pipelines at 8/24/72 h.
+
+"Because power was nearly constant, the energy consumed closely tracks
+execution time": 50 % / 38 % / 19 % savings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import paper
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.units import joules_to_kwh
+
+
+def test_fig6_energy(study, benchmark):
+    lines = [
+        "Fig. 6 — energy (kWh), compute + storage",
+        f"{'cadence':>10s} {'in-situ':>9s} {'post':>9s} {'saving':>8s} {'paper':>7s}",
+    ]
+    savings = benchmark(
+        lambda: {h: study.metrics.energy_savings(h) for h in paper.SAMPLING_INTERVALS_HOURS}
+    )
+    for hours in paper.SAMPLING_INTERVALS_HOURS:
+        insitu = study.metrics.get(IN_SITU, hours).energy
+        post = study.metrics.get(POST_PROCESSING, hours).energy
+        saving = savings[hours]
+        lines.append(
+            f"{hours:>8.0f} h {joules_to_kwh(insitu):>9.1f} {joules_to_kwh(post):>9.1f} "
+            f"{100 * saving:>7.0f}% {100 * paper.ENERGY_SAVINGS[hours]:>6.0f}%"
+        )
+        assert saving == pytest.approx(paper.ENERGY_SAVINGS[hours], abs=0.07)
+    emit("fig6_energy", lines)
+
+
+def test_fig6_energy_tracks_time(study, benchmark):
+    """The paper's mechanism: flat power makes E proportional to t."""
+    benchmark(lambda: study.metrics.energy_savings(8.0))
+    for hours in paper.SAMPLING_INTERVALS_HOURS:
+        e = study.metrics.energy_savings(hours)
+        t = study.metrics.time_savings(hours)
+        assert e == pytest.approx(t, abs=0.04)
+
+
+def test_fig6_energy_integration_cost(benchmark, study):
+    m = study.metrics.get(POST_PROCESSING, 8.0)
+    total = m.power_report.total
+
+    energy = benchmark(total.energy)
+
+    assert energy > 0

@@ -1,0 +1,37 @@
+"""Fig. 8 — model validation on held-out configurations.
+
+White squares (training): in-situ @ 8 h, in-situ @ 72 h, post @ 24 h.
+Black triangles (evaluation): the other three grid cells.  The paper reports
+<0.5 % absolute error; the reproduction must hold that bound too.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro import paper
+
+
+def test_fig8_model_validation(study, benchmark):
+    calibration = study.calibrate()
+
+    rows = benchmark(lambda: calibration.validate(study.holdout_points()))
+
+    lines = [
+        "Fig. 8 — modeled vs measured execution time",
+        f"{'configuration':>28s} {'measured s':>11s} {'model s':>9s} {'error':>8s}",
+    ]
+    for point, predicted, rel in rows:
+        lines.append(
+            f"{point.label:>28s} {point.total_time:>11.1f} {predicted:>9.1f} "
+            f"{100 * rel:>+7.2f}%"
+        )
+        assert abs(rel) < paper.MODEL_MAX_ERROR, point.label
+    for point, residual in zip(calibration.points, calibration.residuals):
+        lines.append(
+            f"{point.label + ' (train)':>28s} {point.total_time:>11.1f} "
+            f"{point.total_time + residual:>9.1f} "
+            f"{100 * residual / point.total_time:>+7.2f}%"
+        )
+    lines.append(f"paper bound: |error| < {100 * paper.MODEL_MAX_ERROR:.1f}%")
+    emit("fig8_model_validation", lines)
+    assert len(rows) == 3

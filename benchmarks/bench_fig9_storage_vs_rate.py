@@ -1,0 +1,52 @@
+"""Fig. 9 — storage vs sampling rate for a 100-simulated-year campaign.
+
+The paper's takeaway: under a 2 TB per-user budget, post-processing is
+forced down to one output every ~8 days, while in-situ sustains daily (or
+finer) sampling with ease.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import paper
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.units import years
+
+#: The x-axis of Fig. 9, in simulated hours between outputs.
+SWEEP_HOURS = (1.0, 4.0, 8.0, 24.0, 72.0, 192.0, 384.0)
+
+
+def test_fig9_storage_vs_rate(study, benchmark):
+    analyzer = study.analyzer()
+    duration = years(paper.WHATIF_YEARS)
+
+    rows = benchmark(lambda: analyzer.storage_vs_rate(SWEEP_HOURS, duration))
+
+    lines = [
+        "Fig. 9 — storage vs sampling rate, 100-simulated-year campaign",
+        f"{'cadence':>12s} {'in-situ GB':>12s} {'post GB':>12s}",
+    ]
+    for hours, insitu_gb, post_gb in rows:
+        lines.append(f"{hours:>10.0f} h {insitu_gb:>12.1f} {post_gb:>12.1f}")
+    post_limit = analyzer.finest_interval_for_storage(
+        POST_PROCESSING, paper.WHATIF_STORAGE_BUDGET_GB, duration
+    )
+    insitu_limit = analyzer.finest_interval_for_storage(
+        IN_SITU, paper.WHATIF_STORAGE_BUDGET_GB, duration
+    )
+    lines += [
+        f"2 TB budget -> post-processing limited to every {post_limit / 24:.1f} days "
+        f"(paper: ~{paper.WHATIF_POST_FORCED_INTERVAL_DAYS:.0f} days)",
+        f"2 TB budget -> in-situ limited to every {insitu_limit:.2f} hours",
+        "capacity context: the experimental rack stores 7.7 TB total",
+    ]
+    emit("fig9_storage_vs_rate", lines)
+
+    assert post_limit / 24 == pytest.approx(
+        paper.WHATIF_POST_FORCED_INTERVAL_DAYS, rel=0.25
+    )
+    assert insitu_limit <= 24.0
+    # Storage scales inversely with the interval (Eq. 6).
+    assert rows[0][2] / rows[3][2] == pytest.approx(24.0, rel=1e-6)

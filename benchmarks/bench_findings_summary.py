@@ -1,0 +1,30 @@
+"""Section V-A — the "Summary of Findings" box, regenerated from data.
+
+Also scores the Section II-C hypotheses: the paper disproved two of its
+three initial hypotheses (H1 storage power, H3 trapped capacity) and
+confirmed one (H2 energy); the reproduction must reach the same verdicts.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.hypotheses import evaluate_hypotheses, findings_summary
+
+
+def test_findings_summary(study, benchmark):
+    verdicts = benchmark(lambda: evaluate_hypotheses(study))
+
+    lines = [findings_summary(study), ""]
+    lines += [v.summary() for v in verdicts]
+    lines += [
+        "",
+        "paper: 'our findings have disproved two of our initial hypotheses...'",
+        "'The other hypothesis, however, holds true - in-situ techniques can",
+        "reduce overall energy consumption.'",
+    ]
+    emit("findings_summary", lines)
+
+    by_name = {v.hypothesis: v for v in verdicts}
+    assert not by_name["H1"].supported  # storage power: refuted
+    assert by_name["H2"].supported      # energy: confirmed
+    assert not by_name["H3"].supported  # trapped capacity: refuted

@@ -1,0 +1,36 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper and
+emits its rows twice: to stdout (visible with ``pytest -s``) and to a text
+file under ``benchmarks/results/`` so the artifact survives output capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.characterization import CharacterizationStudy, run_characterization
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a result table and persist it under ``benchmarks/results/``."""
+    text = "\n".join(lines)
+    print(f"\n===== {name} =====\n{text}")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def study() -> CharacterizationStudy:
+    """The full Section V experiment grid, shared by every benchmark."""
+    return run_characterization()
+
+
+def pytest_collection_modifyitems(items):
+    """Run figure benches in paper order (fig2, fig3, ... then ablations)."""
+    items.sort(key=lambda item: item.fspath.basename)

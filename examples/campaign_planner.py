@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Campaign planner: the Section VII "automated framework".
+
+"We envision our model being used in an automated framework to decide the
+sampling rate and the pipeline automatically depending on a given set of
+constraints."  This example is that framework: it characterizes the machine,
+calibrates the model, then plans a 100-simulated-year eddy-tracking campaign
+under storage, energy and time budgets.
+
+Usage::
+
+    python examples/campaign_planner.py
+"""
+
+from __future__ import annotations
+
+from repro import run_characterization
+from repro.core.advisor import Constraints, PipelineAdvisor
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.units import format_energy, format_seconds, kwh_to_joules, years
+
+
+def main() -> None:
+    print("Step 1 — characterize the machine (one short run per configuration)")
+    study = run_characterization()
+    print(study.findings())
+
+    print("\nStep 2 — calibrate the performance/energy/storage model")
+    analyzer = study.analyzer()
+    model = analyzer.insitu.model
+    print(
+        f"  t_sim={model.t_sim_ref:.0f} s, alpha={model.alpha:.2f} s/GB, "
+        f"beta={model.beta:.2f} s/image, P={model.power_watts / 1e3:.1f} kW"
+    )
+
+    print("\nStep 3 — plan the campaign")
+    advisor = PipelineAdvisor(analyzer)
+    century = years(100)
+    scenarios = [
+        (
+            "track eddies daily, 2 TB storage",
+            Constraints(
+                duration_seconds=century,
+                storage_budget_gb=2_000.0,
+                required_interval_hours=24.0,
+            ),
+        ),
+        (
+            "track eddies hourly, 2 TB storage",
+            Constraints(
+                duration_seconds=century,
+                storage_budget_gb=2_000.0,
+                required_interval_hours=1.0,
+            ),
+        ),
+        (
+            "daily tracking under a 40 MWh energy budget",
+            Constraints(
+                duration_seconds=century,
+                energy_budget_joules=kwh_to_joules(40_000.0),
+                required_interval_hours=24.0,
+            ),
+        ),
+        (
+            "whatever fits in 16 TB with no science requirement",
+            Constraints(duration_seconds=century, storage_budget_gb=16_000.0),
+        ),
+    ]
+    for title, constraints in scenarios:
+        print(f"\n  scenario: {title}")
+        for pipeline in (IN_SITU, POST_PROCESSING):
+            rec = advisor.evaluate(pipeline, constraints)
+            print(f"    {rec.summary()}")
+        best = advisor.recommend(constraints)
+        pred = best.prediction
+        print(
+            f"    => recommended: {best.pipeline} every {best.interval_hours:g} h — "
+            f"{format_seconds(pred.execution_time)} machine time, "
+            f"{format_energy(pred.energy)}, {pred.s_io_gb:,.0f} GB stored"
+        )
+
+
+if __name__ == "__main__":
+    main()

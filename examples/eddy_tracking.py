@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Eddy tracking: the paper's visualization task, on the real mini ocean.
+
+Spins up the barotropic mini ocean model, runs it forward while an in-situ
+Catalyst adaptor renders the Okubo-Weiss field into a Cinema image database
+(real PNG files), detects eddy cores at the -0.2 sigma threshold each output
+step and links them into tracks — "eddies exist for hundreds of days while
+traveling hundreds of kilometers" (Section VII).
+
+Usage::
+
+    python examples/eddy_tracking.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.ocean.driver import MiniOceanDriver
+from repro.ocean.eddies import detect_eddies, track_eddies
+from repro.viz.annotate import annotate_frame
+from repro.viz.catalyst import CatalystAdaptor
+from repro.viz.cinema import CinemaDatabase
+from repro.viz.render import render_okubo_weiss
+
+N_FRAMES = 12
+STEPS_BETWEEN_FRAMES = 8
+
+
+def main(output_dir: str) -> None:
+    driver = MiniOceanDriver(nx=192, ny=96, seed=42)
+    print(f"mini ocean: {driver.grid.nx}x{driver.grid.ny} cells, "
+          f"{driver.grid.length_m / 1e3:.0f} km domain")
+    print("spinning up 40 timesteps...")
+    driver.advance(40)
+
+    cinema = CinemaDatabase(output_dir, name="eddy-tracking")
+    adaptor = CatalystAdaptor()
+    detections: list[list] = []
+
+    def coprocess(step: int, sim_time: float, fields) -> int:
+        w = np.asarray(fields["okubo_weiss"])
+        image = render_okubo_weiss(w, width=576, height=288)
+        annotate_frame(image, f"DAY {sim_time / 86_400:.1f}", scale=2)
+        cinema.add_image({"time": step}, image)
+        eddies = detect_eddies(w, vorticity=fields["vorticity"], frame=step)
+        detections.append(eddies)
+        return len(eddies)
+
+    adaptor.register_pipeline("eddies", coprocess)
+
+    print(f"running {N_FRAMES} output frames "
+          f"({STEPS_BETWEEN_FRAMES} timesteps = {STEPS_BETWEEN_FRAMES / 2:.0f} "
+          f"simulated hours apart)...")
+    for frame in range(N_FRAMES):
+        driver.advance(STEPS_BETWEEN_FRAMES)
+        counts = adaptor.coprocess(frame, driver.time, driver.output_fields())
+        cyclones = sum(1 for e in detections[-1] if e.rotation_sign > 0)
+        print(
+            f"  frame {frame:2d} (day {driver.time / 86_400:5.1f}): "
+            f"{counts['eddies']:3d} eddies "
+            f"({cyclones} cyclonic, {counts['eddies'] - cyclones} anticyclonic)"
+        )
+    adaptor.finalize()
+    cinema.close()
+
+    tracks = track_eddies(
+        detections, max_distance_cells=8.0, shape=driver.grid.shape
+    )
+    long_lived = [t for t in tracks if t.lifetime_frames >= N_FRAMES // 2]
+    km_per_cell = driver.grid.dx / 1e3
+    print(f"\ntracking: {len(tracks)} tracks, {len(long_lived)} persisted "
+          f">= {N_FRAMES // 2} frames")
+    for i, track in enumerate(
+        sorted(long_lived, key=lambda t: -t.lifetime_frames)[:5]
+    ):
+        travel = track.path_length(shape=driver.grid.shape) * km_per_cell
+        print(
+            f"  track {i}: frames {track.birth_frame}-{track.death_frame}, "
+            f"travelled {travel:.0f} km, "
+            f"mean core {np.mean([e.area_cells for e in track.eddies]):.0f} cells"
+        )
+    print(f"\nCinema database: {len(cinema)} PNG frames, "
+          f"{cinema.total_bytes / 1e6:.1f} MB -> {output_dir}")
+    print(f"adaptor copied {adaptor.bytes_copied / 1e6:.1f} MB of simulation "
+          f"state across {adaptor.coprocess_count} co-processing steps")
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="eddies-")
+    main(target)

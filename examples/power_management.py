@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Section VIII in practice: where the remaining power/energy hides.
+
+The paper's discussion section identifies two improvement areas — storage
+energy proportionality and compute I/O-wait management — and the related
+work suggests a third workflow (in-transit staging).  This example measures
+all three on the reproduced machine:
+
+1. idle-period management of the compute cluster's I/O waits,
+2. a DVFS governor and a "wimpy CPU" redesign for the storage rack,
+3. the in-transit pipeline with a swept staging-partition size.
+
+Usage::
+
+    python examples/power_management.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster.power import e5_2670_node
+from repro.core.metrics import POST_PROCESSING
+from repro.core.characterization import run_characterization
+from repro.pipelines import (
+    InSituPipeline,
+    InTransitPipeline,
+    PipelineSpec,
+    SamplingPolicy,
+    SimulatedPlatform,
+)
+from repro.power.states import IdlePeriodManager
+from repro.storage.governor import StorageDvfsGovernor, wimpy_storage_model
+from repro.storage.power import StoragePowerModel
+from repro.units import joules_to_kwh
+
+
+def main() -> None:
+    print("=== 1. Compute-side idle-period management ===")
+    study = run_characterization(intervals_hours=(8.0,))
+    post = study.metrics.get(POST_PROCESSING, 8.0)
+    manager = IdlePeriodManager(e5_2670_node(), n_nodes=150)
+    waits = manager.wait_intervals(post.timeline)
+    print(
+        f"post-processing @ 8 h: {len(waits)} wait intervals totalling "
+        f"{sum(waits):.0f} s (median {sorted(waits)[len(waits) // 2]:.2f} s) "
+        f"in a {post.execution_time:.0f} s run"
+    )
+    for savings in manager.analyze(post.timeline):
+        print(
+            f"  {savings.state.name:<11s} (floor {savings.state.min_interval_seconds:g} s): "
+            f"manages {savings.n_managed}/{savings.n_intervals} waits, saves "
+            f"{joules_to_kwh(savings.energy_saved_joules):.1f} kWh "
+            f"({100 * savings.savings_fraction(post.energy):.1f}% of the run) "
+            f"for {savings.time_penalty_seconds:.2f} s of transitions"
+        )
+    print("  -> today's prolonged-idleness techniques recover nothing;")
+    print("     millisecond-scale states unlock the short I/O waits (the")
+    print("     paper's Section VIII point, quantified)")
+
+    print("\n=== 2. Storage-side redesign ===")
+    stock = StoragePowerModel()
+    governor = StorageDvfsGovernor(stock)
+    wimpy = wimpy_storage_model(stock)
+    print(f"stock rack : {stock.power(0):.0f} W idle, {stock.power(stock.rated_bandwidth):.0f} W full "
+          f"({100 * stock.proportionality():.1f}% proportional)")
+    print(f"DVFS gov.  : {governor.power(0):.0f} W idle, "
+          f"{governor.power(stock.rated_bandwidth):.0f} W full "
+          f"(saves {governor.idle_savings_watts():.0f} W whenever I/O is quiet)")
+    print(f"wimpy CPUs : {wimpy.power(0):.0f} W idle, "
+          f"{wimpy.power(stock.rated_bandwidth):.0f} W full, same bandwidth")
+
+    print("\n=== 3. In-transit staging (Rodero et al.'s placement question) ===")
+    spec = PipelineSpec(sampling=SamplingPolicy(24.0))
+    insitu = SimulatedPlatform().run(InSituPipeline(), spec)
+    print(f"in-situ baseline: {insitu.execution_time:.0f} s, "
+          f"{joules_to_kwh(insitu.energy):.1f} kWh")
+    for staging in (10, 20, 30, 45):
+        m = SimulatedPlatform().run(InTransitPipeline(n_staging_nodes=staging), spec)
+        verdict = "beats in-situ" if m.execution_time < insitu.execution_time else "loses"
+        print(
+            f"  {staging:3d} staging nodes: {m.execution_time:6.0f} s, "
+            f"{joules_to_kwh(m.energy):5.1f} kWh, "
+            f"stalls {m.timeline.total('stall'):5.0f} s -> {verdict}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: reproduce the paper's headline results in one minute.
+
+Runs the full Section V experiment grid (both pipelines × 8/24/72-hour
+sampling) on the simulated 150-node cluster + Lustre rack, calibrates the
+Section VI model from three configurations, validates it on the held-out
+three, and answers the Section VII what-if questions.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import run_characterization
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.units import format_bytes, years
+
+
+def main() -> None:
+    print("Running the characterization grid (6 campaign-scale runs)...")
+    study = run_characterization()
+
+    print("\n=== Section V: measurements ===")
+    print(study.table())
+    print()
+    print(study.findings())
+
+    print("\n=== Section VI: model calibration (Eq. 5) ===")
+    result = study.calibrate()
+    model = result.model
+    print(f"t_sim = {model.t_sim_ref:.0f} s   (paper: 603 s)")
+    print(f"alpha = {model.alpha:.2f} s/GB (paper: 6.3 s/GB)")
+    print(f"beta  = {model.beta:.2f} s/image (paper: 1.2 s/image)")
+    print("held-out validation (paper: <0.5% error):")
+    for point, predicted, rel in study.validate():
+        print(
+            f"  {point.label:24s} measured {point.total_time:7.1f} s   "
+            f"model {predicted:7.1f} s   error {100 * rel:+.2f}%"
+        )
+
+    print("\n=== Section VII: what-if analysis, 100-simulated-year campaign ===")
+    analyzer = study.analyzer()
+    century = years(100)
+    post_limit = analyzer.finest_interval_for_storage(POST_PROCESSING, 2_000.0, century)
+    insitu_limit = analyzer.finest_interval_for_storage(IN_SITU, 2_000.0, century)
+    print(
+        f"2 TB storage budget: post-processing limited to one output every "
+        f"{post_limit / 24:.1f} days (paper: ~8 days);"
+    )
+    print(
+        f"                     in-situ sustains one output every "
+        f"{insitu_limit:.2f} hours."
+    )
+    for hours in (1.0, 12.0, 24.0):
+        saving = analyzer.energy_savings(hours, century)
+        print(f"energy saved by in-situ at {hours:4.0f}-hour sampling: {100 * saving:.1f}%")
+    row = analyzer.sweep([24.0], century)[0]
+    print(
+        f"daily sampling for a century: post writes {format_bytes(row.post.storage_bytes)}, "
+        f"in-situ writes {format_bytes(row.insitu.storage_bytes)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Run both Fig. 1 pipelines *for real* at miniature scale.
+
+Unlike the quickstart (which runs the campaign-scale discrete-event
+simulation), this example executes the actual code paths end to end on your
+machine: the barotropic ocean solver produces real fields, the
+post-processing pipeline writes real nclite files and reads them back, the
+in-situ pipeline renders real PNGs through the Catalyst adaptor into a
+Cinema database — all wall-clock timed.
+
+Usage::
+
+    python examples/real_pipeline_comparison.py [workdir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+from repro.pipelines.insitu import InSituPipeline
+from repro.pipelines.platform import RealPlatform, RealScale
+from repro.pipelines.postprocessing import PostProcessingPipeline
+from repro.units import format_bytes, format_seconds
+
+
+def main(workdir: str) -> None:
+    scale = RealScale(
+        nx=128,
+        ny=64,
+        n_steps=48,
+        steps_between_outputs=8,
+        image_width=384,
+        image_height=192,
+        spinup_steps=30,
+    )
+    platform = RealPlatform(workdir, scale=scale)
+    print(
+        f"mini campaign: {scale.n_steps} timesteps on a {scale.nx}x{scale.ny} "
+        f"grid, one output every {scale.steps_between_outputs} steps "
+        f"({scale.n_outputs} outputs)"
+    )
+
+    results = {}
+    for pipeline in (PostProcessingPipeline(), InSituPipeline()):
+        print(f"\nrunning {pipeline.name} ...")
+        m = platform.run(pipeline)
+        results[pipeline.name] = m
+        phases = m.timeline.by_phase()
+        print(f"  wall time : {format_seconds(m.execution_time)}")
+        for phase, seconds in phases.items():
+            print(f"    {phase:<11s}: {format_seconds(seconds)} "
+                  f"({100 * seconds / m.execution_time:.0f}%)")
+        print(f"  storage   : {format_bytes(m.storage_bytes)} "
+              f"in {m.n_outputs} outputs / {m.n_images} images")
+        print(f"  artifacts : {m.label}")
+
+    post = results["post-processing"]
+    insitu = results["in-situ"]
+    print("\ncomparison (mini scale):")
+    print(f"  storage reduction : "
+          f"{100 * (1 - insitu.storage_bytes / post.storage_bytes):.1f}% "
+          f"(paper, campaign scale: >99.5%)")
+    print(f"  time ratio        : {insitu.execution_time / post.execution_time:.2f}x")
+    print("\nNote: at laptop scale there is no 160 MB/s Lustre bottleneck, so")
+    print("the paper's dramatic *time* savings do not appear here — that is")
+    print("exactly why the campaign-scale platform simulates the storage rack.")
+    print(f"\nartifacts kept under: {workdir}")
+    for entry in sorted(os.listdir(workdir)):
+        print(f"  {entry}/")
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="pipelines-")
+    main(target)

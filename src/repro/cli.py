@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map onto the paper's sections:
+
+* ``characterize`` — run the Section V experiment grid, print the table.
+* ``calibrate``    — fit Eq. 5 and validate on held-out cells (Fig. 8).
+* ``whatif``       — Figs. 9/10 sweeps for an arbitrary campaign length.
+* ``plan``         — the Section VII advisor: pipeline + cadence under budgets.
+* ``report``       — the full Markdown study report (all sections).
+* ``hypotheses``   — score the Section II-C hypotheses (the §V-A findings box).
+* ``quality``      — measured eddy-tracking fidelity vs cadence (extension).
+* ``proportionality`` — the storage/compute power-proportionality tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import run_characterization
+from repro.analysis.quality import evaluate_sampling_quality, quality_table
+from repro.core.advisor import Constraints, PipelineAdvisor
+from repro.core.characterization import CharacterizationStudy, storage_power_sweep
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.units import format_energy, kwh_to_joules, years
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Characterizing and Modeling Power and "
+        "Energy for Extreme-Scale In-Situ Visualization' (IPDPS 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="run the Section V experiment grid")
+    p.add_argument(
+        "--intervals", type=float, nargs="+", default=[8.0, 24.0, 72.0],
+        metavar="HOURS", help="sampling cadences in simulated hours",
+    )
+
+    p = sub.add_parser("calibrate", help="fit Eq. 5 and validate (Fig. 8)")
+
+    p = sub.add_parser("whatif", help="Figs. 9/10 sweeps")
+    p.add_argument("--years", type=float, default=100.0, help="campaign length")
+    p.add_argument(
+        "--intervals", type=float, nargs="+",
+        default=[1.0, 8.0, 24.0, 72.0, 192.0], metavar="HOURS",
+    )
+
+    p = sub.add_parser("plan", help="Section VII advisor")
+    p.add_argument("--years", type=float, default=100.0, help="campaign length")
+    p.add_argument("--storage-gb", type=float, default=None, help="storage budget")
+    p.add_argument("--energy-kwh", type=float, default=None, help="energy budget")
+    p.add_argument("--time-hours", type=float, default=None, help="machine-time budget")
+    p.add_argument(
+        "--need-hours", type=float, default=None,
+        help="required sampling cadence (simulated hours)",
+    )
+
+    p = sub.add_parser("report", help="write the full Markdown study report")
+    p.add_argument("--output", default="study_report.md", help="output path")
+    p.add_argument("--years", type=float, default=100.0, help="what-if horizon")
+
+    p = sub.add_parser("quality", help="eddy-tracking fidelity vs cadence")
+    p.add_argument("--strides", type=int, nargs="+", default=[1, 2, 4, 8, 16])
+    p.add_argument("--steps", type=int, default=64)
+
+    sub.add_parser("proportionality", help="storage/compute power tables")
+
+    sub.add_parser("hypotheses", help="score the paper's three hypotheses")
+    return parser
+
+
+def _study(intervals: Sequence[float] = (8.0, 24.0, 72.0)) -> CharacterizationStudy:
+    print("running the characterization grid "
+          f"({2 * len(intervals)} campaign-scale simulations)...", file=sys.stderr)
+    return run_characterization(intervals_hours=tuple(intervals))
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    study = _study(args.intervals)
+    print(study.table())
+    print()
+    print(study.findings())
+    return 0
+
+
+def _cmd_calibrate(_args: argparse.Namespace) -> int:
+    study = _study()
+    result = study.calibrate()
+    m = result.model
+    print(f"t_sim = {m.t_sim_ref:.1f} s   (paper: 603 s)")
+    print(f"alpha = {m.alpha:.2f} s/GB   (paper: 6.3 s/GB)")
+    print(f"beta  = {m.beta:.2f} s/image (paper: 1.2 s/image)")
+    print(f"power = {m.power_watts / 1e3:.1f} kW")
+    print("held-out validation:")
+    worst = 0.0
+    for point, predicted, rel in study.validate():
+        worst = max(worst, abs(rel))
+        print(f"  {point.label:24s} measured {point.total_time:8.1f} s   "
+              f"model {predicted:8.1f} s   error {100 * rel:+.2f}%")
+    print(f"max |error| = {100 * worst:.2f}% (paper: <0.5%)")
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    study = _study()
+    analyzer = study.analyzer()
+    duration = years(args.years)
+    print(f"campaign: {args.years:g} simulated years\n")
+    print(f"{'cadence':>10s} {'post GB':>12s} {'in-situ GB':>11s} "
+          f"{'energy saving':>14s}")
+    for row in analyzer.sweep(args.intervals, duration):
+        print(
+            f"{row.interval_hours:>8.0f} h {row.post.s_io_gb:>12.1f} "
+            f"{row.insitu.s_io_gb:>11.2f} {100 * row.energy_savings():>13.1f}%"
+        )
+    limit = analyzer.finest_interval_for_storage(POST_PROCESSING, 2_000.0, duration)
+    print(f"\n2 TB budget forces post-processing to every {limit / 24:.1f} days")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    study = _study()
+    advisor = PipelineAdvisor(study.analyzer())
+    constraints = Constraints(
+        duration_seconds=years(args.years),
+        storage_budget_gb=args.storage_gb,
+        energy_budget_joules=(
+            kwh_to_joules(args.energy_kwh) if args.energy_kwh is not None else None
+        ),
+        time_budget_seconds=(
+            args.time_hours * 3_600.0 if args.time_hours is not None else None
+        ),
+        required_interval_hours=args.need_hours,
+    )
+    for pipeline in (IN_SITU, POST_PROCESSING):
+        print(advisor.evaluate(pipeline, constraints).summary())
+    best = advisor.recommend(constraints)
+    pred = best.prediction
+    print(f"\nrecommended: {best.pipeline} every {best.interval_hours:g} h")
+    print(f"  machine time {pred.execution_time / 3_600:.1f} h, "
+          f"energy {format_energy(pred.energy) if pred.energy else 'n/a'}, "
+          f"storage {pred.s_io_gb:,.0f} GB")
+    return 0 if best.feasible else 2
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import StudyReport
+
+    study = _study()
+    n = StudyReport(study, whatif_years=args.years).write(args.output)
+    print(f"wrote {args.output} ({n} bytes)")
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    print("advancing the mini ocean and tracking eddies...", file=sys.stderr)
+    results = evaluate_sampling_quality(strides=tuple(args.strides), n_steps=args.steps)
+    print(quality_table(results))
+    return 0
+
+
+def _cmd_hypotheses(_args: argparse.Namespace) -> int:
+    from repro.core.hypotheses import evaluate_hypotheses, findings_summary
+
+    study = _study()
+    print(findings_summary(study))
+    print()
+    for verdict in evaluate_hypotheses(study):
+        print(verdict.summary())
+    return 0
+
+
+def _cmd_proportionality(_args: argparse.Namespace) -> int:
+    from repro.cluster.power import e5_2670_node
+
+    print("storage rack (paper: 2273 -> 2302 W, +1.3%):")
+    for throughput, watts in storage_power_sweep():
+        print(f"  {throughput / 1e6:6.0f} MB/s  {watts:7.1f} W")
+    node = e5_2670_node()
+    print("compute cluster, 150 nodes (paper: 15 -> 44 kW, +193%):")
+    for util in (0.0, 0.25, 0.5, 0.75, 1.0):
+        print(f"  util {util:4.2f}  {150 * node.power(util) / 1e3:6.1f} kW")
+    return 0
+
+
+_COMMANDS = {
+    "characterize": _cmd_characterize,
+    "calibrate": _cmd_calibrate,
+    "whatif": _cmd_whatif,
+    "plan": _cmd_plan,
+    "quality": _cmd_quality,
+    "report": _cmd_report,
+    "proportionality": _cmd_proportionality,
+    "hypotheses": _cmd_hypotheses,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

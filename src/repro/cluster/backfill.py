@@ -1,0 +1,162 @@
+"""Backfill co-scheduling: using I/O waits to run other work.
+
+The last proposal of the paper's Section VIII: "Alternatively, techniques
+that utilize the idle periods by running a different job may be embraced.
+Research solutions for effectively utilizing idle periods already exist (in,
+for example, Legion)."
+
+:class:`BackfillScheduler` takes a measured run's wait intervals and a
+secondary-job profile and computes what a Legion-style tasking layer could
+harvest: node-hours of useful secondary work, the throughput it represents,
+and the energy attribution (the watts were being burned on busy-polling
+anyway — backfill converts them into work instead of eliminating them, the
+complementary strategy to :mod:`repro.power.states`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cluster.power import NodePowerModel
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.metrics import PhaseTimeline
+
+__all__ = ["SecondaryJobProfile", "HarvestReport", "BackfillScheduler"]
+
+#: Phases whose intervals can host backfilled work.
+WAIT_PHASES = ("io", "stall", "drain")
+
+
+@dataclass(frozen=True)
+class SecondaryJobProfile:
+    """What the backfilled job looks like."""
+
+    name: str = "analysis-tasks"
+    #: Cost of switching the nodes to/from the secondary job (s per slice).
+    switch_seconds: float = 0.05
+    #: Smallest wait interval worth backfilling.
+    min_slice_seconds: float = 0.5
+    #: CPU utilization the secondary job sustains while resident.
+    utilization: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.switch_seconds < 0:
+            raise ConfigurationError(f"negative switch cost: {self.switch_seconds}")
+        if self.min_slice_seconds <= 0:
+            raise ConfigurationError(
+                f"min slice must be positive: {self.min_slice_seconds}"
+            )
+        if not 0.0 < self.utilization <= 1.0:
+            raise ConfigurationError(f"utilization outside (0, 1]: {self.utilization}")
+
+    def usable(self, interval_seconds: float) -> bool:
+        """Is an interval long enough to host a slice?"""
+        return interval_seconds >= max(
+            self.min_slice_seconds, 2.0 * self.switch_seconds
+        )
+
+
+@dataclass(frozen=True)
+class HarvestReport:
+    """What backfilling one run's waits yields."""
+
+    job: SecondaryJobProfile
+    n_intervals: int
+    n_backfilled: int
+    wait_seconds: float
+    harvested_node_seconds: float
+    #: Extra energy drawn versus busy-polling baseline (can be negative if
+    #: the secondary job is lighter than the polling it replaces).
+    extra_energy_joules: float
+
+    @property
+    def harvested_node_hours(self) -> float:
+        """Node-hours of secondary work recovered from the waits."""
+        return self.harvested_node_seconds / 3_600.0
+
+    @property
+    def utilization_of_waits(self) -> float:
+        """Fraction of total wait node-time converted into work."""
+        if self.wait_seconds == 0:
+            return 0.0
+        return self.harvested_node_seconds / (
+            self.wait_seconds * self._n_nodes_hint
+        ) if self._n_nodes_hint else 0.0
+
+    # populated by the scheduler; kept private-ish to keep the dataclass frozen
+    _n_nodes_hint: int = 0
+
+
+class BackfillScheduler:
+    """Evaluates backfill harvesting over a measured run."""
+
+    def __init__(self, node_model: NodePowerModel, n_nodes: int,
+                 wait_utilization: float = 0.85) -> None:
+        if n_nodes < 1:
+            raise ConfigurationError(f"need >= 1 node, got {n_nodes}")
+        if not 0.0 <= wait_utilization <= 1.0:
+            raise ConfigurationError(
+                f"wait utilization outside [0, 1]: {wait_utilization}"
+            )
+        self.node_model = node_model
+        self.n_nodes = n_nodes
+        self.wait_utilization = wait_utilization
+
+    def wait_intervals(self, timeline: "PhaseTimeline") -> list[float]:
+        """Durations of the backfillable intervals of a run."""
+        return [
+            t1 - t0
+            for phase, t0, t1 in timeline.records
+            if phase in WAIT_PHASES and t1 > t0
+        ]
+
+    def harvest(
+        self, timeline: "PhaseTimeline", job: SecondaryJobProfile | None = None
+    ) -> HarvestReport:
+        """Backfill the run's waits with ``job``; returns the harvest."""
+        profile = job if job is not None else SecondaryJobProfile()
+        intervals = self.wait_intervals(timeline)
+        poll_watts = self.n_nodes * self.node_model.power(self.wait_utilization)
+        busy_watts = self.n_nodes * self.node_model.power(profile.utilization)
+        idle_watts = self.n_nodes * self.node_model.idle_watts
+        harvested = 0.0
+        extra_energy = 0.0
+        n_backfilled = 0
+        for length in intervals:
+            if not profile.usable(length):
+                continue
+            resident = length - 2.0 * profile.switch_seconds
+            harvested += resident * self.n_nodes
+            # Energy: resident at the job's utilization + switches at idle,
+            # versus the whole interval spent busy-polling.
+            with_backfill = (
+                busy_watts * resident + idle_watts * 2.0 * profile.switch_seconds
+            )
+            extra_energy += with_backfill - poll_watts * length
+            n_backfilled += 1
+        return HarvestReport(
+            job=profile,
+            n_intervals=len(intervals),
+            n_backfilled=n_backfilled,
+            wait_seconds=sum(intervals),
+            harvested_node_seconds=harvested,
+            extra_energy_joules=extra_energy,
+            _n_nodes_hint=self.n_nodes,
+        )
+
+    def equivalent_campaign_fraction(
+        self, timeline: "PhaseTimeline", campaign_node_seconds: float,
+        job: SecondaryJobProfile | None = None,
+    ) -> float:
+        """Harvested work as a fraction of a full campaign's node-time.
+
+        "How much of a second science campaign rides along for free?"
+        """
+        if campaign_node_seconds <= 0:
+            raise ConfigurationError(
+                f"campaign node-seconds must be positive: {campaign_node_seconds}"
+            )
+        return self.harvest(timeline, job).harvested_node_seconds / campaign_node_seconds

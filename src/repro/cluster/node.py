@@ -1,0 +1,99 @@
+"""A simulated compute node.
+
+A node tracks its current utilization (set by the workflow phases running on
+the cluster) and mirrors every change into an exact
+:class:`~repro.power.signal.PowerSignal` via its
+:class:`~repro.cluster.power.NodePowerModel`.  It also accumulates
+busy-seconds so CPU-utilization statistics can be reported per run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.power import NodePowerModel
+from repro.errors import ConfigurationError
+from repro.events.engine import Simulator
+from repro.power.signal import PowerSignal
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One compute node: sockets × cores, a power model, and a power signal."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        power_model: NodePowerModel,
+        cores_per_socket: int = 8,
+        memory_gb: float = 64.0,
+    ) -> None:
+        if node_id < 0:
+            raise ConfigurationError(f"negative node id: {node_id}")
+        if cores_per_socket < 1:
+            raise ConfigurationError(f"cores_per_socket must be >= 1, got {cores_per_socket}")
+        if memory_gb <= 0:
+            raise ConfigurationError(f"memory must be positive, got {memory_gb}")
+        self.sim = sim
+        self.node_id = node_id
+        self.power_model = power_model
+        self.cores_per_socket = cores_per_socket
+        self.memory_gb = memory_gb
+        self._utilization = 0.0
+        self._frequency_ghz: Optional[float] = None
+        self._busy_core_seconds = 0.0
+        self._last_change = sim.now
+        self.power_signal = PowerSignal(
+            power_model.idle_watts, start_time=sim.now, name=f"node-{node_id:03d}"
+        )
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def n_cores(self) -> int:
+        """Total core count of the node."""
+        return self.power_model.n_sockets * self.cores_per_socket
+
+    @property
+    def utilization(self) -> float:
+        """Current utilization in [0, 1]."""
+        return self._utilization
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Current operating frequency (base frequency unless DVFS'd)."""
+        if self._frequency_ghz is not None:
+            return self._frequency_ghz
+        return self.power_model.cpu.base_frequency_ghz
+
+    @property
+    def current_power(self) -> float:
+        """Instantaneous node power draw in watts."""
+        return self.power_model.power(self._utilization, self._frequency_ghz)
+
+    def busy_core_seconds(self) -> float:
+        """Accumulated core-busy-seconds up to the current simulated time."""
+        return self._busy_core_seconds + self._utilization * self.n_cores * (
+            self.sim.now - self._last_change
+        )
+
+    # --------------------------------------------------------------- control
+
+    def set_utilization(self, utilization: float, frequency_ghz: Optional[float] = None) -> None:
+        """Change the node's utilization (and optionally DVFS frequency) *now*."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(f"utilization outside [0, 1]: {utilization}")
+        now = self.sim.now
+        self._busy_core_seconds += self._utilization * self.n_cores * (now - self._last_change)
+        self._last_change = now
+        self._utilization = utilization
+        self._frequency_ghz = frequency_ghz
+        self.power_signal.set(now, self.current_power)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Node {self.node_id} util={self._utilization:.2f} "
+            f"{self.current_power:.0f} W @ {self.sim.now:.1f}s>"
+        )

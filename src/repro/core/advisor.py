@@ -1,0 +1,172 @@
+"""Pipeline recommendation under constraints.
+
+Section VII: "We envision our model being used in an automated framework to
+decide the sampling rate and the pipeline automatically depending on a given
+set of constraints."  :class:`PipelineAdvisor` is that framework: given
+storage/energy/time budgets and a required sampling cadence, it finds for
+each pipeline the finest feasible cadence and recommends the pipeline that
+samples finest (ties broken by lower energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.model import Prediction
+from repro.core.whatif import WhatIfAnalyzer
+from repro.errors import ConfigurationError, ModelError
+
+__all__ = ["Constraints", "Recommendation", "PipelineAdvisor"]
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Budgets for a planned campaign.  ``None`` means unconstrained."""
+
+    #: Campaign length in simulated seconds (required).
+    duration_seconds: float
+    storage_budget_gb: Optional[float] = None
+    energy_budget_joules: Optional[float] = None
+    time_budget_seconds: Optional[float] = None
+    #: The science requirement: sampling must be at least this fine
+    #: (e.g. 24 h to track eddies daily).
+    required_interval_hours: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ConfigurationError(f"duration must be positive: {self.duration_seconds}")
+        for name in ("storage_budget_gb", "energy_budget_joules",
+                     "time_budget_seconds", "required_interval_hours"):
+            v = getattr(self, name)
+            if v is not None and v <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {v}")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's answer for one pipeline or overall."""
+
+    pipeline: str
+    interval_hours: float
+    prediction: Prediction
+    feasible: bool
+    rationale: str
+
+    def summary(self) -> str:
+        """One-line human-readable recommendation."""
+        status = "FEASIBLE" if self.feasible else "INFEASIBLE"
+        return (
+            f"[{status}] {self.pipeline} @ every {self.interval_hours:.2f} h — "
+            f"{self.rationale}"
+        )
+
+
+class PipelineAdvisor:
+    """Chooses pipeline + cadence from calibrated models and constraints."""
+
+    def __init__(self, analyzer: WhatIfAnalyzer) -> None:
+        self.analyzer = analyzer
+
+    def finest_feasible_interval(self, pipeline: str, constraints: Constraints) -> float:
+        """The finest cadence (smallest interval) satisfying every budget."""
+        bounds = [self.analyzer.timestep_seconds / 3_600.0]  # cannot outpace the timestep
+        notes = []
+        if constraints.storage_budget_gb is not None:
+            h = self.analyzer.finest_interval_for_storage(
+                pipeline, constraints.storage_budget_gb, constraints.duration_seconds
+            )
+            bounds.append(h)
+            notes.append(("storage", h))
+        if constraints.energy_budget_joules is not None:
+            h = self.analyzer.finest_interval_for_energy(
+                pipeline, constraints.energy_budget_joules, constraints.duration_seconds
+            )
+            bounds.append(h)
+            notes.append(("energy", h))
+        if constraints.time_budget_seconds is not None:
+            h = self._finest_interval_for_time(
+                pipeline, constraints.time_budget_seconds, constraints.duration_seconds
+            )
+            bounds.append(h)
+            notes.append(("time", h))
+        return max(bounds)
+
+    def _finest_interval_for_time(
+        self, pipeline: str, budget_seconds: float, duration_seconds: float
+    ) -> float:
+        predictor = self.analyzer._predictor(pipeline)
+        model = predictor.model
+        iters = self.analyzer.iterations_for(duration_seconds)
+        floor = model.simulation_time(iters)
+        if budget_seconds <= floor:
+            raise ModelError(
+                f"time budget {budget_seconds:.3g}s below the simulation floor "
+                f"{floor:.3g}s — no cadence can satisfy it"
+            )
+        ref_h = predictor.data.interval_hours_ref
+        variable_at_ref = (
+            model.alpha * predictor.data.s_io_gb(ref_h, iters)
+            + model.beta * predictor.data.n_viz(ref_h, iters)
+        )
+        if variable_at_ref == 0:
+            return self.analyzer.timestep_seconds / 3_600.0
+        return max(
+            ref_h * variable_at_ref / (budget_seconds - floor),
+            self.analyzer.timestep_seconds / 3_600.0,
+        )
+
+    def evaluate(self, pipeline: str, constraints: Constraints) -> Recommendation:
+        """Assess one pipeline: finest feasible cadence vs the requirement."""
+        finest = self.finest_feasible_interval(pipeline, constraints)
+        interval = finest
+        feasible = True
+        if constraints.required_interval_hours is not None:
+            if finest > constraints.required_interval_hours + 1e-9:
+                feasible = False
+                rationale = (
+                    f"science requires sampling every "
+                    f"{constraints.required_interval_hours:g} h but budgets only "
+                    f"allow every {finest:.2f} h"
+                )
+            else:
+                interval = constraints.required_interval_hours
+                rationale = (
+                    f"meets the {constraints.required_interval_hours:g} h science "
+                    f"requirement (budgets would allow down to every {finest:.2f} h)"
+                )
+        else:
+            rationale = f"finest cadence the budgets allow is every {finest:.2f} h"
+        prediction = self.analyzer._predictor(pipeline).predict(
+            interval, self.analyzer.iterations_for(constraints.duration_seconds)
+        )
+        return Recommendation(
+            pipeline=pipeline,
+            interval_hours=interval,
+            prediction=prediction,
+            feasible=feasible,
+            rationale=rationale,
+        )
+
+    def recommend(self, constraints: Constraints) -> Recommendation:
+        """The overall recommendation across both pipelines.
+
+        Prefers a feasible pipeline; among feasible ones, the one that can
+        sample finest; ties broken by lower predicted energy (or time when
+        energy is unavailable).
+        """
+        candidates = [
+            self.evaluate(self.analyzer.insitu.pipeline, constraints),
+            self.evaluate(self.analyzer.post.pipeline, constraints),
+        ]
+
+        def sort_key(rec: Recommendation):
+            cost = (
+                rec.prediction.energy
+                if rec.prediction.energy is not None
+                else rec.prediction.execution_time
+            )
+            return (not rec.feasible, rec.interval_hours, cost)
+
+        best = min(candidates, key=sort_key)
+        return best

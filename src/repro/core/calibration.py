@@ -1,0 +1,193 @@
+"""Model calibration: solving Equation (5) for ``t_sim``, α and β.
+
+The paper uses "a linear solver" over three measured configurations:
+
+.. math::
+
+    t_{sim} + 0.1 α + 60 β &= 676   \\\\
+    t_{sim} + 0.6 α + 540 β &= 1261 \\\\
+    t_{sim} + 80 α + 180 β &= 1322
+
+("Alternatively, regression techniques may be used.")  Both are provided:
+:func:`calibrate_exact` solves a square 3×3 system;
+:func:`calibrate_least_squares` fits any number of points and reports
+residual diagnostics.  Points with different campaign lengths are supported
+through the iteration-ratio coefficient of Equation (4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.metrics import Measurement
+from repro.core.model import PerformanceModel
+from repro.errors import CalibrationError
+
+__all__ = [
+    "CalibrationPoint",
+    "CalibrationResult",
+    "calibrate_exact",
+    "calibrate_least_squares",
+    "points_from_measurements",
+]
+
+#: Condition numbers above this trip a :class:`CalibrationError` — the
+#: chosen configurations do not separate the three cost terms.
+MAX_CONDITION_NUMBER = 1e10
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One measured configuration: workload descriptors and total time."""
+
+    s_io_gb: float
+    n_viz: float
+    total_time: float
+    #: Timesteps of this run, relative to the reference (1.0 = same length).
+    iter_ratio: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.s_io_gb < 0 or self.n_viz < 0:
+            raise CalibrationError(f"negative workload in point {self.label!r}")
+        if self.total_time <= 0:
+            raise CalibrationError(f"non-positive time in point {self.label!r}")
+        if self.iter_ratio <= 0:
+            raise CalibrationError(f"non-positive iter ratio in point {self.label!r}")
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """The fitted model plus goodness-of-fit diagnostics."""
+
+    model: PerformanceModel
+    points: tuple[CalibrationPoint, ...]
+    residuals: tuple[float, ...]
+    condition_number: float
+
+    @property
+    def max_relative_error(self) -> float:
+        """Largest |residual| / measured time over the fit points."""
+        return max(
+            abs(r) / p.total_time for r, p in zip(self.residuals, self.points)
+        )
+
+    def validate(self, points: Iterable[CalibrationPoint]) -> list[tuple[CalibrationPoint, float, float]]:
+        """Evaluate held-out points: ``(point, predicted, relative_error)``.
+
+        This is the paper's Fig. 8 — model built on white-square points,
+        evaluated on black-triangle points, <0.5 % error.
+        """
+        out = []
+        for p in points:
+            predicted = self.model.execution_time(
+                p.iter_ratio * self.model.iter_ref, p.s_io_gb, p.n_viz
+            )
+            rel = (predicted - p.total_time) / p.total_time
+            out.append((p, predicted, rel))
+        return out
+
+
+def _design_matrix(points: Sequence[CalibrationPoint]) -> np.ndarray:
+    return np.array([[p.iter_ratio, p.s_io_gb, p.n_viz] for p in points])
+
+
+def _build_result(
+    solution: np.ndarray,
+    points: Sequence[CalibrationPoint],
+    condition: float,
+    iter_ref: int,
+    power_watts: Optional[float],
+) -> CalibrationResult:
+    t_sim, alpha, beta = (float(v) for v in solution)
+    if t_sim < 0 or alpha < 0 or beta < 0:
+        raise CalibrationError(
+            f"calibration produced negative coefficients "
+            f"(t_sim={t_sim:.3g}, α={alpha:.3g}, β={beta:.3g}); "
+            "the configurations are probably inconsistent"
+        )
+    model = PerformanceModel(
+        t_sim_ref=t_sim, iter_ref=iter_ref, alpha=alpha, beta=beta, power_watts=power_watts
+    )
+    residuals = tuple(
+        model.execution_time(p.iter_ratio * iter_ref, p.s_io_gb, p.n_viz) - p.total_time
+        for p in points
+    )
+    return CalibrationResult(
+        model=model,
+        points=tuple(points),
+        residuals=residuals,
+        condition_number=condition,
+    )
+
+
+def calibrate_exact(
+    points: Sequence[CalibrationPoint],
+    iter_ref: int = 8_640,
+    power_watts: Optional[float] = None,
+) -> CalibrationResult:
+    """Solve the square 3-point system of Equation (5) exactly."""
+    if len(points) != 3:
+        raise CalibrationError(f"calibrate_exact needs exactly 3 points, got {len(points)}")
+    a = _design_matrix(points)
+    b = np.array([p.total_time for p in points])
+    condition = float(np.linalg.cond(a))
+    if not np.isfinite(condition) or condition > MAX_CONDITION_NUMBER:
+        raise CalibrationError(
+            f"singular/ill-conditioned system (cond={condition:.3g}); choose "
+            "configurations that vary S_io and N_viz independently"
+        )
+    solution = np.linalg.solve(a, b)
+    return _build_result(solution, points, condition, iter_ref, power_watts)
+
+
+def calibrate_least_squares(
+    points: Sequence[CalibrationPoint],
+    iter_ref: int = 8_640,
+    power_watts: Optional[float] = None,
+) -> CalibrationResult:
+    """Fit ``t_sim``, α, β to any number (≥3) of points by least squares."""
+    if len(points) < 3:
+        raise CalibrationError(
+            f"least-squares calibration needs >= 3 points, got {len(points)}"
+        )
+    a = _design_matrix(points)
+    b = np.array([p.total_time for p in points])
+    if np.linalg.matrix_rank(a) < 3:
+        raise CalibrationError(
+            "rank-deficient design matrix; configurations do not separate "
+            "the simulation, I/O and visualization terms"
+        )
+    condition = float(np.linalg.cond(a))
+    solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+    return _build_result(solution, points, condition, iter_ref, power_watts)
+
+
+def points_from_measurements(
+    measurements: Iterable[Measurement], iter_ref: Optional[int] = None
+) -> list[CalibrationPoint]:
+    """Convert measured runs into calibration points.
+
+    ``iter_ref`` defaults to the first measurement's timestep count; other
+    campaign lengths enter through the iteration ratio.
+    """
+    points = []
+    ref: Optional[int] = iter_ref
+    for m in measurements:
+        if ref is None:
+            ref = m.n_timesteps
+        points.append(
+            CalibrationPoint(
+                s_io_gb=m.storage_bytes / 1e9,
+                n_viz=float(m.n_outputs),
+                total_time=m.execution_time,
+                iter_ratio=m.n_timesteps / ref,
+                label=f"{m.pipeline}@{m.sample_interval_hours:g}h",
+            )
+        )
+    if not points:
+        raise CalibrationError("no measurements supplied")
+    return points

@@ -1,0 +1,120 @@
+"""The paper's three hypotheses as executable predicates.
+
+Section II-C states them; Section V tests them; the summary of findings
+scores them.  This module makes that loop a first-class API: given a
+completed :class:`~repro.core.characterization.CharacterizationStudy`,
+:func:`evaluate_hypotheses` returns a verdict (supported / refuted) with the
+quantitative evidence for each:
+
+* **H1** — in-situ reduces the *storage subsystem's* power.  (Refuted: the
+  rack is ~1.3 % power-proportional, so the saving is noise.)
+* **H2** — in-situ reduces *overall energy*.  (Supported: energy tracks the
+  shorter execution time.)
+* **H3** — in-situ *increases overall power* (harnesses trapped capacity).
+  (Refuted: MPI busy-polling keeps post-processing's power up.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.characterization import CharacterizationStudy
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.errors import ConfigurationError
+
+__all__ = ["HypothesisVerdict", "evaluate_hypotheses", "findings_summary"]
+
+#: Effects smaller than this fraction are treated as "no change".
+SIGNIFICANCE = 0.05
+
+
+@dataclass(frozen=True)
+class HypothesisVerdict:
+    """Outcome of testing one hypothesis against measured data."""
+
+    hypothesis: str
+    statement: str
+    supported: bool
+    #: The measured effect size (sign follows the hypothesis's direction).
+    effect: float
+    evidence: str
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        verdict = "SUPPORTED" if self.supported else "REFUTED"
+        return f"{self.hypothesis} [{verdict}] {self.statement} — {self.evidence}"
+
+
+def _mean_over_grid(study: CharacterizationStudy, fn) -> float:
+    values = [fn(h) for h in study.metrics.sample_intervals()]
+    if not values:
+        raise ConfigurationError("the study has no measurements")
+    return sum(values) / len(values)
+
+
+def evaluate_hypotheses(study: CharacterizationStudy) -> list[HypothesisVerdict]:
+    """Test H1-H3 on a completed study; returns the three verdicts in order."""
+    metrics = study.metrics
+
+    def storage_power_drop(hours: float) -> float:
+        insitu = metrics.get(IN_SITU, hours).power_report
+        post = metrics.get(POST_PROCESSING, hours).power_report
+        if insitu is None or post is None:
+            raise ConfigurationError("H1 needs metered runs (power reports missing)")
+        return 1.0 - insitu.average_storage_power / post.average_storage_power
+
+    h1_effect = _mean_over_grid(study, storage_power_drop)
+    h1 = HypothesisVerdict(
+        hypothesis="H1",
+        statement="in-situ reduces the storage subsystem's power",
+        supported=h1_effect > SIGNIFICANCE,
+        effect=h1_effect,
+        evidence=(
+            f"mean storage-power reduction {100 * h1_effect:.2f}% "
+            "(the rack's whole idle-to-full swing is ~1.3%)"
+        ),
+    )
+
+    h2_effect = _mean_over_grid(study, metrics.energy_savings)
+    h2 = HypothesisVerdict(
+        hypothesis="H2",
+        statement="in-situ reduces overall energy",
+        supported=h2_effect > SIGNIFICANCE,
+        effect=h2_effect,
+        evidence=f"mean energy saving {100 * h2_effect:.0f}% across the grid",
+    )
+
+    h3_effect = _mean_over_grid(study, metrics.power_change)
+    h3 = HypothesisVerdict(
+        hypothesis="H3",
+        statement="in-situ increases overall power (harnesses trapped capacity)",
+        supported=h3_effect > SIGNIFICANCE,
+        effect=h3_effect,
+        evidence=f"mean total-power change {100 * h3_effect:+.1f}% (within noise)",
+    )
+    return [h1, h2, h3]
+
+
+def findings_summary(study: CharacterizationStudy) -> str:
+    """The Section V "Summary of Findings" box, regenerated from data."""
+    metrics = study.metrics
+    verdicts = {v.hypothesis: v for v in evaluate_hypotheses(study)}
+    fastest = max(metrics.time_savings(h) for h in metrics.sample_intervals())
+    storage = min(metrics.storage_savings(h) for h in metrics.sample_intervals())
+    lines = [
+        "Summary of findings",
+        f"  Finding 1: in-situ lowers supercomputing time (up to "
+        f"{100 * fastest:.0f}% here) despite running visualization too.",
+        f"  Finding 2: in-situ does not lower storage/data-movement power "
+        f"(H1 {'supported' if verdicts['H1'].supported else 'refuted'}: "
+        f"{100 * verdicts['H1'].effect:+.2f}%).",
+        f"  Finding 3: in-situ does not harness trapped capacity "
+        f"(H3 {'supported' if verdicts['H3'].supported else 'refuted'}: "
+        f"{100 * verdicts['H3'].effect:+.1f}%).",
+        f"  Finding 4: in-situ yields large energy savings "
+        f"(H2 {'supported' if verdicts['H2'].supported else 'refuted'}: "
+        f"mean {100 * verdicts['H2'].effect:.0f}%).",
+        f"  Finding 5: in-situ remains essential against limited storage "
+        f"(>= {100 * storage:.1f}% data reduction at every cadence).",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,200 @@
+"""Per-run measurements and cross-run comparison.
+
+:class:`Measurement` is the record one pipeline run produces — the four
+quantities of the paper's Section V (execution time, average power, energy,
+storage) plus phase breakdowns and artifact counts.  :class:`MetricSet`
+collects measurements across the experiment grid and renders the paper's
+comparisons ("the in-situ pipeline runs 51 % faster, consumes 50 % less
+energy, and occupies 99.5 % less disk space").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.power.report import PowerReport
+from repro.units import format_bytes, format_energy, format_power, format_seconds
+
+__all__ = ["Measurement", "MetricSet", "PhaseTimeline"]
+
+#: Canonical pipeline names.
+IN_SITU = "in-situ"
+POST_PROCESSING = "post-processing"
+
+
+@dataclass
+class PhaseTimeline:
+    """Ordered list of ``(phase, t0, t1)`` records for one run."""
+
+    records: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def add(self, phase: str, t0: float, t1: float) -> None:
+        """Record that ``phase`` ran over ``[t0, t1]``."""
+        if t1 < t0:
+            raise ConfigurationError(f"phase {phase!r} ends before it starts: {t0}..{t1}")
+        self.records.append((phase, t0, t1))
+
+    def total(self, phase: str) -> float:
+        """Total seconds spent in ``phase`` (across all its segments)."""
+        return sum(t1 - t0 for p, t0, t1 in self.records if p == phase)
+
+    def phases(self) -> list[str]:
+        """Distinct phase names in first-appearance order."""
+        seen: list[str] = []
+        for p, _, _ in self.records:
+            if p not in seen:
+                seen.append(p)
+        return seen
+
+    def by_phase(self) -> dict[str, float]:
+        """``{phase: total_seconds}`` over the run."""
+        return {p: self.total(p) for p in self.phases()}
+
+
+@dataclass
+class Measurement:
+    """Everything measured about one pipeline run."""
+
+    pipeline: str
+    sample_interval_hours: float
+    execution_time: float
+    n_timesteps: int
+    #: Bytes committed to permanent storage by this run.
+    storage_bytes: float
+    #: Output *samples* written (image sets for in-situ, raw files for post).
+    n_outputs: int
+    #: Individual images produced (0 until the viz stage has run).
+    n_images: int = 0
+    timeline: PhaseTimeline = field(default_factory=PhaseTimeline)
+    #: Average total power in watts (None when the platform cannot meter).
+    average_power: Optional[float] = None
+    #: Total energy in joules (None when the platform cannot meter).
+    energy: Optional[float] = None
+    power_report: Optional[PowerReport] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.execution_time < 0:
+            raise ConfigurationError(f"negative execution time: {self.execution_time}")
+        if self.sample_interval_hours <= 0:
+            raise ConfigurationError(
+                f"sample interval must be positive: {self.sample_interval_hours}"
+            )
+        if self.storage_bytes < 0:
+            raise ConfigurationError(f"negative storage: {self.storage_bytes}")
+
+    @property
+    def simulation_time(self) -> float:
+        """Seconds in the simulation phase."""
+        return self.timeline.total("simulation")
+
+    @property
+    def io_time(self) -> float:
+        """Seconds in I/O phases (raw writes + image writes + reads)."""
+        return self.timeline.total("io")
+
+    @property
+    def viz_time(self) -> float:
+        """Seconds in visualization phases."""
+        return self.timeline.total("viz")
+
+    @property
+    def storage_gb(self) -> float:
+        """Committed storage in decimal gigabytes."""
+        return self.storage_bytes / 1e9
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        power = format_power(self.average_power) if self.average_power is not None else "n/a"
+        energy = format_energy(self.energy) if self.energy is not None else "n/a"
+        return (
+            f"{self.pipeline:16s} @ {self.sample_interval_hours:5.1f} h: "
+            f"time {format_seconds(self.execution_time):>10s}  power {power:>9s}  "
+            f"energy {energy:>10s}  storage {format_bytes(self.storage_bytes):>10s}  "
+            f"images {self.n_images}"
+        )
+
+
+class MetricSet:
+    """A queryable collection of measurements (one experiment grid)."""
+
+    def __init__(self, measurements: Iterable[Measurement] = ()) -> None:
+        self._measurements: list[Measurement] = list(measurements)
+
+    def add(self, m: Measurement) -> None:
+        """Append a measurement."""
+        self._measurements.append(m)
+
+    def __len__(self) -> int:
+        return len(self._measurements)
+
+    def __iter__(self) -> Iterator[Measurement]:
+        return iter(self._measurements)
+
+    def get(self, pipeline: str, sample_interval_hours: float) -> Measurement:
+        """The unique measurement for a (pipeline, rate) cell."""
+        hits = [
+            m
+            for m in self._measurements
+            if m.pipeline == pipeline
+            and abs(m.sample_interval_hours - sample_interval_hours) < 1e-9
+        ]
+        if not hits:
+            raise ConfigurationError(
+                f"no measurement for ({pipeline!r}, {sample_interval_hours} h)"
+            )
+        if len(hits) > 1:
+            raise ConfigurationError(
+                f"{len(hits)} measurements for ({pipeline!r}, {sample_interval_hours} h)"
+            )
+        return hits[0]
+
+    def pipelines(self) -> list[str]:
+        """Distinct pipeline names present."""
+        return sorted({m.pipeline for m in self._measurements})
+
+    def sample_intervals(self) -> list[float]:
+        """Distinct sampling intervals present, ascending."""
+        return sorted({m.sample_interval_hours for m in self._measurements})
+
+    # ------------------------------------------------------------ comparisons
+
+    def _relative_drop(self, attr: str, interval: float) -> float:
+        post = getattr(self.get(POST_PROCESSING, interval), attr)
+        insitu = getattr(self.get(IN_SITU, interval), attr)
+        if post is None or insitu is None:
+            raise ConfigurationError(f"{attr} unavailable for comparison")
+        if post == 0:
+            raise ConfigurationError(f"zero baseline for {attr}")
+        return 1.0 - insitu / post
+
+    def time_savings(self, interval: float) -> float:
+        """Fractional execution-time reduction of in-situ vs post-processing."""
+        return self._relative_drop("execution_time", interval)
+
+    def energy_savings(self, interval: float) -> float:
+        """Fractional energy reduction of in-situ vs post-processing."""
+        return self._relative_drop("energy", interval)
+
+    def storage_savings(self, interval: float) -> float:
+        """Fractional storage reduction of in-situ vs post-processing."""
+        return self._relative_drop("storage_bytes", interval)
+
+    def power_change(self, interval: float) -> float:
+        """Fractional power change (≈0 is the paper's Finding 3)."""
+        return -self._relative_drop("average_power", interval)
+
+    # -------------------------------------------------------------- rendering
+
+    def table(self) -> str:
+        """Multi-line table across the whole grid, grouped by rate."""
+        lines = []
+        for interval in self.sample_intervals():
+            for pipeline in self.pipelines():
+                try:
+                    lines.append(self.get(pipeline, interval).summary())
+                except ConfigurationError:
+                    continue
+        return "\n".join(lines)

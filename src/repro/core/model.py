@@ -1,0 +1,194 @@
+"""The analytical model of Section VI (Equations 1–7).
+
+Symbols (the paper's Table II):
+
+====================  =========================================================
+``E``                 total energy of the pipeline, ``E = P · t``         (Eq 1)
+``P``                 average power — constant across rates (Fig. 5)
+``t``                 ``t = t_sim + t_io + t_viz``                        (Eq 2)
+``t``                 ``t = t_sim + α·S_io + β·N_viz``                    (Eq 3)
+``t``                 ``t = (iter_any/iter_ref)·t_sim.ref + α·S_io + β·N_viz``
+                                                                          (Eq 4)
+``α``                 seconds to read/write 1 GB (≈6.3 on the paper's rack)
+``β``                 seconds to produce one image set (≈1.2)
+``S_io.any``          ``S_io.ref · rate_any / rate_ref``                  (Eq 6)
+``N_viz.any``         ``N_viz.ref · rate_any / rate_ref``                 (Eq 7)
+====================  =========================================================
+
+Note: the paper's printed "α=1.2, β=6.3" contradicts its own Eq. 5 system
+and prose; solving the printed system gives α≈6.3 s/GB, β≈1.2 s/image, which
+is the assignment used here (see DESIGN.md).
+
+:class:`PerformanceModel` implements Eqs. 1–4; :class:`DataModel` implements
+Eqs. 6–7 for one pipeline given a reference measurement;
+:class:`PipelinePredictor` composes them to answer "what does this pipeline
+cost at any rate and campaign length".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError, ModelError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.metrics import Measurement
+
+__all__ = ["PerformanceModel", "DataModel", "Prediction", "PipelinePredictor"]
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Equations (1)–(4): execution time and energy from (iters, S_io, N_viz)."""
+
+    #: Simulation seconds of the *reference* campaign (603 in the paper).
+    t_sim_ref: float
+    #: Timesteps of the reference campaign (8,640 in the paper).
+    iter_ref: int
+    #: Seconds per GB moved to/from storage (≈6.3).
+    alpha: float
+    #: Seconds per image set produced (≈1.2).
+    beta: float
+    #: Average pipeline power in watts (constant across rates, per Fig. 5).
+    power_watts: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.t_sim_ref < 0:
+            raise ConfigurationError(f"negative t_sim_ref: {self.t_sim_ref}")
+        if self.iter_ref < 1:
+            raise ConfigurationError(f"iter_ref must be >= 1: {self.iter_ref}")
+        if self.alpha < 0 or self.beta < 0:
+            raise ConfigurationError(f"negative cost coefficient: α={self.alpha}, β={self.beta}")
+        if self.power_watts is not None and self.power_watts <= 0:
+            raise ConfigurationError(f"power must be positive: {self.power_watts}")
+
+    def simulation_time(self, iterations: float) -> float:
+        """The first term of Eq. (4): ``(iter_any/iter_ref) · t_sim.ref``."""
+        if iterations < 0:
+            raise ModelError(f"negative iteration count: {iterations}")
+        return iterations / self.iter_ref * self.t_sim_ref
+
+    def execution_time(self, iterations: float, s_io_gb: float, n_viz: float) -> float:
+        """Equation (4)."""
+        if s_io_gb < 0 or n_viz < 0:
+            raise ModelError(f"negative workload: S_io={s_io_gb}, N_viz={n_viz}")
+        return self.simulation_time(iterations) + self.alpha * s_io_gb + self.beta * n_viz
+
+    def energy(self, iterations: float, s_io_gb: float, n_viz: float) -> float:
+        """Equation (1): ``E = P · t`` in joules."""
+        if self.power_watts is None:
+            raise ModelError("energy() requires power_watts")
+        return self.power_watts * self.execution_time(iterations, s_io_gb, n_viz)
+
+
+@dataclass(frozen=True)
+class DataModel:
+    """Equations (6)–(7) for one pipeline, anchored at a reference point.
+
+    A pipeline's output volume and image count both scale linearly with the
+    sampling *rate* (outputs per unit simulated time) and with the campaign
+    length (iteration count).
+    """
+
+    #: Reference sampling interval in simulated hours.
+    interval_hours_ref: float
+    #: Output volume of the reference campaign in GB.
+    s_io_gb_ref: float
+    #: Image sets produced by the reference campaign.
+    n_viz_ref: float
+    #: Timesteps of the reference campaign.
+    iter_ref: int
+
+    def __post_init__(self) -> None:
+        if self.interval_hours_ref <= 0:
+            raise ConfigurationError(
+                f"reference interval must be positive: {self.interval_hours_ref}"
+            )
+        if self.s_io_gb_ref < 0 or self.n_viz_ref < 0:
+            raise ConfigurationError("negative reference volumes")
+        if self.iter_ref < 1:
+            raise ConfigurationError(f"iter_ref must be >= 1: {self.iter_ref}")
+
+    @classmethod
+    def from_measurement(cls, measurement: "Measurement") -> "DataModel":
+        """Anchor the data model at a measured run."""
+        return cls(
+            interval_hours_ref=measurement.sample_interval_hours,
+            s_io_gb_ref=measurement.storage_bytes / 1e9,
+            n_viz_ref=float(measurement.n_outputs),
+            iter_ref=measurement.n_timesteps,
+        )
+
+    def _scale(self, interval_hours: float, iterations: float) -> float:
+        if interval_hours <= 0:
+            raise ModelError(f"sampling interval must be positive: {interval_hours}")
+        if iterations < 0:
+            raise ModelError(f"negative iteration count: {iterations}")
+        rate_ratio = self.interval_hours_ref / interval_hours
+        return rate_ratio * (iterations / self.iter_ref)
+
+    def s_io_gb(self, interval_hours: float, iterations: Optional[float] = None) -> float:
+        """Equation (6), additionally scaled by campaign length."""
+        iters = self.iter_ref if iterations is None else iterations
+        return self.s_io_gb_ref * self._scale(interval_hours, iters)
+
+    def n_viz(self, interval_hours: float, iterations: Optional[float] = None) -> float:
+        """Equation (7), additionally scaled by campaign length."""
+        iters = self.iter_ref if iterations is None else iterations
+        return self.n_viz_ref * self._scale(interval_hours, iters)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Model output for one (pipeline, rate, campaign) query."""
+
+    pipeline: str
+    interval_hours: float
+    iterations: float
+    execution_time: float
+    s_io_gb: float
+    n_viz: float
+    energy: Optional[float] = None
+
+    @property
+    def storage_bytes(self) -> float:
+        """Predicted committed storage in bytes."""
+        return self.s_io_gb * 1e9
+
+
+@dataclass(frozen=True)
+class PipelinePredictor:
+    """A performance model bound to one pipeline's data model."""
+
+    pipeline: str
+    model: PerformanceModel
+    data: DataModel
+
+    def predict(
+        self, interval_hours: float, iterations: Optional[float] = None
+    ) -> Prediction:
+        """Predict time/energy/storage at any rate and campaign length.
+
+        "Using our model, one could estimate the execution time, energy, and
+        storage for any sampling rate and timesteps with data collected from
+        one short run of the simulation." (Section VI)
+        """
+        iters = float(self.model.iter_ref if iterations is None else iterations)
+        s = self.data.s_io_gb(interval_hours, iters)
+        n = self.data.n_viz(interval_hours, iters)
+        t = self.model.execution_time(iters, s, n)
+        e = (
+            self.model.energy(iters, s, n)
+            if self.model.power_watts is not None
+            else None
+        )
+        return Prediction(
+            pipeline=self.pipeline,
+            interval_hours=interval_hours,
+            iterations=iters,
+            execution_time=t,
+            s_io_gb=s,
+            n_viz=n,
+            energy=e,
+        )

@@ -1,0 +1,186 @@
+"""What-if analysis (Section VII, Figures 9 and 10).
+
+Given calibrated :class:`~repro.core.model.PipelinePredictor` objects for the
+two pipelines, :class:`WhatIfAnalyzer` answers the paper's questions:
+
+* *Storage vs. sampling rate* (Fig. 9): how much storage does a 100-year
+  campaign need at each cadence, and what is the finest cadence that fits a
+  storage budget (the paper's "2 TB budget forces post-processing to once
+  every 8 days, while in-situ runs once per day or better")?
+* *Energy vs. sampling rate* (Fig. 10): what energy does each pipeline need
+  at each cadence, and how much does in-situ save (67.2 % at hourly
+  sampling, 49 % at 12-hourly, 38 % at daily)?
+
+All sweeps return plain rows so benches can print them paper-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.model import PipelinePredictor, Prediction
+from repro.errors import ConfigurationError, ModelError
+from repro.units import HOUR
+
+__all__ = ["SweepRow", "WhatIfAnalyzer"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One cadence in a sweep: predictions for both pipelines."""
+
+    interval_hours: float
+    insitu: Prediction
+    post: Prediction
+
+    def storage_savings(self) -> float:
+        """Fractional storage reduction of in-situ at this cadence."""
+        if self.post.s_io_gb == 0:
+            raise ModelError("post-processing storage is zero; no baseline")
+        return 1.0 - self.insitu.s_io_gb / self.post.s_io_gb
+
+    def energy_savings(self) -> float:
+        """Fractional energy reduction of in-situ at this cadence."""
+        if self.post.energy is None or self.insitu.energy is None:
+            raise ModelError("predictors lack power; energy unavailable")
+        if self.post.energy == 0:
+            raise ModelError("post-processing energy is zero; no baseline")
+        return 1.0 - self.insitu.energy / self.post.energy
+
+    def time_savings(self) -> float:
+        """Fractional execution-time reduction of in-situ at this cadence."""
+        if self.post.execution_time == 0:
+            raise ModelError("post-processing time is zero; no baseline")
+        return 1.0 - self.insitu.execution_time / self.post.execution_time
+
+
+class WhatIfAnalyzer:
+    """Sweeps and budget inversions over the calibrated models."""
+
+    def __init__(
+        self,
+        insitu: PipelinePredictor,
+        post: PipelinePredictor,
+        timestep_seconds: float = 1_800.0,
+    ) -> None:
+        if timestep_seconds <= 0:
+            raise ConfigurationError(f"timestep must be positive: {timestep_seconds}")
+        self.insitu = insitu
+        self.post = post
+        self.timestep_seconds = float(timestep_seconds)
+
+    def iterations_for(self, duration_seconds: float) -> float:
+        """Timesteps of a campaign of ``duration_seconds`` simulated time."""
+        if duration_seconds <= 0:
+            raise ModelError(f"duration must be positive: {duration_seconds}")
+        return duration_seconds / self.timestep_seconds
+
+    # ----------------------------------------------------------------- sweeps
+
+    def sweep(
+        self, intervals_hours: Sequence[float], duration_seconds: Optional[float] = None
+    ) -> list[SweepRow]:
+        """Predict both pipelines at each cadence for a campaign length."""
+        iters = (
+            None if duration_seconds is None else self.iterations_for(duration_seconds)
+        )
+        rows = []
+        for h in intervals_hours:
+            rows.append(
+                SweepRow(
+                    interval_hours=h,
+                    insitu=self.insitu.predict(h, iters),
+                    post=self.post.predict(h, iters),
+                )
+            )
+        return rows
+
+    def storage_vs_rate(
+        self, intervals_hours: Sequence[float], duration_seconds: float
+    ) -> list[tuple[float, float, float]]:
+        """Fig. 9 rows: ``(interval_hours, insitu_gb, post_gb)``."""
+        return [
+            (r.interval_hours, r.insitu.s_io_gb, r.post.s_io_gb)
+            for r in self.sweep(intervals_hours, duration_seconds)
+        ]
+
+    def energy_vs_rate(
+        self, intervals_hours: Sequence[float], duration_seconds: float
+    ) -> list[tuple[float, float, float]]:
+        """Fig. 10 rows: ``(interval_hours, insitu_joules, post_joules)``."""
+        rows = []
+        for r in self.sweep(intervals_hours, duration_seconds):
+            if r.insitu.energy is None or r.post.energy is None:
+                raise ModelError("predictors lack power; energy sweep unavailable")
+            rows.append((r.interval_hours, r.insitu.energy, r.post.energy))
+        return rows
+
+    def energy_savings(self, interval_hours: float, duration_seconds: float) -> float:
+        """In-situ energy savings fraction at one cadence (Fig. 10 callouts)."""
+        (row,) = self.sweep([interval_hours], duration_seconds)
+        return row.energy_savings()
+
+    # ------------------------------------------------------------- inversions
+
+    def finest_interval_for_storage(
+        self, pipeline: str, budget_gb: float, duration_seconds: float
+    ) -> float:
+        """Smallest sampling interval (hours) whose storage fits ``budget_gb``.
+
+        Inverts Eq. (6): storage scales as ``1/interval``, so the finest
+        feasible cadence is where predicted storage equals the budget.
+        """
+        if budget_gb <= 0:
+            raise ModelError(f"storage budget must be positive: {budget_gb}")
+        predictor = self._predictor(pipeline)
+        iters = self.iterations_for(duration_seconds)
+        # storage(h) = s_ref * (h_ref / h) * iter_scale  =>  h = h_ref * s(h_ref) / budget
+        ref_h = predictor.data.interval_hours_ref
+        s_at_ref = predictor.data.s_io_gb(ref_h, iters)
+        if s_at_ref == 0:
+            # A pipeline that writes nothing fits any budget at any cadence.
+            return self.timestep_seconds / HOUR
+        return max(ref_h * s_at_ref / budget_gb, self.timestep_seconds / HOUR)
+
+    def finest_interval_for_energy(
+        self, pipeline: str, budget_joules: float, duration_seconds: float
+    ) -> float:
+        """Smallest sampling interval (hours) whose energy fits the budget.
+
+        Inverts Eqs. (1)+(4): ``E(h) = P·(t_sim + c/h)`` with
+        ``c = α·S_ref·h_ref·scale + β·N_ref·h_ref·scale``.
+        """
+        if budget_joules <= 0:
+            raise ModelError(f"energy budget must be positive: {budget_joules}")
+        predictor = self._predictor(pipeline)
+        model = predictor.model
+        if model.power_watts is None:
+            raise ModelError("predictor lacks power; energy inversion unavailable")
+        iters = self.iterations_for(duration_seconds)
+        floor_j = model.power_watts * model.simulation_time(iters)
+        if budget_joules <= floor_j:
+            raise ModelError(
+                f"energy budget {budget_joules:.3e} J below the simulation floor "
+                f"{floor_j:.3e} J — no cadence can satisfy it"
+            )
+        ref_h = predictor.data.interval_hours_ref
+        variable_at_ref = (
+            model.alpha * predictor.data.s_io_gb(ref_h, iters)
+            + model.beta * predictor.data.n_viz(ref_h, iters)
+        )
+        if variable_at_ref == 0:
+            return self.timestep_seconds / HOUR
+        budget_var_s = budget_joules / model.power_watts - model.simulation_time(iters)
+        return max(
+            ref_h * variable_at_ref / budget_var_s, self.timestep_seconds / HOUR
+        )
+
+    def _predictor(self, pipeline: str) -> PipelinePredictor:
+        for p in (self.insitu, self.post):
+            if p.pipeline == pipeline:
+                return p
+        raise ConfigurationError(
+            f"unknown pipeline {pipeline!r}; have {self.insitu.pipeline!r} "
+            f"and {self.post.pipeline!r}"
+        )

@@ -1,0 +1,71 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "ResourceError",
+    "StorageError",
+    "StorageFullError",
+    "FileFormatError",
+    "CalibrationError",
+    "ModelError",
+    "PipelineError",
+    "MeterError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with inconsistent or out-of-range parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class ResourceError(SimulationError):
+    """Misuse of a simulated resource (double release, negative request...)."""
+
+
+class StorageError(ReproError):
+    """A simulated storage operation failed."""
+
+
+class StorageFullError(StorageError):
+    """A write would exceed the capacity of the storage cluster."""
+
+
+class FileFormatError(ReproError):
+    """An nclite container or PNG stream is malformed."""
+
+
+class CalibrationError(ReproError):
+    """The model calibration system is singular or ill-conditioned."""
+
+
+class ModelError(ReproError):
+    """A model query was made outside the model's domain of validity."""
+
+
+class PipelineError(ReproError):
+    """A visualization pipeline was driven through an invalid sequence."""
+
+
+class MeterError(ReproError):
+    """A power meter was sampled outside the recorded window."""

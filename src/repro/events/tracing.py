@@ -1,0 +1,128 @@
+"""Event tracing for the discrete-event engine.
+
+Wraps a :class:`~repro.events.engine.Simulator` so every processed event is
+recorded as a :class:`TraceRecord`.  Used when debugging workflow
+orchestration ("why did the staging partition stall at t=812?") and by
+tests that assert on causal ordering.  Tracing is strictly observational:
+it never changes event order or timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.events.engine import Event, Process, Simulator, Timeout
+
+__all__ = ["TraceRecord", "EventTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One processed event."""
+
+    index: int
+    time: float
+    kind: str
+    ok: bool
+    name: str = ""
+
+    def __str__(self) -> str:
+        status = "" if self.ok else " FAILED"
+        label = f" {self.name}" if self.name else ""
+        return f"[{self.index:>6d}] t={self.time:<12.4f} {self.kind}{label}{status}"
+
+
+class EventTracer:
+    """Records every event a simulator processes.
+
+    Usage::
+
+        sim = Simulator()
+        tracer = EventTracer(sim)
+        ... run ...
+        print(tracer.summary())
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.predicate = predicate
+        self.records: list[TraceRecord] = []
+        self._dropped = 0
+        self._counter = 0
+        self._original_step = sim.step
+        sim.step = self._traced_step  # type: ignore[method-assign]
+
+    def _classify(self, event: Event) -> tuple[str, str]:
+        if isinstance(event, Process):
+            return ("process-end", event.name)
+        if isinstance(event, Timeout):
+            return ("timeout", "")
+        return (type(event).__name__.lower(), "")
+
+    def _traced_step(self) -> None:
+        # Peek at the event about to be processed.
+        _, _, event = self.sim._heap[0] if self.sim._heap else (0, 0, None)
+        self._original_step()
+        if event is None:
+            return
+        kind, name = self._classify(event)
+        record = TraceRecord(
+            index=self._counter,
+            time=self.sim.now,
+            kind=kind,
+            ok=event.ok if event.triggered else True,
+            name=name,
+        )
+        self._counter += 1
+        if self.predicate is not None and not self.predicate(record):
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.records.pop(0)
+            self._dropped += 1
+        self.records.append(record)
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def n_processed(self) -> int:
+        """Total events processed while tracing."""
+        return self._counter
+
+    @property
+    def n_dropped(self) -> int:
+        """Records evicted by the capacity ring."""
+        return self._dropped
+
+    def by_kind(self) -> dict[str, int]:
+        """Histogram of recorded event kinds."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    def between(self, t0: float, t1: float) -> list[TraceRecord]:
+        """Records with ``t0 <= time <= t1``."""
+        return [r for r in self.records if t0 <= r.time <= t1]
+
+    def summary(self, last: int = 10) -> str:
+        """Human-readable tail of the trace."""
+        lines = [
+            f"{self._counter} events processed, {len(self.records)} recorded"
+            + (f" ({self._dropped} dropped)" if self._dropped else "")
+        ]
+        lines += [str(r) for r in self.records[-last:]]
+        return "\n".join(lines)
+
+    def detach(self) -> None:
+        """Stop tracing; the simulator's original ``step`` is restored."""
+        self.sim.step = self._original_step  # type: ignore[method-assign]

@@ -1,0 +1,23 @@
+"""I/O substrate: the netCDF / PIO stand-in.
+
+* :mod:`repro.io.ncformat` — "nclite", a minimal self-describing binary
+  array container (named dimensions, typed variables, attributes) with exact
+  size accounting, standing in for (parallel) netCDF.
+* :mod:`repro.io.pio` — a PIO-style aggregating writer: compute ranks funnel
+  their blocks to a subset of I/O aggregator ranks, which stream to the
+  filesystem.  Backends write either to a real directory or through the
+  simulated Lustre cluster.
+"""
+
+from repro.io.ncformat import NcliteFile, nclite_nbytes, read_nclite, write_nclite
+from repro.io.pio import PIOWriter, RealIOBackend, SimulatedIOBackend
+
+__all__ = [
+    "NcliteFile",
+    "PIOWriter",
+    "RealIOBackend",
+    "SimulatedIOBackend",
+    "nclite_nbytes",
+    "read_nclite",
+    "write_nclite",
+]

@@ -1,0 +1,217 @@
+"""nclite — a minimal self-describing array container.
+
+Stand-in for the netCDF files the paper's post-processing pipeline writes.
+On-disk layout::
+
+    magic   b"NCL1"
+    u32     header length (JSON, UTF-8)
+    bytes   header JSON: {"dims": {...}, "attrs": {...},
+                          "vars": [{"name", "dtype", "dims", "attrs", "nbytes"}]}
+    bytes   variable payloads, concatenated in header order (C-order)
+
+Variables reference named dimensions, netCDF-style; shapes are validated
+against the dimension table on write and reconstructed on read.
+:func:`nclite_nbytes` computes the exact serialized size without
+serializing — the simulated platform uses it to account I/O volume.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import BinaryIO, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FileFormatError
+
+__all__ = ["NcliteFile", "write_nclite", "read_nclite", "nclite_nbytes"]
+
+_MAGIC = b"NCL1"
+_SUPPORTED_DTYPES = {"float64", "float32", "int64", "int32", "int16", "uint8"}
+
+
+@dataclass
+class NcliteFile:
+    """An in-memory nclite dataset: dimensions, variables, attributes."""
+
+    dims: dict[str, int] = field(default_factory=dict)
+    variables: dict[str, np.ndarray] = field(default_factory=dict)
+    var_dims: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    attrs: dict[str, object] = field(default_factory=dict)
+    var_attrs: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    def add_dim(self, name: str, size: int) -> None:
+        """Declare a named dimension."""
+        if not name:
+            raise ConfigurationError("dimension name must be non-empty")
+        if size < 1:
+            raise ConfigurationError(f"dimension {name!r} must have size >= 1, got {size}")
+        if name in self.dims and self.dims[name] != size:
+            raise ConfigurationError(
+                f"dimension {name!r} redefined: {self.dims[name]} -> {size}"
+            )
+        self.dims[name] = int(size)
+
+    def add_variable(
+        self,
+        name: str,
+        data: np.ndarray,
+        dims: tuple[str, ...],
+        attrs: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Add a variable over previously declared dimensions."""
+        if not name:
+            raise ConfigurationError("variable name must be non-empty")
+        if name in self.variables:
+            raise ConfigurationError(f"variable {name!r} already present")
+        data = np.ascontiguousarray(data)
+        if str(data.dtype) not in _SUPPORTED_DTYPES:
+            raise ConfigurationError(f"unsupported dtype {data.dtype} for {name!r}")
+        if len(dims) != data.ndim:
+            raise ConfigurationError(
+                f"{name!r}: {len(dims)} dims declared for a {data.ndim}-D array"
+            )
+        for d, size in zip(dims, data.shape):
+            if d not in self.dims:
+                raise ConfigurationError(f"{name!r} references undeclared dimension {d!r}")
+            if self.dims[d] != size:
+                raise ConfigurationError(
+                    f"{name!r}: axis {d!r} has size {size}, dimension is {self.dims[d]}"
+                )
+        self.variables[name] = data
+        self.var_dims[name] = tuple(dims)
+        self.var_attrs[name] = dict(attrs or {})
+
+    def nbytes(self) -> int:
+        """Exact serialized size of this dataset in bytes."""
+        return len(_MAGIC) + 4 + len(self._header_bytes()) + sum(
+            v.nbytes for v in self.variables.values()
+        )
+
+    # -------------------------------------------------------------- internals
+
+    def _header_bytes(self) -> bytes:
+        header = {
+            "dims": self.dims,
+            "attrs": self.attrs,
+            "vars": [
+                {
+                    "name": name,
+                    "dtype": str(arr.dtype),
+                    "dims": list(self.var_dims[name]),
+                    "attrs": self.var_attrs.get(name, {}),
+                    "nbytes": arr.nbytes,
+                }
+                for name, arr in self.variables.items()
+            ],
+        }
+        return json.dumps(header, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+    def write(self, target: Union[str, BinaryIO]) -> int:
+        """Serialize to a path or binary file object; returns bytes written."""
+        header = self._header_bytes()
+        if isinstance(target, str):
+            fh: BinaryIO = open(target, "wb")
+            close = True
+        else:
+            fh, close = target, False
+        try:
+            n = fh.write(_MAGIC)
+            n += fh.write(struct.pack(">I", len(header)))
+            n += fh.write(header)
+            for arr in self.variables.values():
+                n += fh.write(arr.tobytes())
+            return n
+        finally:
+            if close:
+                fh.close()
+
+    @classmethod
+    def read(cls, source: Union[str, bytes, BinaryIO]) -> "NcliteFile":
+        """Deserialize from a path, byte string, or binary file object."""
+        if isinstance(source, str):
+            with open(source, "rb") as fh:
+                return cls.read(fh.read())
+        if isinstance(source, (bytes, bytearray)):
+            buf: BinaryIO = _io.BytesIO(source)
+        else:
+            buf = source
+        magic = buf.read(4)
+        if magic != _MAGIC:
+            raise FileFormatError(f"bad nclite magic {magic!r}")
+        raw_len = buf.read(4)
+        if len(raw_len) != 4:
+            raise FileFormatError("truncated nclite header length")
+        (header_len,) = struct.unpack(">I", raw_len)
+        header_raw = buf.read(header_len)
+        if len(header_raw) != header_len:
+            raise FileFormatError("truncated nclite header")
+        try:
+            header = json.loads(header_raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FileFormatError(f"corrupt nclite header: {exc}") from exc
+        out = cls(dims=dict(header["dims"]), attrs=dict(header.get("attrs", {})))
+        for rec in header["vars"]:
+            dtype = rec["dtype"]
+            if dtype not in _SUPPORTED_DTYPES:
+                raise FileFormatError(f"unsupported dtype {dtype!r} in file")
+            shape = tuple(out.dims[d] for d in rec["dims"])
+            payload = buf.read(rec["nbytes"])
+            if len(payload) != rec["nbytes"]:
+                raise FileFormatError(f"truncated payload for variable {rec['name']!r}")
+            arr = np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+            out.variables[rec["name"]] = arr
+            out.var_dims[rec["name"]] = tuple(rec["dims"])
+            out.var_attrs[rec["name"]] = dict(rec.get("attrs", {}))
+        return out
+
+
+def write_nclite(
+    path: str,
+    fields: Mapping[str, np.ndarray],
+    attrs: Optional[Mapping[str, object]] = None,
+) -> int:
+    """Convenience: write 2-D ``(y, x)`` fields sharing one grid; returns bytes.
+
+    All fields must share a shape; dimensions are named ``y`` and ``x``.
+    """
+    ds = _dataset_from_fields(fields, attrs)
+    return ds.write(path)
+
+
+def _dataset_from_fields(
+    fields: Mapping[str, np.ndarray], attrs: Optional[Mapping[str, object]] = None
+) -> NcliteFile:
+    if not fields:
+        raise ConfigurationError("write_nclite with no fields")
+    ds = NcliteFile(attrs=dict(attrs or {}))
+    shape = None
+    for name, arr in fields.items():
+        arr = np.asarray(arr)
+        if arr.ndim != 2:
+            raise ConfigurationError(f"field {name!r} must be 2-D, got {arr.shape}")
+        if shape is None:
+            shape = arr.shape
+            ds.add_dim("y", shape[0])
+            ds.add_dim("x", shape[1])
+        elif arr.shape != shape:
+            raise ConfigurationError(
+                f"field {name!r} shape {arr.shape} differs from {shape}"
+            )
+        ds.add_variable(name, arr.astype(np.float64, copy=False), ("y", "x"))
+    return ds
+
+
+def read_nclite(path: str) -> dict[str, np.ndarray]:
+    """Convenience: read back the variables of an nclite file."""
+    return dict(NcliteFile.read(path).variables)
+
+
+def nclite_nbytes(
+    fields: Mapping[str, np.ndarray], attrs: Optional[Mapping[str, object]] = None
+) -> int:
+    """Exact serialized size of :func:`write_nclite` output, without writing."""
+    return _dataset_from_fields(fields, attrs).nbytes()

@@ -1,0 +1,137 @@
+"""Physical diagnostics for the mini ocean model.
+
+Used by tests and examples to check the solver behaves like 2-D turbulence
+(the regime that makes the Okubo-Weiss analysis meaningful) and by the
+monitoring use case of Section II-B — "enable scientists to quickly identify
+incorrect initial conditions in a simulation and abandon these incorrect
+simulations early on":
+
+* :func:`energy_spectrum` — isotropic kinetic-energy spectrum E(k);
+* :func:`spectral_slope` — fitted inertial-range slope (≈ -3 for the
+  enstrophy cascade);
+* :class:`SimulationMonitor` — per-step invariant watchdog that flags NaNs,
+  energy blow-ups and CFL violations, the in-situ "abandon early" hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ocean.barotropic import BarotropicSolver
+
+__all__ = ["energy_spectrum", "spectral_slope", "HealthReport", "SimulationMonitor"]
+
+
+def energy_spectrum(solver: BarotropicSolver) -> tuple[np.ndarray, np.ndarray]:
+    """Isotropic kinetic-energy spectrum ``(k, E(k))``.
+
+    ``k`` is the integer wavenumber magnitude in box units; ``E`` integrates
+    to the domain-mean kinetic energy (Parseval, up to binning).
+    """
+    g = solver.grid
+    u, v = solver.velocity()
+    u_hat = np.fft.rfft2(u) / (g.nx * g.ny)
+    v_hat = np.fft.rfft2(v) / (g.nx * g.ny)
+    # rfft stores half the spectrum: double the interior columns.
+    weight = np.full(u_hat.shape, 2.0)
+    weight[:, 0] = 1.0
+    if g.nx % 2 == 0:
+        weight[:, -1] = 1.0
+    energy_density = 0.5 * weight * (np.abs(u_hat) ** 2 + np.abs(v_hat) ** 2)
+    k0 = 2.0 * np.pi / g.length_m
+    kmag = np.sqrt(g.k2) / k0
+    bins = np.arange(0.5, kmag.max() + 1.0)
+    which = np.digitize(kmag.ravel(), bins)
+    spectrum = np.bincount(which, weights=energy_density.ravel())
+    k = np.arange(spectrum.size, dtype=float)
+    return k[1:], spectrum[1:]
+
+
+def spectral_slope(
+    solver: BarotropicSolver, k_lo: float = 8.0, k_hi: Optional[float] = None
+) -> float:
+    """Log-log slope of E(k) over the inertial range ``[k_lo, k_hi]``."""
+    if k_lo <= 0:
+        raise ConfigurationError(f"k_lo must be positive: {k_lo}")
+    k, e = energy_spectrum(solver)
+    hi = k_hi if k_hi is not None else (2.0 / 3.0) * k.max()
+    if hi <= k_lo:
+        raise ConfigurationError(f"empty fit range [{k_lo}, {hi}]")
+    mask = (k >= k_lo) & (k <= hi) & (e > 0)
+    if mask.sum() < 3:
+        raise ConfigurationError("too few spectral bins in the fit range")
+    slope, _ = np.polyfit(np.log(k[mask]), np.log(e[mask]), 1)
+    return float(slope)
+
+
+@dataclass
+class HealthReport:
+    """Outcome of one monitor check."""
+
+    step: int
+    time: float
+    kinetic_energy: float
+    enstrophy: float
+    cfl: float
+    healthy: bool
+    reason: str = ""
+
+
+@dataclass
+class SimulationMonitor:
+    """In-situ watchdog: catch a diverging run before it wastes machine time.
+
+    The Section II-B monitoring use case.  ``check`` is cheap (a few
+    reductions) and is meant to be called from a Catalyst hook.
+    """
+
+    #: Abort if kinetic energy grows beyond this multiple of the first check.
+    max_energy_growth: float = 4.0
+    #: Abort if the advective CFL number exceeds this.
+    max_cfl: float = 1.0
+    history: list[HealthReport] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.max_energy_growth <= 1.0:
+            raise ConfigurationError(
+                f"energy-growth bound must exceed 1: {self.max_energy_growth}"
+            )
+        if self.max_cfl <= 0:
+            raise ConfigurationError(f"CFL bound must be positive: {self.max_cfl}")
+
+    def check(self, solver: BarotropicSolver, dt: float) -> HealthReport:
+        """Inspect the solver state; appends and returns a report."""
+        ke = solver.kinetic_energy()
+        ens = solver.enstrophy()
+        cfl = solver.cfl_number(dt)
+        healthy = True
+        reason = ""
+        if not np.isfinite(ke) or not np.isfinite(ens):
+            healthy, reason = False, "non-finite state"
+        elif self.history and ke > self.max_energy_growth * self.history[0].kinetic_energy:
+            healthy, reason = False, (
+                f"energy grew {ke / self.history[0].kinetic_energy:.1f}x "
+                f"(bound {self.max_energy_growth:g}x)"
+            )
+        elif cfl > self.max_cfl:
+            healthy, reason = False, f"CFL {cfl:.2f} > {self.max_cfl:g}"
+        report = HealthReport(
+            step=solver.step_count,
+            time=solver.time,
+            kinetic_energy=ke,
+            enstrophy=ens,
+            cfl=cfl,
+            healthy=healthy,
+            reason=reason,
+        )
+        self.history.append(report)
+        return report
+
+    @property
+    def ever_unhealthy(self) -> bool:
+        """True if any check failed (the abandon-early signal)."""
+        return any(not r.healthy for r in self.history)

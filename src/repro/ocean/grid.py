@@ -1,0 +1,137 @@
+"""Grids for the mini ocean model.
+
+* :class:`SpectralGrid` — the doubly periodic Fourier grid the runnable
+  solver lives on: wavenumber arrays, spectral derivative operators and the
+  2/3-rule dealiasing mask, all precomputed.
+* :func:`icosahedral_cell_count` — the cell count of an MPAS-style
+  quasi-uniform icosahedral mesh at a given nominal resolution, used by the
+  campaign-scale configuration (the paper's 60 km mesh → 163,842 cells).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SpectralGrid", "icosahedral_cell_count", "EARTH_RADIUS_M"]
+
+#: Mean Earth radius in meters.
+EARTH_RADIUS_M = 6.371e6
+
+
+def icosahedral_cell_count(resolution_km: float) -> int:
+    """Cell count of the quasi-uniform icosahedral mesh nearest ``resolution_km``.
+
+    MPAS quasi-uniform meshes are recursively refined icosahedra with
+    ``10 * 4**n + 2`` cells at refinement level ``n``.  We pick the level
+    whose mean cell spacing best matches the requested nominal resolution
+    (hexagonal cells of area ``sqrt(3)/2 * d**2``).  At 60 km this yields
+    163,842 cells — the paper's grid.
+    """
+    if resolution_km <= 0:
+        raise ConfigurationError(f"resolution must be positive, got {resolution_km}")
+    surface = 4.0 * math.pi * EARTH_RADIUS_M**2
+    target = surface / (math.sqrt(3.0) / 2.0 * (resolution_km * 1e3) ** 2)
+    best_n = max(0, round(math.log(max(target - 2, 10) / 10.0, 4)))
+    return 10 * 4**best_n + 2
+
+
+class SpectralGrid:
+    """A doubly periodic ``ny x nx`` grid with precomputed spectral operators.
+
+    Arrays follow the ``(y, x)`` index convention.  Wavenumber arrays are
+    shaped for broadcasting against ``rfft2`` output (``ny x (nx//2 + 1)``).
+    """
+
+    def __init__(self, nx: int, ny: int, length_m: float = 2.0e6) -> None:
+        if nx < 8 or ny < 8:
+            raise ConfigurationError(f"grid too small for dealiasing: {nx}x{ny}")
+        if nx % 2 or ny % 2:
+            raise ConfigurationError(f"grid dims must be even, got {nx}x{ny}")
+        if length_m <= 0:
+            raise ConfigurationError(f"domain length must be positive: {length_m}")
+        self.nx = nx
+        self.ny = ny
+        self.length_m = float(length_m)
+        self.dx = self.length_m / nx
+        self.dy = self.length_m / ny
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Physical-space array shape ``(ny, nx)``."""
+        return (self.ny, self.nx)
+
+    @property
+    def n_cells(self) -> int:
+        """Total cell count."""
+        return self.nx * self.ny
+
+    @cached_property
+    def kx(self) -> np.ndarray:
+        """x-wavenumbers (rad/m), broadcast shape ``(1, nx//2+1)``."""
+        return (2.0 * np.pi * np.fft.rfftfreq(self.nx, d=self.dx))[None, :]
+
+    @cached_property
+    def ky(self) -> np.ndarray:
+        """y-wavenumbers (rad/m), broadcast shape ``(ny, 1)``."""
+        return (2.0 * np.pi * np.fft.fftfreq(self.ny, d=self.dy))[:, None]
+
+    @cached_property
+    def k2(self) -> np.ndarray:
+        """``kx² + ky²`` on the rfft grid."""
+        return self.kx**2 + self.ky**2
+
+    @cached_property
+    def inv_k2(self) -> np.ndarray:
+        """``1 / k²`` with the mean mode zeroed (for Poisson inversion)."""
+        k2 = self.k2.copy()
+        k2[0, 0] = 1.0
+        out = 1.0 / k2
+        out[0, 0] = 0.0
+        return out
+
+    @cached_property
+    def dealias_mask(self) -> np.ndarray:
+        """Boolean 2/3-rule mask on the rfft grid."""
+        kx_max = (2.0 * np.pi / self.dx) / 2.0
+        ky_max = (2.0 * np.pi / self.dy) / 2.0
+        return (np.abs(self.kx) <= (2.0 / 3.0) * kx_max) & (
+            np.abs(self.ky) <= (2.0 / 3.0) * ky_max
+        )
+
+    # ----------------------------------------------------------- transforms
+
+    def to_spectral(self, field: np.ndarray) -> np.ndarray:
+        """Forward real FFT of a physical field."""
+        if field.shape != self.shape:
+            raise ConfigurationError(f"field shape {field.shape} != grid {self.shape}")
+        return np.fft.rfft2(field)
+
+    def to_physical(self, spec: np.ndarray) -> np.ndarray:
+        """Inverse real FFT back to physical space."""
+        return np.fft.irfft2(spec, s=self.shape)
+
+    def ddx(self, spec: np.ndarray) -> np.ndarray:
+        """Spectral x-derivative (returns spectral array)."""
+        return 1j * self.kx * spec
+
+    def ddy(self, spec: np.ndarray) -> np.ndarray:
+        """Spectral y-derivative (returns spectral array)."""
+        return 1j * self.ky * spec
+
+    def laplacian(self, spec: np.ndarray) -> np.ndarray:
+        """Spectral Laplacian."""
+        return -self.k2 * spec
+
+    def coordinates(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cell-center coordinate meshes ``(X, Y)`` in meters."""
+        x = (np.arange(self.nx) + 0.5) * self.dx
+        y = (np.arange(self.ny) + 0.5) * self.dy
+        return np.meshgrid(x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SpectralGrid {self.nx}x{self.ny}, L={self.length_m / 1e3:.0f} km>"

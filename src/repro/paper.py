@@ -1,0 +1,79 @@
+"""Constants and expected values transcribed from the paper.
+
+Benchmarks import these to print paper-vs-measured comparisons.  Nothing in
+the library's *computation* depends on this module — it is ground truth for
+validation only.
+"""
+
+from __future__ import annotations
+
+from repro.units import TB
+
+# ---------------------------------------------------------------- Section IV
+#: Compute cluster ("Caddy"): nodes, cores, cages.
+CADDY_NODES = 150
+CADDY_CORES = 2_400
+CADDY_CAGES = 15
+
+#: Storage cluster: capacity and measured aggregate random R/W bandwidth.
+STORAGE_CAPACITY_BYTES = 7.7 * TB
+STORAGE_BANDWIDTH_BYTES_PER_S = 160e6
+
+#: Reference campaign: 60 km grid, 6 simulated months, 30-minute timesteps.
+GRID_RESOLUTION_KM = 60.0
+TIMESTEP_SECONDS = 1_800.0
+CAMPAIGN_TIMESTEPS = 8_640
+
+#: The three measured sampling cadences (simulated hours between outputs).
+SAMPLING_INTERVALS_HOURS = (8.0, 24.0, 72.0)
+
+# ----------------------------------------------------------------- Section V
+#: Measured execution-time savings of in-situ vs post-processing (Fig. 3).
+TIME_SAVINGS = {8.0: 0.51, 24.0: 0.38, 72.0: 0.19}
+#: Measured energy savings (Fig. 6) — identical, because power is flat.
+ENERGY_SAVINGS = {8.0: 0.50, 24.0: 0.38, 72.0: 0.19}
+
+#: Post-processing storage requirements in GB (Fig. 7).
+POST_STORAGE_GB = {8.0: 230.0, 24.0: 80.0, 72.0: 27.0}
+#: In-situ storage stays under 1 GB at every cadence (Fig. 7).
+INSITU_STORAGE_GB_MAX = 1.0
+#: Data-size reduction observed in all configurations (Fig. 7).
+STORAGE_REDUCTION_MIN = 0.995
+
+#: Storage rack power: idle and full-load (Section V, "Power").
+STORAGE_IDLE_W = 2_273.0
+STORAGE_FULL_W = 2_302.0
+STORAGE_PROPORTIONALITY = 0.013  # the quoted 1.3 % increase
+
+#: Compute cluster power: idle and loaded (Section V, "Power").
+COMPUTE_IDLE_W = 15_000.0
+COMPUTE_LOADED_W = 44_000.0
+COMPUTE_DYNAMIC_RANGE = 1.93  # the quoted 193 % increase
+
+# ---------------------------------------------------------------- Section VI
+#: Equation (5): the three training configurations (S_io GB, N_viz, seconds).
+EQ5_SYSTEM = (
+    (0.1, 60, 676.0),     # in-situ, every 72 h
+    (0.6, 540, 1_261.0),  # in-situ, every 8 h
+    (80.0, 180, 1_322.0),  # post-processing, every 24 h
+)
+#: Equation (5) solution (with the algebraically consistent α/β assignment:
+#: α = s/GB, β = s/image; see DESIGN.md).
+EQ5_T_SIM = 603.0
+EQ5_ALPHA_S_PER_GB = 6.3
+EQ5_BETA_S_PER_IMAGE = 1.2
+#: Quoted model accuracy on the held-out configurations (Fig. 8).
+MODEL_MAX_ERROR = 0.005
+
+#: Output counts per cadence for the 6-month campaign.
+N_OUTPUTS = {8.0: 540, 24.0: 180, 72.0: 60}
+
+# --------------------------------------------------------------- Section VII
+#: The what-if campaign length: 100 simulated years.
+WHATIF_YEARS = 100.0
+#: Reasonable per-user storage reservation assumed in Fig. 9.
+WHATIF_STORAGE_BUDGET_GB = 2_000.0
+#: Fig. 9: post-processing is forced to one output per ~8 days at that budget.
+WHATIF_POST_FORCED_INTERVAL_DAYS = 8.0
+#: Fig. 10 callouts: in-situ energy savings at 1 h / 12 h / 24 h cadences.
+WHATIF_ENERGY_SAVINGS = {1.0: 0.672, 12.0: 0.49, 24.0: 0.38}

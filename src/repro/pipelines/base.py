@@ -1,0 +1,82 @@
+"""Pipeline abstractions shared by both workflows."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.core.metrics import Measurement, PhaseTimeline
+from repro.errors import ConfigurationError
+from repro.ocean.driver import MPASOceanConfig
+from repro.pipelines.sampling import SamplingPolicy
+from repro.viz.render import ImageSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipelines.platform import RealPlatform, SimulatedPlatform
+
+__all__ = ["PipelineSpec", "Pipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """What to run: campaign configuration, cadence and image parameters."""
+
+    ocean: MPASOceanConfig = field(default_factory=MPASOceanConfig)
+    sampling: SamplingPolicy = field(default_factory=lambda: SamplingPolicy(24.0))
+    images: ImageSpec = field(default_factory=ImageSpec)
+    #: Namespace prefix for files this run writes.
+    output_prefix: str = "run"
+
+    def __post_init__(self) -> None:
+        # Validate early that the cadence divides the timestep grid.
+        self.sampling.steps_between_outputs(self.ocean)
+        if not self.output_prefix:
+            raise ConfigurationError("output_prefix must be non-empty")
+
+    @property
+    def n_outputs(self) -> int:
+        """Output products over the campaign."""
+        return self.sampling.n_outputs(self.ocean)
+
+    @property
+    def steps_between_outputs(self) -> int:
+        """Timesteps between outputs."""
+        return self.sampling.steps_between_outputs(self.ocean)
+
+    def with_sampling(self, sampling: SamplingPolicy) -> "PipelineSpec":
+        """The same spec at a different cadence."""
+        return PipelineSpec(
+            ocean=self.ocean,
+            sampling=sampling,
+            images=self.images,
+            output_prefix=self.output_prefix,
+        )
+
+
+class Pipeline(ABC):
+    """A visualization workflow that can run on either platform."""
+
+    #: Canonical name ("in-situ" / "post-processing").
+    name: str = ""
+
+    @abstractmethod
+    def simulated_process(
+        self,
+        platform: "SimulatedPlatform",
+        spec: PipelineSpec,
+        timeline: PhaseTimeline,
+        artifacts: dict,
+    ) -> Generator:
+        """The DES generator process executing this workflow at campaign scale.
+
+        Implementations record phases into ``timeline`` and artifact counts
+        (``storage_bytes``, ``n_images``, ``n_outputs``) into ``artifacts``.
+        """
+
+    @abstractmethod
+    def run_real(self, platform: "RealPlatform", spec: PipelineSpec) -> Measurement:
+        """Run the miniature real-mode version; returns its measurement."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

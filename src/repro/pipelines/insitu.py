@@ -1,0 +1,139 @@
+"""The in-situ pipeline (Fig. 1b).
+
+Simulation and visualization share the machine: after each sampled timestep
+the Catalyst adaptor deep-copies the fields, the renderer produces the image
+set, and only the compact images are committed to storage through a Cinema
+database.  No raw fields ever reach the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.core.metrics import IN_SITU, Measurement, PhaseTimeline
+from repro.pipelines.base import Pipeline, PipelineSpec
+from repro.viz.catalyst import CatalystAdaptor
+from repro.viz.cinema import CinemaDatabase
+from repro.viz.render import Camera, render_okubo_weiss
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipelines.platform import RealPlatform, SimulatedPlatform
+
+__all__ = ["InSituPipeline"]
+
+
+class InSituPipeline(Pipeline):
+    """Simulation + Catalyst render + image write, every sampled timestep."""
+
+    name = IN_SITU
+
+    # ------------------------------------------------------------- simulated
+
+    def simulated_process(
+        self,
+        platform: "SimulatedPlatform",
+        spec: PipelineSpec,
+        timeline: PhaseTimeline,
+        artifacts: dict,
+    ) -> Generator:
+        sim = platform.sim
+        cluster = platform.cluster
+        k = spec.steps_between_outputs
+        n_out = spec.n_outputs
+        step_s = platform.simulation_seconds_per_step(spec)
+        render_s = platform.render_seconds_per_sample(spec)
+        adaptor_s = platform.adaptor_seconds_per_sample(spec)
+        image_bytes = platform.image_size.bytes_per_image(spec.images)
+        sample_bytes = platform.image_size.bytes_per_sample(spec.images)
+        cinema = CinemaDatabase(name=spec.output_prefix)
+        for i in range(n_out):
+            t0 = sim.now
+            yield from cluster.run_phase(k * step_s, cluster.phases.simulation)
+            timeline.add("simulation", t0, sim.now)
+            # Catalyst deep copy + render + composite + encode.
+            t0 = sim.now
+            yield from cluster.run_phase(adaptor_s + render_s, cluster.phases.render)
+            timeline.add("viz", t0, sim.now)
+            # Commit the image set (ranks poll in the I/O collective).
+            t0 = sim.now
+            cluster.set_utilization(cluster.phases.io_wait)
+            yield from platform.pio.write_simulated(
+                platform.io_backend,
+                f"{spec.output_prefix}/cinema/sample-{i:05d}.png",
+                sample_bytes,
+            )
+            cluster.set_utilization(cluster.phases.idle)
+            timeline.add("io", t0, sim.now)
+            for cam in range(spec.images.images_per_sample):
+                cinema.add_accounted({"time": i, "camera": cam}, int(image_bytes))
+            artifacts["n_outputs"] += 1
+            artifacts["n_images"] += spec.images.images_per_sample
+        # Trailing timesteps after the last output, if the cadence does not
+        # divide the campaign exactly.
+        leftover = spec.ocean.n_timesteps - n_out * k
+        if leftover > 0:
+            t0 = sim.now
+            yield from cluster.run_phase(leftover * step_s, cluster.phases.simulation)
+            timeline.add("simulation", t0, sim.now)
+        cinema.close()
+        artifacts["cinema"] = cinema
+
+    # ------------------------------------------------------------------ real
+
+    def run_real(self, platform: "RealPlatform", spec: PipelineSpec) -> Measurement:
+        scale = platform.scale
+        driver = platform.new_driver()
+        outdir = platform.run_directory(self.name)
+        cinema = CinemaDatabase(os.path.join(outdir, "cinema"), name="eddies")
+        cameras = [Camera(), Camera(center=(0.5, 0.5), zoom=2.0)]
+        timeline = PhaseTimeline()
+        n_images = 0
+        storage_before = cinema.total_bytes
+
+        adaptor = CatalystAdaptor()
+
+        def render_hook(step: int, _time: float, fields) -> list:
+            w = np.asarray(fields["okubo_weiss"])
+            return [
+                render_okubo_weiss(
+                    w, width=scale.image_width, height=scale.image_height, camera=cam
+                )
+                for cam in cameras
+            ]
+
+        adaptor.register_pipeline("okubo-weiss", render_hook)
+
+        wall_start = platform.clock()
+        for i in range(scale.n_outputs):
+            t0 = platform.clock()
+            driver.advance(scale.steps_between_outputs)
+            t1 = platform.clock()
+            timeline.add("simulation", t0, t1)
+            fields = driver.output_fields()
+            t0 = platform.clock()
+            images = adaptor.coprocess(i, driver.time, fields)["okubo-weiss"]
+            t1 = platform.clock()
+            timeline.add("viz", t0, t1)
+            t0 = platform.clock()
+            for cam_index, image in enumerate(images):
+                cinema.add_image({"time": i, "camera": cam_index}, image)
+                n_images += 1
+            t1 = platform.clock()
+            timeline.add("io", t0, t1)
+        adaptor.finalize()
+        cinema.close()
+        wall_end = platform.clock()
+        return Measurement(
+            pipeline=self.name,
+            sample_interval_hours=platform.sample_interval_hours(),
+            execution_time=wall_end - wall_start,
+            n_timesteps=scale.n_steps,
+            storage_bytes=cinema.total_bytes - storage_before,
+            n_outputs=scale.n_outputs,
+            n_images=n_images,
+            timeline=timeline,
+            label=outdir,
+        )

@@ -1,0 +1,165 @@
+"""The post-processing pipeline (Fig. 1a).
+
+Phase 1: the simulation writes the raw Okubo-Weiss output of every sampled
+timestep to the parallel filesystem as netCDF (through the PIO aggregation
+layer).  Phase 2: after the simulation completes, the files are read back
+and rendered — with a bounded-depth prefetch reader overlapping reads with
+rendering, the way a parallel ParaView batch job streams timesteps.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Generator
+
+from repro.core.metrics import POST_PROCESSING, Measurement, PhaseTimeline
+from repro.events.resources import Resource, Store
+from repro.io.ncformat import read_nclite
+from repro.io.pio import RealIOBackend
+from repro.pipelines.base import Pipeline, PipelineSpec
+from repro.viz.cinema import CinemaDatabase
+from repro.viz.render import render_okubo_weiss
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipelines.platform import RealPlatform, SimulatedPlatform
+
+__all__ = ["PostProcessingPipeline"]
+
+#: How many samples the visualization stage prefetches ahead of rendering.
+PREFETCH_DEPTH = 2
+
+
+class PostProcessingPipeline(Pipeline):
+    """Raw writes during simulation; separate read-back + render pass."""
+
+    name = POST_PROCESSING
+
+    # ------------------------------------------------------------- simulated
+
+    def simulated_process(
+        self,
+        platform: "SimulatedPlatform",
+        spec: PipelineSpec,
+        timeline: PhaseTimeline,
+        artifacts: dict,
+    ) -> Generator:
+        sim = platform.sim
+        cluster = platform.cluster
+        k = spec.steps_between_outputs
+        n_out = spec.n_outputs
+        step_s = platform.simulation_seconds_per_step(spec)
+        render_s = platform.render_seconds_per_sample(spec)
+        raw_bytes = float(spec.ocean.bytes_per_sample)
+        sample_image_bytes = platform.image_size.bytes_per_sample(spec.images)
+
+        def raw_path(i: int) -> str:
+            return f"{spec.output_prefix}/raw/sample-{i:05d}.nc"
+
+        # ---- Phase 1: simulate + write raw netCDF every sampled timestep.
+        for i in range(n_out):
+            t0 = sim.now
+            yield from cluster.run_phase(k * step_s, cluster.phases.simulation)
+            timeline.add("simulation", t0, sim.now)
+            t0 = sim.now
+            cluster.set_utilization(cluster.phases.io_wait)
+            yield from platform.pio.write_simulated(
+                platform.io_backend, raw_path(i), raw_bytes
+            )
+            cluster.set_utilization(cluster.phases.idle)
+            timeline.add("io", t0, sim.now)
+            artifacts["n_outputs"] += 1
+        leftover = spec.ocean.n_timesteps - n_out * k
+        if leftover > 0:
+            t0 = sim.now
+            yield from cluster.run_phase(leftover * step_s, cluster.phases.simulation)
+            timeline.add("simulation", t0, sim.now)
+
+        # ---- Phase 2: read back and render, with bounded prefetch.
+        slots = Resource(sim, capacity=PREFETCH_DEPTH)
+        ready = Store(sim)
+
+        def reader() -> Generator:
+            for i in range(n_out):
+                req = slots.request()
+                yield req
+                yield from platform.io_backend.read_bytes(raw_path(i))
+                ready.put((i, req))
+
+        if n_out:
+            sim.process(reader(), name=f"{spec.output_prefix}-prefetch")
+        for i in range(n_out):
+            t0 = sim.now
+            item = yield ready.get()  # stall only when the read lags the render
+            if sim.now > t0:
+                timeline.add("io", t0, sim.now)
+            _, req = item
+            t0 = sim.now
+            yield from cluster.run_phase(render_s, cluster.phases.render)
+            timeline.add("viz", t0, sim.now)
+            slots.release(req)
+            # Commit the rendered image set alongside the raw data.
+            t0 = sim.now
+            cluster.set_utilization(cluster.phases.io_wait)
+            yield from platform.pio.write_simulated(
+                platform.io_backend,
+                f"{spec.output_prefix}/images/sample-{i:05d}.png",
+                sample_image_bytes,
+            )
+            cluster.set_utilization(cluster.phases.idle)
+            timeline.add("io", t0, sim.now)
+            artifacts["n_images"] += spec.images.images_per_sample
+
+    # ------------------------------------------------------------------ real
+
+    def run_real(self, platform: "RealPlatform", spec: PipelineSpec) -> Measurement:
+        scale = platform.scale
+        driver = platform.new_driver()
+        outdir = platform.run_directory(self.name)
+        backend = RealIOBackend(os.path.join(outdir, "raw"))
+        timeline = PhaseTimeline()
+        wall_start = platform.clock()
+
+        # ---- Phase 1: simulate + write raw nclite files.
+        for i in range(scale.n_outputs):
+            t0 = platform.clock()
+            driver.advance(scale.steps_between_outputs)
+            t1 = platform.clock()
+            timeline.add("simulation", t0, t1)
+            fields = driver.output_fields()
+            t0 = platform.clock()
+            backend.write_fields(f"sample-{i:05d}.nc", fields, {"time": driver.time})
+            t1 = platform.clock()
+            timeline.add("io", t0, t1)
+
+        # ---- Phase 2: read back + render into an image directory.
+        cinema = CinemaDatabase(os.path.join(outdir, "images"), name="eddies-post")
+        n_images = 0
+        for i in range(scale.n_outputs):
+            t0 = platform.clock()
+            fields = read_nclite(backend.path_of(f"sample-{i:05d}.nc"))
+            t1 = platform.clock()
+            timeline.add("io", t0, t1)
+            t0 = platform.clock()
+            image = render_okubo_weiss(
+                fields["okubo_weiss"], width=scale.image_width, height=scale.image_height
+            )
+            t1 = platform.clock()
+            timeline.add("viz", t0, t1)
+            t0 = platform.clock()
+            cinema.add_image({"time": i, "camera": 0}, image)
+            n_images += 1
+            t1 = platform.clock()
+            timeline.add("io", t0, t1)
+        cinema.close()
+        wall_end = platform.clock()
+        return Measurement(
+            pipeline=self.name,
+            sample_interval_hours=platform.sample_interval_hours(),
+            execution_time=wall_end - wall_start,
+            n_timesteps=scale.n_steps,
+            storage_bytes=float(backend.bytes_written),
+            n_outputs=scale.n_outputs,
+            n_images=n_images,
+            timeline=timeline,
+            label=outdir,
+        )

@@ -1,0 +1,147 @@
+"""Power capping: running the pipelines on a power-limited machine.
+
+The paper's opening problem: "Future supercomputers are expected to be
+power-limited... it is important to utilize the allocated power
+effectively."  This module models a machine-level power cap enforced by
+DVFS (RAPL-style): given a cap below the cluster's natural draw, the
+enforcer finds the highest frequency ratio whose power fits, and compute
+phases slow down accordingly (I/O phases do not — the storage bottleneck is
+frequency-independent).
+
+Combined with the calibrated model this answers: *what does a 20 MW-class
+power constraint do to each pipeline's time and energy?*  In-situ spends a
+larger fraction of its runtime in compute phases, so caps hurt it more in
+relative time — but it still wins absolutely, and the cap barely changes
+its energy (frequency-scaling trades power for time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.power import NodePowerModel
+from repro.core.model import PipelinePredictor, Prediction
+from repro.errors import ConfigurationError, ModelError
+
+__all__ = ["PowerCapEnforcer", "CappedPrediction"]
+
+
+@dataclass(frozen=True)
+class CappedPrediction:
+    """A model prediction adjusted for a machine power cap."""
+
+    base: Prediction
+    cap_watts: float
+    frequency_ratio: float
+    execution_time: float
+    energy: float
+
+    @property
+    def slowdown(self) -> float:
+        """Capped time / uncapped time."""
+        return self.execution_time / self.base.execution_time
+
+
+class PowerCapEnforcer:
+    """DVFS-based enforcement of a whole-cluster power cap."""
+
+    def __init__(
+        self,
+        node_model: NodePowerModel,
+        n_nodes: int,
+        compute_utilization: float = 0.95,
+        overhead_watts: float = 2_273.0,
+    ) -> None:
+        """``overhead_watts`` is uncappable draw (the storage rack)."""
+        if n_nodes < 1:
+            raise ConfigurationError(f"need >= 1 node, got {n_nodes}")
+        if not 0.0 < compute_utilization <= 1.0:
+            raise ConfigurationError(
+                f"utilization outside (0, 1]: {compute_utilization}"
+            )
+        if overhead_watts < 0:
+            raise ConfigurationError(f"negative overhead: {overhead_watts}")
+        self.node_model = node_model
+        self.n_nodes = n_nodes
+        self.compute_utilization = compute_utilization
+        self.overhead_watts = overhead_watts
+
+    def uncapped_watts(self) -> float:
+        """Machine draw (compute + overhead) with no cap."""
+        return (
+            self.n_nodes * self.node_model.power(self.compute_utilization)
+            + self.overhead_watts
+        )
+
+    def floor_watts(self) -> float:
+        """The lowest enforceable draw (slowest P-state, busy)."""
+        f_min = self.node_model.cpu.slowest_pstate().frequency_ghz
+        return (
+            self.n_nodes * self.node_model.power(self.compute_utilization, f_min)
+            + self.overhead_watts
+        )
+
+    def frequency_for_cap(self, cap_watts: float) -> float:
+        """Highest frequency ratio whose busy power fits under ``cap_watts``.
+
+        Solved in closed form from the node model's cubic frequency term.
+        """
+        if cap_watts <= 0:
+            raise ModelError(f"cap must be positive: {cap_watts}")
+        if cap_watts >= self.uncapped_watts():
+            return 1.0
+        if cap_watts < self.floor_watts():
+            raise ModelError(
+                f"cap {cap_watts:.3e} W below the machine floor "
+                f"{self.floor_watts():.3e} W — infeasible even at f_min"
+            )
+        # Node power = static + dynamic * (f/f0)^3 at fixed utilization.
+        model = self.node_model
+        util = self.compute_utilization
+        static = model.power(util, 1e-12)  # cubic term ~0 at f→0
+        dynamic = model.power(util) - static
+        budget_per_node = (cap_watts - self.overhead_watts) / self.n_nodes
+        ratio_cubed = (budget_per_node - static) / dynamic
+        if ratio_cubed <= 0:
+            raise ModelError("cap leaves no dynamic power budget")
+        f0 = model.cpu.base_frequency_ghz
+        f_min = model.cpu.slowest_pstate().frequency_ghz / f0
+        return max(min(ratio_cubed ** (1.0 / 3.0), 1.0), f_min)
+
+    def apply(
+        self,
+        predictor: PipelinePredictor,
+        interval_hours: float,
+        cap_watts: float,
+        iterations: float | None = None,
+    ) -> CappedPrediction:
+        """Predict a pipeline's capped time and energy at a cadence.
+
+        Compute-bound terms (simulation + rendering) stretch by ``1/f``;
+        the I/O term (storage-bandwidth-bound) is unchanged.  Power while
+        computing equals the cap; power during I/O equals the capped node
+        draw at the I/O utilization plus overhead.
+        """
+        base = predictor.predict(interval_hours, iterations)
+        f = self.frequency_for_cap(cap_watts)
+        model = predictor.model
+        iters = base.iterations
+        compute_time = (model.simulation_time(iters) + model.beta * base.n_viz) / f
+        io_time = model.alpha * base.s_io_gb
+        time = compute_time + io_time
+        f_ghz = f * self.node_model.cpu.base_frequency_ghz
+        compute_watts = (
+            self.n_nodes * self.node_model.power(self.compute_utilization, f_ghz)
+            + self.overhead_watts
+        )
+        io_watts = (
+            self.n_nodes * self.node_model.power(0.85, f_ghz) + self.overhead_watts
+        )
+        energy = compute_watts * compute_time + io_watts * io_time
+        return CappedPrediction(
+            base=base,
+            cap_watts=cap_watts,
+            frequency_ratio=f,
+            execution_time=time,
+            energy=energy,
+        )

@@ -1,0 +1,104 @@
+"""Per-run power/energy summaries.
+
+:class:`PowerReport` combines the compute-side and storage-side traces of a
+run into the quantities the paper reports: average power (Fig. 5), energy
+(Fig. 6), and the profile itself (Fig. 4), plus derived diagnostics such as
+power utilization ("trapped capacity") relative to a budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import MeterError
+from repro.power.trace import PowerTrace
+from repro.units import format_energy, format_power, format_seconds
+
+__all__ = ["PowerReport"]
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Aggregated power/energy view of one pipeline run."""
+
+    compute: PowerTrace
+    storage: PowerTrace
+    label: str = ""
+    #: Optional machine power budget in watts, for utilization metrics.
+    budget_watts: Optional[float] = None
+    total: PowerTrace = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "total", self.compute + self.storage)
+
+    # ----------------------------------------------------------------- facts
+
+    @property
+    def duration(self) -> float:
+        """Run duration covered by the traces, in seconds."""
+        return self.total.duration
+
+    @property
+    def average_power(self) -> float:
+        """Mean total (compute + storage) power in watts."""
+        return self.total.average_power()
+
+    @property
+    def average_compute_power(self) -> float:
+        """Mean compute-cluster power in watts."""
+        return self.compute.average_power()
+
+    @property
+    def average_storage_power(self) -> float:
+        """Mean storage-cluster power in watts."""
+        return self.storage.average_power()
+
+    @property
+    def energy(self) -> float:
+        """Total energy of the run in joules."""
+        return self.total.energy()
+
+    @property
+    def compute_energy(self) -> float:
+        """Compute-side energy in joules."""
+        return self.compute.energy()
+
+    @property
+    def storage_energy(self) -> float:
+        """Storage-side energy in joules."""
+        return self.storage.energy()
+
+    def power_utilization(self) -> float:
+        """Fraction of the machine's power budget actually drawn.
+
+        The complement of this is the paper's "trapped capacity".
+        """
+        if self.budget_watts is None or self.budget_watts <= 0:
+            raise MeterError("power_utilization() requires a positive budget_watts")
+        return self.average_power / self.budget_watts
+
+    def trapped_capacity(self) -> float:
+        """Unused fraction of the power budget (see Section I of the paper)."""
+        return 1.0 - self.power_utilization()
+
+    # ------------------------------------------------------------- rendering
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary table."""
+        lines = [
+            f"PowerReport: {self.label or '(unlabelled run)'}",
+            f"  duration        : {format_seconds(self.duration)}",
+            f"  avg power total : {format_power(self.average_power)}",
+            f"    compute       : {format_power(self.average_compute_power)}",
+            f"    storage       : {format_power(self.average_storage_power)}",
+            f"  energy total    : {format_energy(self.energy)}",
+            f"    compute       : {format_energy(self.compute_energy)}",
+            f"    storage       : {format_energy(self.storage_energy)}",
+        ]
+        if self.budget_watts:
+            lines.append(
+                f"  power utilization: {100 * self.power_utilization():.1f}% "
+                f"(trapped {100 * self.trapped_capacity():.1f}%)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Idle-period power management (Section VIII of the paper).
+
+"I/O-bound applications such as scientific visualization introduce a lot of
+I/O wait time... These I/O wait times are typically of short duration...
+Current idle period management techniques in HPC systems target only
+prolonged periods of idleness.  With several techniques that operate at the
+millisecond level... it may be possible to manage idle periods during a
+simulation by putting the CPUs in a low-power state."
+
+This module quantifies that opportunity.  A :class:`LowPowerState` is a
+package C-state-like mode with a residency floor and a transition cost; the
+:class:`IdlePeriodManager` walks a measured run's phase timeline, decides
+which wait intervals each state can profitably cover, and reports the energy
+saved and the time penalty incurred — per state and per minimum-manageable-
+interval technology level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.cluster.power import NodePowerModel
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.core.metrics import PhaseTimeline
+
+__all__ = ["LowPowerState", "IdleSavings", "IdlePeriodManager", "default_states"]
+
+#: Phases whose intervals are candidate wait periods on the compute side.
+WAIT_PHASES = ("io", "stall", "drain")
+
+
+@dataclass(frozen=True)
+class LowPowerState:
+    """A package low-power state the compute nodes can enter while waiting."""
+
+    name: str
+    #: Node power while resident, as a fraction of the node's idle power.
+    power_fraction: float
+    #: Total entry + exit time, during which no useful work happens and the
+    #: node draws its full idle power.
+    transition_seconds: float
+    #: Smallest wait interval this state is allowed to target (the
+    #: "technology level": classic job-level techniques manage only seconds
+    #: to minutes; the architecture-community proposals reach milliseconds).
+    min_interval_seconds: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.power_fraction <= 1.0:
+            raise ConfigurationError(
+                f"power fraction outside [0, 1]: {self.power_fraction}"
+            )
+        if self.transition_seconds < 0:
+            raise ConfigurationError(f"negative transition time: {self.transition_seconds}")
+        if self.min_interval_seconds < 0:
+            raise ConfigurationError(f"negative residency floor: {self.min_interval_seconds}")
+
+    def applicable(self, interval_seconds: float) -> bool:
+        """Can this state profitably cover a wait of this length?"""
+        return interval_seconds >= max(
+            self.min_interval_seconds, 2.0 * self.transition_seconds
+        )
+
+
+def default_states() -> tuple[LowPowerState, ...]:
+    """Three technology levels, shallow to deep.
+
+    ``cc6-fast`` is the millisecond-scale technique Section VIII points to;
+    ``pkg-sleep`` is a deep package state with a long residency floor
+    (today's "prolonged idleness only" management); ``clock-gate`` is a
+    near-free shallow state.
+    """
+    return (
+        LowPowerState("clock-gate", power_fraction=0.85, transition_seconds=1e-4,
+                      min_interval_seconds=1e-3),
+        LowPowerState("cc6-fast", power_fraction=0.45, transition_seconds=5e-3,
+                      min_interval_seconds=0.05),
+        LowPowerState("pkg-sleep", power_fraction=0.20, transition_seconds=2.0,
+                      min_interval_seconds=30.0),
+    )
+
+
+@dataclass(frozen=True)
+class IdleSavings:
+    """Outcome of applying one low-power state to a measured run."""
+
+    state: LowPowerState
+    n_intervals: int
+    n_managed: int
+    wait_seconds: float
+    managed_seconds: float
+    baseline_energy_joules: float
+    managed_energy_joules: float
+    time_penalty_seconds: float
+
+    @property
+    def energy_saved_joules(self) -> float:
+        """Energy removed from the wait intervals."""
+        return self.baseline_energy_joules - self.managed_energy_joules
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of total wait time the state could manage."""
+        return self.managed_seconds / self.wait_seconds if self.wait_seconds else 0.0
+
+    def savings_fraction(self, run_energy_joules: float) -> float:
+        """Energy saved relative to the whole run's energy."""
+        if run_energy_joules <= 0:
+            raise ConfigurationError(f"non-positive run energy: {run_energy_joules}")
+        return self.energy_saved_joules / run_energy_joules
+
+
+class IdlePeriodManager:
+    """Applies low-power states to the wait intervals of a measured run."""
+
+    def __init__(
+        self,
+        node_model: NodePowerModel,
+        n_nodes: int,
+        wait_utilization: float = 0.85,
+        states: Optional[Sequence[LowPowerState]] = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ConfigurationError(f"need >= 1 node, got {n_nodes}")
+        if not 0.0 <= wait_utilization <= 1.0:
+            raise ConfigurationError(
+                f"wait utilization outside [0, 1]: {wait_utilization}"
+            )
+        self.node_model = node_model
+        self.n_nodes = n_nodes
+        self.wait_utilization = wait_utilization
+        self.states = tuple(states if states is not None else default_states())
+        if not self.states:
+            raise ConfigurationError("need at least one low-power state")
+
+    def wait_intervals(self, timeline: "PhaseTimeline") -> list[float]:
+        """Durations of the wait-phase intervals of a run."""
+        return [
+            t1 - t0
+            for phase, t0, t1 in timeline.records
+            if phase in WAIT_PHASES and t1 > t0
+        ]
+
+    def analyze_state(self, timeline: "PhaseTimeline", state: LowPowerState) -> IdleSavings:
+        """Savings from covering the run's waits with one state."""
+        intervals = self.wait_intervals(timeline)
+        # Baseline: nodes busy-poll at the wait utilization for every wait.
+        poll_watts = self.n_nodes * self.node_model.power(self.wait_utilization)
+        idle_watts = self.n_nodes * self.node_model.idle_watts
+        sleep_watts = idle_watts * state.power_fraction
+        wait_seconds = sum(intervals)
+        baseline = poll_watts * wait_seconds
+        managed_energy = 0.0
+        managed_seconds = 0.0
+        penalty = 0.0
+        n_managed = 0
+        for length in intervals:
+            if state.applicable(length):
+                resident = length - state.transition_seconds
+                managed_energy += (
+                    sleep_watts * resident + idle_watts * state.transition_seconds
+                )
+                managed_seconds += length
+                penalty += state.transition_seconds
+                n_managed += 1
+            else:
+                managed_energy += poll_watts * length
+        return IdleSavings(
+            state=state,
+            n_intervals=len(intervals),
+            n_managed=n_managed,
+            wait_seconds=wait_seconds,
+            managed_seconds=managed_seconds,
+            baseline_energy_joules=baseline,
+            managed_energy_joules=managed_energy,
+            time_penalty_seconds=penalty,
+        )
+
+    def analyze(self, timeline: "PhaseTimeline") -> list[IdleSavings]:
+        """Savings per state, shallowest first."""
+        return [self.analyze_state(timeline, s) for s in self.states]
+
+    def best_state(self, timeline: "PhaseTimeline") -> IdleSavings:
+        """The state saving the most energy on this run."""
+        return max(self.analyze(timeline), key=lambda s: s.energy_saved_joules)

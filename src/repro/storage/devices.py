@@ -1,0 +1,39 @@
+"""Object-storage-target (OST) device model.
+
+An OST is a RAID-backed block device behind an OSS.  The device model only
+needs to supply per-target bandwidth caps and capacities to the filesystem
+layer — the queueing itself happens on the shared OSS bandwidth pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OstDevice"]
+
+
+@dataclass(frozen=True)
+class OstDevice:
+    """One object storage target."""
+
+    index: int
+    capacity_bytes: float
+    write_bandwidth: float
+    read_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError(f"negative OST index: {self.index}")
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(f"OST capacity must be positive: {self.capacity_bytes}")
+        if self.write_bandwidth <= 0 or self.read_bandwidth <= 0:
+            raise ConfigurationError("OST bandwidths must be positive")
+
+    def stripe_cap(self, stripe_count: int, write: bool) -> float:
+        """Bandwidth ceiling for a file striped over ``stripe_count`` OSTs."""
+        if stripe_count < 1:
+            raise ConfigurationError(f"stripe_count must be >= 1, got {stripe_count}")
+        per_target = self.write_bandwidth if write else self.read_bandwidth
+        return per_target * stripe_count

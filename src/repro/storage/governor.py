@@ -1,0 +1,120 @@
+"""Storage-side power management (Section VIII of the paper).
+
+Two proposals from the paper's discussion, made quantitative:
+
+* **DVFS governor** — "The CPUs [of the storage subsystem], for instance,
+  should operate at the minimum frequency necessary to handle the various
+  I/O requests from the client."  :class:`StorageDvfsGovernor` models the
+  storage nodes' CPU share of idle power scaling with ``f³`` and picks, for
+  a demanded bandwidth, the slowest frequency that still sustains it
+  (bandwidth ceiling ∝ f).
+* **Wimpy nodes** — "The 'brawny' CPUs on the storage side may be replaced
+  with 'wimpy' ones with little to no difference in the storage bandwidth."
+  :func:`wimpy_storage_model` derives the rack's power model after such a
+  replacement.
+
+Both let the what-if layer ask how much of the rack's 2273 W idle floor is
+actually recoverable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.storage.power import StoragePowerModel
+
+__all__ = ["StorageDvfsGovernor", "wimpy_storage_model"]
+
+
+@dataclass(frozen=True)
+class StorageDvfsGovernor:
+    """Frequency governor for the storage nodes' CPUs.
+
+    Parameters
+    ----------
+    base:
+        The ungoverned rack power model.
+    cpu_idle_share:
+        Fraction of the rack's *idle* power drawn by the storage CPUs (the
+        governable part; disks, DRAM and fans are not).
+    f_min_ratio:
+        Lowest frequency as a fraction of nominal.
+    """
+
+    base: StoragePowerModel
+    cpu_idle_share: float = 0.40
+    f_min_ratio: float = 0.40
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cpu_idle_share < 1.0:
+            raise ConfigurationError(f"cpu share outside (0, 1): {self.cpu_idle_share}")
+        if not 0.0 < self.f_min_ratio <= 1.0:
+            raise ConfigurationError(f"f_min ratio outside (0, 1]: {self.f_min_ratio}")
+
+    def frequency_for(self, throughput: float) -> float:
+        """Slowest frequency ratio that sustains ``throughput`` bytes/s.
+
+        The CPU-imposed bandwidth ceiling scales linearly with frequency and
+        equals the rated bandwidth at nominal frequency.
+        """
+        if throughput < 0:
+            raise ConfigurationError(f"negative throughput: {throughput}")
+        demanded = min(1.0, throughput / self.base.rated_bandwidth)
+        return max(self.f_min_ratio, demanded)
+
+    def power(self, throughput: float) -> float:
+        """Rack power under the governor at the given demand."""
+        f = self.frequency_for(throughput)
+        cpu_idle = self.base.idle_watts * self.cpu_idle_share
+        other_idle = self.base.idle_watts - cpu_idle
+        frac = min(1.0, throughput / self.base.rated_bandwidth)
+        return other_idle + cpu_idle * f**3 + self.base.dynamic_watts * frac
+
+    def idle_savings_watts(self) -> float:
+        """Rack watts shaved at zero demand (the common case in the paper)."""
+        return self.base.power(0.0) - self.power(0.0)
+
+    def governed_model(self, typical_throughput: float = 0.0) -> StoragePowerModel:
+        """An equivalent static power model at a typical demand level.
+
+        Useful for plugging the governed rack back into the campaign
+        simulator: idle power reflects the governor's floor, full-load power
+        is unchanged (full demand needs nominal frequency).
+        """
+        return StoragePowerModel(
+            idle_watts=self.power(typical_throughput)
+            - self.base.dynamic_watts
+            * min(1.0, typical_throughput / self.base.rated_bandwidth),
+            full_load_watts=self.power(self.base.rated_bandwidth),
+            rated_bandwidth=self.base.rated_bandwidth,
+            n_master=self.base.n_master,
+            n_mds=self.base.n_mds,
+            n_oss=self.base.n_oss,
+        )
+
+
+def wimpy_storage_model(
+    base: StoragePowerModel,
+    cpu_idle_share: float = 0.40,
+    wimpy_ratio: float = 0.25,
+) -> StoragePowerModel:
+    """The rack after replacing brawny storage CPUs with wimpy ones.
+
+    ``wimpy_ratio`` is the wimpy CPUs' power relative to the brawny ones.
+    Bandwidth is assumed unchanged ("little to no difference in the storage
+    bandwidth offered"), so only the power model moves.
+    """
+    if not 0.0 < wimpy_ratio <= 1.0:
+        raise ConfigurationError(f"wimpy ratio outside (0, 1]: {wimpy_ratio}")
+    if not 0.0 < cpu_idle_share < 1.0:
+        raise ConfigurationError(f"cpu share outside (0, 1): {cpu_idle_share}")
+    saved = base.idle_watts * cpu_idle_share * (1.0 - wimpy_ratio)
+    return StoragePowerModel(
+        idle_watts=base.idle_watts - saved,
+        full_load_watts=base.full_load_watts - saved,
+        rated_bandwidth=base.rated_bandwidth,
+        n_master=base.n_master,
+        n_mds=base.n_mds,
+        n_oss=base.n_oss,
+    )

@@ -1,0 +1,71 @@
+"""Power model of the storage cluster.
+
+Calibrated to the paper's benchmark of the Lustre rack: **2273 W idle** and
+**2302 W at full load** (peak I/O bandwidth) — a dynamic range of 1.3 %,
+making the storage subsystem "one of the least power-proportional components"
+in the data center.  The model interpolates linearly in the achieved
+throughput fraction, split across the five storage nodes (1 master, 2 MDS,
+2 OSS); only the OSS nodes carry the dynamic component, since they move the
+bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StoragePowerModel"]
+
+
+@dataclass(frozen=True)
+class StoragePowerModel:
+    """Throughput-driven power model for the whole storage rack."""
+
+    idle_watts: float = 2273.0
+    full_load_watts: float = 2302.0
+    #: Aggregate bandwidth (bytes/s) at which full-load power is reached.
+    rated_bandwidth: float = 160e6
+    n_master: int = 1
+    n_mds: int = 2
+    n_oss: int = 2
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0:
+            raise ConfigurationError(f"negative idle power: {self.idle_watts}")
+        if self.full_load_watts < self.idle_watts:
+            raise ConfigurationError("full-load power below idle power")
+        if self.rated_bandwidth <= 0:
+            raise ConfigurationError("rated bandwidth must be positive")
+        if min(self.n_master, self.n_mds, self.n_oss) < 0 or self.n_nodes < 1:
+            raise ConfigurationError("invalid storage node counts")
+
+    @property
+    def n_nodes(self) -> int:
+        """Total storage-cluster node count (5 in the paper)."""
+        return self.n_master + self.n_mds + self.n_oss
+
+    @property
+    def dynamic_watts(self) -> float:
+        """Idle-to-full power swing (29 W in the paper)."""
+        return self.full_load_watts - self.idle_watts
+
+    def power(self, throughput: float) -> float:
+        """Rack power in watts at aggregate ``throughput`` bytes/s."""
+        if throughput < 0:
+            raise ConfigurationError(f"negative throughput: {throughput}")
+        frac = min(1.0, throughput / self.rated_bandwidth)
+        return self.idle_watts + self.dynamic_watts * frac
+
+    def proportionality(self) -> float:
+        """Fractional increase idle→full (the paper's 1.3 % for storage)."""
+        return self.full_load_watts / self.idle_watts - 1.0
+
+    def per_node_idle(self) -> dict[str, float]:
+        """Idle power attributed per node role (equal split, for reporting)."""
+        share = self.idle_watts / self.n_nodes
+        return {
+            "master": share * self.n_master,
+            "mds": share * self.n_mds,
+            "oss": share * self.n_oss,
+        }

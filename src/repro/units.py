@@ -1,0 +1,174 @@
+"""Unit helpers used throughout the library.
+
+The internal convention is strict:
+
+* time      — seconds (wall-clock) and *simulated* seconds for the ocean
+              calendar; both plain ``float``
+* data size — bytes (``int`` where exact, ``float`` for modelled estimates)
+* power     — watts
+* energy    — joules
+
+Everything else (GB, MWh, simulated days...) exists only at the API surface
+through the converters below, so arithmetic inside the library never mixes
+units.  The constants use decimal (SI) prefixes for data sizes, matching the
+paper's use of "GB" for storage volumes and "MB/s" for Lustre bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "KB", "MB", "GB", "TB",
+    "MINUTE", "HOUR", "DAY", "MONTH", "YEAR",
+    "kb_to_bytes", "mb_to_bytes", "gb_to_bytes", "tb_to_bytes",
+    "bytes_to_gb", "bytes_to_tb",
+    "joules_to_kwh", "kwh_to_joules", "joules_to_mwh",
+    "watts_to_kw", "kw_to_watts",
+    "seconds", "minutes", "hours", "days", "months", "years",
+    "format_bytes", "format_seconds", "format_power", "format_energy",
+]
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+MINUTE = 60.0
+HOUR = 3_600.0
+DAY = 86_400.0
+#: The paper's "six simulated months" with 30-minute timesteps works out to
+#: 8640 timesteps, i.e. a 30-day month; we adopt the same convention.
+MONTH = 30 * DAY
+YEAR = 365 * DAY
+
+
+def kb_to_bytes(kb: float) -> float:
+    """Convert kilobytes (decimal) to bytes."""
+    return kb * KB
+
+
+def mb_to_bytes(mb: float) -> float:
+    """Convert megabytes (decimal) to bytes."""
+    return mb * MB
+
+
+def gb_to_bytes(gb: float) -> float:
+    """Convert gigabytes (decimal) to bytes."""
+    return gb * GB
+
+
+def tb_to_bytes(tb: float) -> float:
+    """Convert terabytes (decimal) to bytes."""
+    return tb * TB
+
+
+def bytes_to_gb(n: float) -> float:
+    """Convert bytes to gigabytes (decimal)."""
+    return n / GB
+
+
+def bytes_to_tb(n: float) -> float:
+    """Convert bytes to terabytes (decimal)."""
+    return n / TB
+
+
+def joules_to_kwh(j: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return j / 3.6e6
+
+
+def kwh_to_joules(kwh: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return kwh * 3.6e6
+
+
+def joules_to_mwh(j: float) -> float:
+    """Convert joules to megawatt-hours."""
+    return j / 3.6e9
+
+
+def watts_to_kw(w: float) -> float:
+    """Convert watts to kilowatts."""
+    return w / 1_000.0
+
+
+def kw_to_watts(kw: float) -> float:
+    """Convert kilowatts to watts."""
+    return kw * 1_000.0
+
+
+def seconds(s: float) -> float:
+    """Identity, for symmetry at call sites that mix units."""
+    return float(s)
+
+
+def minutes(m: float) -> float:
+    """Convert minutes to seconds."""
+    return m * MINUTE
+
+
+def hours(h: float) -> float:
+    """Convert hours to seconds."""
+    return h * HOUR
+
+
+def days(d: float) -> float:
+    """Convert days to seconds."""
+    return d * DAY
+
+
+def months(m: float) -> float:
+    """Convert simulated months (30 days, the paper's convention) to seconds."""
+    return m * MONTH
+
+
+def years(y: float) -> float:
+    """Convert years (365 days) to seconds."""
+    return y * YEAR
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable decimal size string, e.g. ``'230.0 GB'``."""
+    if n != n:  # NaN
+        return "nan"
+    neg = n < 0
+    n = abs(n)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "kB")):
+        if n >= unit:
+            return f"{'-' if neg else ''}{n / unit:.1f} {name}"
+    return f"{'-' if neg else ''}{n:.0f} B"
+
+
+def format_seconds(s: float) -> str:
+    """Human-readable duration string, e.g. ``'21m 02s'``."""
+    if s != s or math.isinf(s):
+        return str(s)
+    neg = s < 0
+    s = abs(s)
+    if s < 60:
+        return f"{'-' if neg else ''}{s:.1f}s"
+    m, sec = divmod(s, 60.0)
+    if m < 60:
+        return f"{'-' if neg else ''}{int(m)}m {sec:04.1f}s"
+    h, m = divmod(m, 60.0)
+    return f"{'-' if neg else ''}{int(h)}h {int(m)}m {sec:04.1f}s"
+
+
+def format_power(w: float) -> str:
+    """Human-readable power string, e.g. ``'46.3 kW'``."""
+    if abs(w) >= 1e6:
+        return f"{w / 1e6:.2f} MW"
+    if abs(w) >= 1e3:
+        return f"{w / 1e3:.1f} kW"
+    return f"{w:.0f} W"
+
+
+def format_energy(j: float) -> str:
+    """Human-readable energy string, e.g. ``'16.2 kWh'``."""
+    kwh = joules_to_kwh(j)
+    if abs(kwh) >= 1_000:
+        return f"{kwh / 1_000:.2f} MWh"
+    if abs(kwh) >= 1:
+        return f"{kwh:.1f} kWh"
+    return f"{j / 1e3:.1f} kJ" if abs(j) >= 1e3 else f"{j:.0f} J"

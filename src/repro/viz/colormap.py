@@ -1,0 +1,104 @@
+"""Colormaps for scalar-field rendering.
+
+A :class:`Colormap` is a set of ``(position, rgb)`` control points expanded
+into a 256-entry lookup table; application to a field is a single vectorized
+LUT gather.  :func:`okubo_weiss_colormap` reproduces the palette of the
+paper's Fig. 2: green for rotation-dominated regions (negative W), blue for
+shear/strain-dominated regions (positive W), near-white background.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Colormap", "okubo_weiss_colormap", "grayscale_colormap", "ocean_speed_colormap"]
+
+
+class Colormap:
+    """A 1-D colormap defined by interpolated control points."""
+
+    LUT_SIZE = 256
+
+    def __init__(self, points: Sequence[tuple[float, tuple[int, int, int]]], name: str = "") -> None:
+        if len(points) < 2:
+            raise ConfigurationError("a colormap needs at least two control points")
+        positions = [p for p, _ in points]
+        if positions != sorted(positions):
+            raise ConfigurationError("control points must be sorted by position")
+        if abs(positions[0]) > 1e-12 or abs(positions[-1] - 1.0) > 1e-12:
+            raise ConfigurationError("control points must span [0, 1]")
+        for _, rgb in points:
+            if len(rgb) != 3 or not all(0 <= c <= 255 for c in rgb):
+                raise ConfigurationError(f"invalid RGB triple: {rgb}")
+        self.name = name
+        pos = np.array(positions)
+        channels = np.array([rgb for _, rgb in points], dtype=float)
+        grid = np.linspace(0.0, 1.0, self.LUT_SIZE)
+        self.lut = np.stack(
+            [np.interp(grid, pos, channels[:, c]) for c in range(3)], axis=1
+        ).round().astype(np.uint8)
+
+    def apply(
+        self,
+        field: np.ndarray,
+        vmin: Optional[float] = None,
+        vmax: Optional[float] = None,
+    ) -> np.ndarray:
+        """Map ``field`` to an RGB ``uint8`` array of shape ``field.shape + (3,)``."""
+        field = np.asarray(field, dtype=float)
+        lo = float(np.nanmin(field)) if vmin is None else float(vmin)
+        hi = float(np.nanmax(field)) if vmax is None else float(vmax)
+        if hi <= lo:
+            hi = lo + 1.0  # constant field: render with the low-end color
+        norm = np.clip((field - lo) / (hi - lo), 0.0, 1.0)
+        idx = np.nan_to_num(norm * (self.LUT_SIZE - 1)).astype(np.intp)
+        return self.lut[idx]
+
+    def color_at(self, position: float) -> tuple[int, int, int]:
+        """The RGB color at normalized ``position`` in [0, 1]."""
+        if not 0.0 <= position <= 1.0:
+            raise ConfigurationError(f"position outside [0, 1]: {position}")
+        rgb = self.lut[int(round(position * (self.LUT_SIZE - 1)))]
+        return (int(rgb[0]), int(rgb[1]), int(rgb[2]))
+
+
+def okubo_weiss_colormap() -> Colormap:
+    """The Fig. 2 palette: green = rotation (W < 0), blue = shear (W > 0).
+
+    Intended for a *symmetric* normalization around W = 0 (pass
+    ``vmin=-a, vmax=+a``), so 0.5 is the neutral background.
+    """
+    return Colormap(
+        [
+            (0.00, (0, 96, 24)),      # strong rotation: deep green
+            (0.30, (60, 180, 90)),    # rotation: green
+            (0.47, (225, 238, 225)),  # background
+            (0.50, (240, 240, 235)),  # neutral
+            (0.53, (222, 230, 240)),  # background
+            (0.70, (80, 140, 210)),   # shear: blue
+            (1.00, (10, 40, 140)),    # strong shear: deep blue
+        ],
+        name="okubo-weiss",
+    )
+
+
+def grayscale_colormap() -> Colormap:
+    """Plain linear grayscale."""
+    return Colormap([(0.0, (0, 0, 0)), (1.0, (255, 255, 255))], name="gray")
+
+
+def ocean_speed_colormap() -> Colormap:
+    """Sequential dark-blue → cyan → white map for current speed."""
+    return Colormap(
+        [
+            (0.0, (8, 16, 60)),
+            (0.4, (20, 90, 160)),
+            (0.75, (80, 190, 210)),
+            (1.0, (245, 252, 255)),
+        ],
+        name="ocean-speed",
+    )

@@ -1,0 +1,143 @@
+"""Marching-squares iso-contour extraction.
+
+Used to outline eddy cores (the ``W = -0.2 σ_W`` level) on rendered frames.
+Returns open/closed polylines in fractional grid coordinates ``(row, col)``.
+
+The implementation walks cell edges with linear interpolation and then chains
+the resulting segments into polylines.  Saddle cells (cases 5 and 10) are
+disambiguated by the cell-center average, the standard approach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["marching_squares"]
+
+# For each of the 16 corner-sign cases, the pairs of cell edges the contour
+# crosses.  Corner bits: 1 = top-left, 2 = top-right, 4 = bottom-right,
+# 8 = bottom-left ("above" corners).  Edges: 0 = top, 1 = right, 2 = bottom,
+# 3 = left.  A case and its complement cross the same edges.
+_CASES: dict[int, tuple[tuple[int, int], ...]] = {
+    0: (),
+    1: ((3, 0),),          # TL isolated
+    2: ((0, 1),),          # TR isolated
+    3: ((3, 1),),          # top half above
+    4: ((1, 2),),          # BR isolated
+    5: ((3, 0), (1, 2)),   # saddle; resolved at runtime by cell center
+    6: ((0, 2),),          # right half above
+    7: ((3, 2),),          # all but BL
+    8: ((3, 2),),          # BL isolated
+    9: ((0, 2),),          # left half above
+    10: ((0, 1), (3, 2)),  # saddle; resolved at runtime by cell center
+    11: ((1, 2),),         # all but BR
+    12: ((3, 1),),         # bottom half above
+    13: ((0, 1),),         # all but TR
+    14: ((3, 0),),         # all but TL
+    15: (),
+}
+
+
+def _edge_point(edge: int, r: int, c: int, f: np.ndarray, level: float) -> tuple[float, float]:
+    """Interpolated crossing point of ``edge`` of cell ``(r, c)``."""
+    if edge == 0:  # top: (r, c) -> (r, c+1)
+        a, b = f[r, c], f[r, c + 1]
+        t = (level - a) / (b - a)
+        return (float(r), c + float(t))
+    if edge == 1:  # right: (r, c+1) -> (r+1, c+1)
+        a, b = f[r, c + 1], f[r + 1, c + 1]
+        t = (level - a) / (b - a)
+        return (r + float(t), float(c + 1))
+    if edge == 2:  # bottom: (r+1, c) -> (r+1, c+1)
+        a, b = f[r + 1, c], f[r + 1, c + 1]
+        t = (level - a) / (b - a)
+        return (float(r + 1), c + float(t))
+    # left: (r, c) -> (r+1, c)
+    a, b = f[r, c], f[r + 1, c]
+    t = (level - a) / (b - a)
+    return (r + float(t), float(c))
+
+
+def marching_squares(field: np.ndarray, level: float) -> list[np.ndarray]:
+    """Extract iso-contour polylines of ``field`` at ``level``.
+
+    Returns a list of ``(n, 2)`` float arrays of ``(row, col)`` vertices.
+    Cells where a corner equals ``level`` exactly are nudged by a tiny
+    epsilon to avoid degenerate intersections.
+    """
+    f = np.asarray(field, dtype=float)
+    if f.ndim != 2 or f.shape[0] < 2 or f.shape[1] < 2:
+        raise ConfigurationError(f"field must be at least 2x2, got {f.shape}")
+    # Nudge exact hits off the level so interpolation is well defined.
+    eps = 1e-12 * (np.abs(f).max() + 1.0)
+    f = np.where(f == level, f + eps, f)
+    above = f > level
+    segments: list[tuple[tuple[float, float], tuple[float, float]]] = []
+    nrows, ncols = f.shape
+    for r in range(nrows - 1):
+        for c in range(ncols - 1):
+            case = (
+                (1 if above[r, c] else 0)
+                | (2 if above[r, c + 1] else 0)
+                | (4 if above[r + 1, c + 1] else 0)
+                | (8 if above[r + 1, c] else 0)
+            )
+            pairs = _CASES[case]
+            if case in (5, 10):
+                center = 0.25 * (f[r, c] + f[r, c + 1] + f[r + 1, c] + f[r + 1, c + 1])
+                if case == 5 and center > level:
+                    # Above-region connects TL-BR: isolate TR and BL instead.
+                    pairs = ((0, 1), (3, 2))
+                elif case == 10 and center > level:
+                    # Above-region connects TR-BL: isolate TL and BR instead.
+                    pairs = ((3, 0), (1, 2))
+            for e0, e1 in pairs:
+                segments.append(
+                    (_edge_point(e0, r, c, f, level), _edge_point(e1, r, c, f, level))
+                )
+    return _chain_segments(segments)
+
+
+def _chain_segments(
+    segments: list[tuple[tuple[float, float], tuple[float, float]]]
+) -> list[np.ndarray]:
+    """Join shared-endpoint segments into polylines."""
+    if not segments:
+        return []
+
+    def key(p: tuple[float, float]) -> tuple[int, int]:
+        return (round(p[0] * 1e6), round(p[1] * 1e6))
+
+    # endpoint -> list of (segment index, which end)
+    endpoints: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for i, (a, b) in enumerate(segments):
+        endpoints.setdefault(key(a), []).append((i, 0))
+        endpoints.setdefault(key(b), []).append((i, 1))
+    used = [False] * len(segments)
+    polylines: list[np.ndarray] = []
+    for start in range(len(segments)):
+        if used[start]:
+            continue
+        used[start] = True
+        a, b = segments[start]
+        chain: list[tuple[float, float]] = [a, b]
+        # Extend forward from the tail, then backward from the head.
+        for grow_tail in (True, False):
+            while True:
+                tip = chain[-1] if grow_tail else chain[0]
+                options = [
+                    (i, end) for i, end in endpoints.get(key(tip), []) if not used[i]
+                ]
+                if not options:
+                    break
+                i, end = options[0]
+                used[i] = True
+                nxt = segments[i][1 - end]
+                if grow_tail:
+                    chain.append(nxt)
+                else:
+                    chain.insert(0, nxt)
+        polylines.append(np.array(chain))
+    return polylines

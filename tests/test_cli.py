@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_plan_arguments(self):
+        args = build_parser().parse_args(
+            ["plan", "--years", "50", "--storage-gb", "1000", "--need-hours", "12"]
+        )
+        assert args.years == 50.0
+        assert args.storage_gb == 1_000.0
+        assert args.need_hours == 12.0
+        assert args.energy_kwh is None
+
+    def test_quality_arguments(self):
+        args = build_parser().parse_args(["quality", "--strides", "1", "4", "--steps", "16"])
+        assert args.strides == [1, 4]
+        assert args.steps == 16
+
+
+class TestCommands:
+    def test_proportionality(self, capsys):
+        assert main(["proportionality"]) == 0
+        out = capsys.readouterr().out
+        assert "2273" in out and "44.0 kW" in out
+
+    def test_quality(self, capsys):
+        assert main(["quality", "--strides", "1", "4", "--steps", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "link rate" in out
+
+    def test_characterize_small_grid(self, capsys):
+        assert main(["characterize", "--intervals", "72"]) == 0
+        out = capsys.readouterr().out
+        assert "in-situ" in out and "post-processing" in out
+        assert "faster" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha = 6." in out
+        assert "beta  = 1." in out
+        assert "max |error|" in out
+
+    def test_whatif(self, capsys):
+        assert main(["whatif", "--years", "10", "--intervals", "24", "192"]) == 0
+        out = capsys.readouterr().out
+        assert "2 TB budget" in out
+
+    def test_plan_feasible_exit_code(self, capsys):
+        code = main(
+            ["plan", "--years", "100", "--storage-gb", "2000", "--need-hours", "24"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended: in-situ" in out
+
+    def test_plan_infeasible_exit_code(self, capsys):
+        # 1 GB for a century of daily outputs is infeasible even in-situ.
+        code = main(
+            ["plan", "--years", "100", "--storage-gb", "0.2", "--need-hours", "1"]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "INFEASIBLE" in out

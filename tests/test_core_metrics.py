@@ -1,0 +1,132 @@
+"""Tests for :mod:`repro.core.metrics`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import (
+    IN_SITU,
+    POST_PROCESSING,
+    Measurement,
+    MetricSet,
+    PhaseTimeline,
+)
+from repro.errors import ConfigurationError
+
+
+def make_measurement(pipeline, hours, time, storage_gb, power=44_000.0, outputs=10):
+    return Measurement(
+        pipeline=pipeline,
+        sample_interval_hours=hours,
+        execution_time=time,
+        n_timesteps=8_640,
+        storage_bytes=storage_gb * 1e9,
+        n_outputs=outputs,
+        n_images=outputs,
+        average_power=power,
+        energy=power * time,
+    )
+
+
+class TestPhaseTimeline:
+    def test_totals_by_phase(self):
+        tl = PhaseTimeline()
+        tl.add("simulation", 0.0, 10.0)
+        tl.add("io", 10.0, 13.0)
+        tl.add("simulation", 13.0, 20.0)
+        assert tl.total("simulation") == 17.0
+        assert tl.total("io") == 3.0
+        assert tl.total("viz") == 0.0
+        assert tl.phases() == ["simulation", "io"]
+        assert tl.by_phase() == {"simulation": 17.0, "io": 3.0}
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseTimeline().add("x", 5.0, 4.0)
+
+
+class TestMeasurement:
+    def test_phase_properties(self):
+        m = make_measurement(IN_SITU, 24.0, 820.0, 0.2)
+        m.timeline.add("simulation", 0.0, 603.0)
+        m.timeline.add("viz", 603.0, 819.0)
+        m.timeline.add("io", 819.0, 820.0)
+        assert m.simulation_time == 603.0
+        assert m.viz_time == 216.0
+        assert m.io_time == 1.0
+
+    def test_storage_gb(self):
+        assert make_measurement(IN_SITU, 24.0, 1.0, 80.0).storage_gb == 80.0
+
+    def test_summary_renders_without_power(self):
+        m = Measurement(
+            pipeline=IN_SITU, sample_interval_hours=4.0, execution_time=1.0,
+            n_timesteps=10, storage_bytes=0, n_outputs=1,
+        )
+        assert "n/a" in m.summary()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_measurement(IN_SITU, 24.0, -1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            make_measurement(IN_SITU, 0.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            make_measurement(IN_SITU, 24.0, 1.0, -1.0)
+
+
+class TestMetricSet:
+    def _grid(self) -> MetricSet:
+        ms = MetricSet()
+        # The paper's Fig. 3/6/7 shape at 8 h sampling.
+        ms.add(make_measurement(IN_SITU, 8.0, 1_261.0, 0.6, outputs=540))
+        ms.add(make_measurement(POST_PROCESSING, 8.0, 2_573.0, 230.0, outputs=540))
+        ms.add(make_measurement(IN_SITU, 24.0, 820.0, 0.2, outputs=180))
+        ms.add(make_measurement(POST_PROCESSING, 24.0, 1_322.0, 80.0, outputs=180))
+        return ms
+
+    def test_get(self):
+        ms = self._grid()
+        assert ms.get(IN_SITU, 8.0).execution_time == 1_261.0
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ConfigurationError):
+            self._grid().get(IN_SITU, 72.0)
+
+    def test_get_duplicate_raises(self):
+        ms = self._grid()
+        ms.add(make_measurement(IN_SITU, 8.0, 1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            ms.get(IN_SITU, 8.0)
+
+    def test_pipelines_and_intervals(self):
+        ms = self._grid()
+        assert ms.pipelines() == [IN_SITU, POST_PROCESSING]
+        assert ms.sample_intervals() == [8.0, 24.0]
+
+    def test_time_savings_matches_paper_at_8h(self):
+        assert self._grid().time_savings(8.0) == pytest.approx(0.51, abs=0.01)
+
+    def test_energy_savings_track_time_when_power_flat(self):
+        ms = self._grid()
+        assert ms.energy_savings(8.0) == pytest.approx(ms.time_savings(8.0))
+
+    def test_storage_savings_over_99_percent(self):
+        assert self._grid().storage_savings(8.0) > 0.995
+
+    def test_power_change_zero_for_equal_power(self):
+        assert self._grid().power_change(8.0) == pytest.approx(0.0)
+
+    def test_savings_need_both_pipelines(self):
+        ms = MetricSet([make_measurement(IN_SITU, 8.0, 1.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            ms.time_savings(8.0)
+
+    def test_table_lists_all_cells(self):
+        table = self._grid().table()
+        assert table.count("in-situ") == 2
+        assert table.count("post-processing") == 2
+
+    def test_iteration_and_len(self):
+        ms = self._grid()
+        assert len(ms) == 4
+        assert len(list(ms)) == 4

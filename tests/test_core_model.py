@@ -1,0 +1,262 @@
+"""Tests for the analytical model and its calibration (Eqs. 1-7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper
+from repro.core.calibration import (
+    CalibrationPoint,
+    calibrate_exact,
+    calibrate_least_squares,
+    points_from_measurements,
+)
+from repro.core.metrics import IN_SITU, Measurement
+from repro.core.model import DataModel, PerformanceModel, PipelinePredictor
+from repro.errors import CalibrationError, ConfigurationError, ModelError
+
+
+def paper_model(power=None) -> PerformanceModel:
+    return PerformanceModel(
+        t_sim_ref=paper.EQ5_T_SIM,
+        iter_ref=paper.CAMPAIGN_TIMESTEPS,
+        alpha=paper.EQ5_ALPHA_S_PER_GB,
+        beta=paper.EQ5_BETA_S_PER_IMAGE,
+        power_watts=power,
+    )
+
+
+class TestPerformanceModel:
+    def test_eq4_reproduces_eq5_rows(self):
+        """The paper's solution satisfies its own system of equations."""
+        m = paper_model()
+        for s_gb, n_viz, total in paper.EQ5_SYSTEM:
+            assert m.execution_time(8_640, s_gb, n_viz) == pytest.approx(total, rel=0.01)
+
+    def test_simulation_time_scales_with_iterations(self):
+        m = paper_model()
+        assert m.simulation_time(2 * 8_640) == pytest.approx(2 * 603.0)
+        assert m.simulation_time(0) == 0.0
+
+    def test_energy_requires_power(self):
+        with pytest.raises(ModelError):
+            paper_model().energy(8_640, 1.0, 1.0)
+
+    def test_energy_is_p_times_t(self):
+        m = paper_model(power=46_000.0)
+        t = m.execution_time(8_640, 80.0, 180)
+        assert m.energy(8_640, 80.0, 180) == pytest.approx(46_000.0 * t)
+
+    def test_negative_inputs_rejected(self):
+        m = paper_model()
+        with pytest.raises(ModelError):
+            m.execution_time(-1, 1.0, 1.0)
+        with pytest.raises(ModelError):
+            m.execution_time(1, -1.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceModel(t_sim_ref=-1, iter_ref=10, alpha=1, beta=1)
+        with pytest.raises(ConfigurationError):
+            PerformanceModel(t_sim_ref=1, iter_ref=0, alpha=1, beta=1)
+        with pytest.raises(ConfigurationError):
+            PerformanceModel(t_sim_ref=1, iter_ref=10, alpha=-1, beta=1)
+
+
+class TestDataModel:
+    def _post(self) -> DataModel:
+        return DataModel(interval_hours_ref=24.0, s_io_gb_ref=80.0,
+                         n_viz_ref=180.0, iter_ref=8_640)
+
+    def test_eq6_rate_scaling(self):
+        d = self._post()
+        assert d.s_io_gb(12.0) == pytest.approx(160.0)  # twice the rate
+        assert d.s_io_gb(48.0) == pytest.approx(40.0)
+        assert d.s_io_gb(24.0) == pytest.approx(80.0)
+
+    def test_eq7_image_scaling(self):
+        d = self._post()
+        assert d.n_viz(8.0) == pytest.approx(540.0)
+        assert d.n_viz(72.0) == pytest.approx(60.0)
+
+    def test_iteration_scaling(self):
+        """A 100-year campaign is 200x the 6-month reference."""
+        d = self._post()
+        assert d.s_io_gb(24.0, iterations=200 * 8_640) == pytest.approx(16_000.0)
+
+    def test_from_measurement(self):
+        m = Measurement(
+            pipeline=IN_SITU, sample_interval_hours=24.0, execution_time=820.0,
+            n_timesteps=8_640, storage_bytes=0.2e9, n_outputs=180,
+        )
+        d = DataModel.from_measurement(m)
+        assert d.s_io_gb_ref == pytest.approx(0.2)
+        assert d.n_viz_ref == 180
+        assert d.iter_ref == 8_640
+
+    def test_invalid_queries(self):
+        d = self._post()
+        with pytest.raises(ModelError):
+            d.s_io_gb(0.0)
+        with pytest.raises(ModelError):
+            d.n_viz(24.0, iterations=-1)
+
+
+class TestPipelinePredictor:
+    def _predictor(self) -> PipelinePredictor:
+        return PipelinePredictor(
+            pipeline="post-processing",
+            model=paper_model(power=46_000.0),
+            data=DataModel(24.0, 80.0, 180.0, 8_640),
+        )
+
+    def test_prediction_at_reference_matches_eq5(self):
+        pred = self._predictor().predict(24.0)
+        assert pred.execution_time == pytest.approx(1_322.0, rel=0.01)
+        assert pred.s_io_gb == 80.0
+        assert pred.n_viz == 180.0
+        assert pred.storage_bytes == 80.0e9
+
+    def test_energy_included_when_power_known(self):
+        pred = self._predictor().predict(24.0)
+        assert pred.energy == pytest.approx(46_000.0 * pred.execution_time)
+
+    def test_energy_none_without_power(self):
+        p = PipelinePredictor("x", paper_model(), DataModel(24.0, 1.0, 1.0, 8_640))
+        assert p.predict(24.0).energy is None
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        h=st.floats(min_value=0.5, max_value=720.0, allow_nan=False),
+        scale=st.floats(min_value=0.1, max_value=500.0, allow_nan=False),
+    )
+    def test_time_decomposition_property(self, h, scale):
+        """t = t_sim + alpha*S + beta*N for every query (Eq. 3)."""
+        p = self._predictor()
+        iters = scale * 8_640
+        pred = p.predict(h, iters)
+        expected = (
+            p.model.simulation_time(iters)
+            + p.model.alpha * pred.s_io_gb
+            + p.model.beta * pred.n_viz
+        )
+        assert pred.execution_time == pytest.approx(expected, rel=1e-12)
+
+
+class TestCalibration:
+    def paper_points(self):
+        return [
+            CalibrationPoint(s_io_gb=s, n_viz=n, total_time=t, label=f"p{i}")
+            for i, (s, n, t) in enumerate(paper.EQ5_SYSTEM)
+        ]
+
+    def test_exact_solve_recovers_paper_solution(self):
+        """Solving the printed Eq. 5 system gives t_sim=603, α≈6.3, β≈1.2."""
+        result = calibrate_exact(self.paper_points())
+        assert result.model.t_sim_ref == pytest.approx(603.0, abs=7.0)
+        assert result.model.alpha == pytest.approx(6.3, abs=0.25)
+        assert result.model.beta == pytest.approx(1.2, abs=0.05)
+
+    def test_exact_needs_three_points(self):
+        with pytest.raises(CalibrationError):
+            calibrate_exact(self.paper_points()[:2])
+
+    def test_singular_system_rejected(self):
+        points = [
+            CalibrationPoint(s_io_gb=1.0, n_viz=10, total_time=100.0),
+            CalibrationPoint(s_io_gb=2.0, n_viz=20, total_time=120.0),
+            CalibrationPoint(s_io_gb=3.0, n_viz=30, total_time=140.0),
+        ]  # S and N perfectly collinear
+        with pytest.raises(CalibrationError):
+            calibrate_exact(points)
+
+    def test_residuals_zero_for_exact_solve(self):
+        result = calibrate_exact(self.paper_points())
+        assert max(abs(r) for r in result.residuals) < 1e-6
+
+    def test_least_squares_matches_exact_on_three_points(self):
+        exact = calibrate_exact(self.paper_points())
+        ls = calibrate_least_squares(self.paper_points())
+        assert ls.model.alpha == pytest.approx(exact.model.alpha, rel=1e-6)
+        assert ls.model.beta == pytest.approx(exact.model.beta, rel=1e-6)
+
+    def test_least_squares_needs_three_points(self):
+        with pytest.raises(CalibrationError):
+            calibrate_least_squares(self.paper_points()[:2])
+
+    def test_least_squares_averages_noise(self):
+        rng = np.random.default_rng(0)
+        truth = paper_model()
+        points = []
+        for i in range(30):
+            s = float(rng.uniform(0, 100))
+            n = float(rng.uniform(0, 600))
+            t = truth.execution_time(8_640, s, n) * float(rng.normal(1.0, 0.01))
+            points.append(CalibrationPoint(s_io_gb=s, n_viz=n, total_time=t))
+        fit = calibrate_least_squares(points)
+        assert fit.model.alpha == pytest.approx(truth.alpha, rel=0.05)
+        assert fit.model.beta == pytest.approx(truth.beta, rel=0.05)
+        assert fit.model.t_sim_ref == pytest.approx(truth.t_sim_ref, rel=0.05)
+
+    def test_negative_coefficients_rejected(self):
+        points = [
+            CalibrationPoint(s_io_gb=0.0, n_viz=0, total_time=100.0),
+            CalibrationPoint(s_io_gb=1.0, n_viz=0, total_time=50.0),  # faster with MORE IO
+            CalibrationPoint(s_io_gb=0.0, n_viz=10, total_time=110.0),
+        ]
+        with pytest.raises(CalibrationError):
+            calibrate_exact(points)
+
+    def test_validate_on_holdout(self):
+        truth = paper_model()
+        fit = calibrate_exact(self.paper_points())
+        holdout = [
+            CalibrationPoint(
+                s_io_gb=230.0, n_viz=540,
+                total_time=truth.execution_time(8_640, 230.0, 540),
+            )
+        ]
+        rows = fit.validate(holdout)
+        assert len(rows) == 1
+        _, predicted, rel = rows[0]
+        assert abs(rel) < 0.01
+
+    def test_calibration_round_trip_property(self):
+        """Synthesize exact data from a known model -> recover it."""
+        truth = PerformanceModel(t_sim_ref=500.0, iter_ref=1_000, alpha=4.2, beta=0.8)
+        pts = [
+            CalibrationPoint(s, n, truth.execution_time(1_000, s, n))
+            for s, n in ((0.1, 50), (0.9, 600), (120.0, 200))
+        ]
+        fit = calibrate_exact(pts, iter_ref=1_000)
+        assert fit.model.t_sim_ref == pytest.approx(500.0)
+        assert fit.model.alpha == pytest.approx(4.2)
+        assert fit.model.beta == pytest.approx(0.8)
+
+    def test_points_from_measurements_iter_ratio(self):
+        short = Measurement(
+            pipeline=IN_SITU, sample_interval_hours=24.0, execution_time=100.0,
+            n_timesteps=4_320, storage_bytes=1e9, n_outputs=90,
+        )
+        full = Measurement(
+            pipeline=IN_SITU, sample_interval_hours=24.0, execution_time=200.0,
+            n_timesteps=8_640, storage_bytes=2e9, n_outputs=180,
+        )
+        points = points_from_measurements([full, short])
+        assert points[0].iter_ratio == 1.0
+        assert points[1].iter_ratio == 0.5
+
+    def test_points_from_no_measurements_rejected(self):
+        with pytest.raises(CalibrationError):
+            points_from_measurements([])
+
+    def test_point_validation(self):
+        with pytest.raises(CalibrationError):
+            CalibrationPoint(s_io_gb=-1.0, n_viz=1, total_time=1.0)
+        with pytest.raises(CalibrationError):
+            CalibrationPoint(s_io_gb=1.0, n_viz=1, total_time=0.0)
+        with pytest.raises(CalibrationError):
+            CalibrationPoint(s_io_gb=1.0, n_viz=1, total_time=1.0, iter_ratio=0.0)

@@ -1,0 +1,190 @@
+"""Tests for the what-if analyzer and the pipeline advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper
+from repro.core.advisor import Constraints, PipelineAdvisor, Recommendation
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.core.model import DataModel, PerformanceModel, PipelinePredictor
+from repro.core.whatif import WhatIfAnalyzer
+from repro.errors import ConfigurationError, ModelError
+from repro.units import years
+
+
+@pytest.fixture
+def analyzer() -> WhatIfAnalyzer:
+    """An analyzer built directly from the paper's published numbers."""
+    model = PerformanceModel(
+        t_sim_ref=paper.EQ5_T_SIM,
+        iter_ref=paper.CAMPAIGN_TIMESTEPS,
+        alpha=paper.EQ5_ALPHA_S_PER_GB,
+        beta=paper.EQ5_BETA_S_PER_IMAGE,
+        power_watts=46_300.0,
+    )
+    insitu = PipelinePredictor(
+        IN_SITU, model, DataModel(24.0, 0.2, 180.0, paper.CAMPAIGN_TIMESTEPS)
+    )
+    post = PipelinePredictor(
+        POST_PROCESSING, model, DataModel(24.0, 80.0, 180.0, paper.CAMPAIGN_TIMESTEPS)
+    )
+    return WhatIfAnalyzer(insitu, post, timestep_seconds=paper.TIMESTEP_SECONDS)
+
+
+CENTURY = years(paper.WHATIF_YEARS)
+
+
+class TestSweeps:
+    def test_storage_vs_rate_fig9_shape(self, analyzer):
+        rows = analyzer.storage_vs_rate([24.0, 192.0], CENTURY)
+        # Post-processing at daily cadence for 100 years: 80 GB x ~203
+        # (100 calendar years / 6 30-day months) ≈ 16.2 TB.
+        (_, insitu_daily, post_daily), (_, _, post_8days) = rows
+        assert post_daily == pytest.approx(16_000.0, rel=0.03)
+        # At once-per-8-days it drops to the 2 TB budget of Fig. 9.
+        assert post_8days == pytest.approx(2_000.0, rel=0.03)
+        # In-situ stays tiny.
+        assert insitu_daily < 50.0
+
+    def test_energy_vs_rate_fig10_callouts(self, analyzer):
+        """67.2 % / 49 % / 38 % savings at 1 h / 12 h / 24 h cadences."""
+        for hours, expected in paper.WHATIF_ENERGY_SAVINGS.items():
+            got = analyzer.energy_savings(hours, CENTURY)
+            assert got == pytest.approx(expected, abs=0.02), f"at {hours} h"
+
+    def test_savings_shrink_with_coarser_sampling(self, analyzer):
+        s = [analyzer.energy_savings(h, CENTURY) for h in (1.0, 12.0, 24.0, 72.0)]
+        assert s == sorted(s, reverse=True)
+
+    def test_sweep_rows_expose_predictions(self, analyzer):
+        rows = analyzer.sweep([24.0], CENTURY)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.insitu.pipeline == IN_SITU
+        assert row.post.pipeline == POST_PROCESSING
+        assert row.storage_savings() > 0.99
+        assert 0 < row.time_savings() < 1
+        assert row.energy_savings() == pytest.approx(row.time_savings(), rel=0.01)
+
+    def test_iterations_for(self, analyzer):
+        assert analyzer.iterations_for(CENTURY) == pytest.approx(200 * 8_640, rel=0.02)
+        with pytest.raises(ModelError):
+            analyzer.iterations_for(0.0)
+
+
+class TestInversions:
+    def test_post_forced_to_8_days_by_2tb_budget(self, analyzer):
+        """The headline Fig. 9 result."""
+        h = analyzer.finest_interval_for_storage(
+            POST_PROCESSING, paper.WHATIF_STORAGE_BUDGET_GB, CENTURY
+        )
+        assert h / 24.0 == pytest.approx(paper.WHATIF_POST_FORCED_INTERVAL_DAYS, rel=0.02)
+
+    def test_insitu_unconstrained_by_2tb_budget(self, analyzer):
+        h = analyzer.finest_interval_for_storage(IN_SITU, 2_000.0, CENTURY)
+        assert h <= 1.0  # can sample hourly or finer
+
+    def test_storage_inversion_is_consistent(self, analyzer):
+        """Predicted storage at the returned cadence equals the budget."""
+        h = analyzer.finest_interval_for_storage(POST_PROCESSING, 5_000.0, CENTURY)
+        pred = analyzer.post.predict(h, analyzer.iterations_for(CENTURY))
+        assert pred.s_io_gb == pytest.approx(5_000.0, rel=1e-6)
+
+    def test_energy_inversion_consistent(self, analyzer):
+        # Budget set to the exact energy of a 48-hour cadence: inverting it
+        # must return 48 hours.
+        iters = analyzer.iterations_for(CENTURY)
+        budget = analyzer.post.predict(48.0, iters).energy
+        h = analyzer.finest_interval_for_energy(POST_PROCESSING, budget, CENTURY)
+        assert h == pytest.approx(48.0, rel=1e-9)
+        pred = analyzer.post.predict(h, iters)
+        assert pred.energy == pytest.approx(budget, rel=1e-9)
+
+    def test_energy_budget_below_floor_rejected(self, analyzer):
+        with pytest.raises(ModelError):
+            analyzer.finest_interval_for_energy(POST_PROCESSING, 1.0, CENTURY)
+
+    def test_interval_floor_is_the_timestep(self, analyzer):
+        h = analyzer.finest_interval_for_storage(POST_PROCESSING, 1e12, CENTURY)
+        assert h >= paper.TIMESTEP_SECONDS / 3_600.0
+
+    def test_invalid_budgets(self, analyzer):
+        with pytest.raises(ModelError):
+            analyzer.finest_interval_for_storage(POST_PROCESSING, 0.0, CENTURY)
+        with pytest.raises(ModelError):
+            analyzer.finest_interval_for_energy(POST_PROCESSING, -1.0, CENTURY)
+
+    def test_unknown_pipeline_rejected(self, analyzer):
+        with pytest.raises(ConfigurationError):
+            analyzer.finest_interval_for_storage("mystery", 1.0, CENTURY)
+
+
+class TestAdvisor:
+    def test_recommends_insitu_for_daily_eddy_tracking(self, analyzer):
+        """The paper's scenario: 2 TB budget, once-per-day science need."""
+        advisor = PipelineAdvisor(analyzer)
+        rec = advisor.recommend(
+            Constraints(
+                duration_seconds=CENTURY,
+                storage_budget_gb=2_000.0,
+                required_interval_hours=24.0,
+            )
+        )
+        assert rec.pipeline == IN_SITU
+        assert rec.feasible
+        assert rec.interval_hours == 24.0
+
+    def test_post_infeasible_for_daily_tracking_under_2tb(self, analyzer):
+        advisor = PipelineAdvisor(analyzer)
+        rec = advisor.evaluate(
+            POST_PROCESSING,
+            Constraints(
+                duration_seconds=CENTURY,
+                storage_budget_gb=2_000.0,
+                required_interval_hours=24.0,
+            ),
+        )
+        assert not rec.feasible
+        assert "INFEASIBLE" in rec.summary()
+
+    def test_no_requirement_returns_finest_cadence(self, analyzer):
+        advisor = PipelineAdvisor(analyzer)
+        rec = advisor.evaluate(
+            POST_PROCESSING,
+            Constraints(duration_seconds=CENTURY, storage_budget_gb=2_000.0),
+        )
+        assert rec.feasible
+        assert rec.interval_hours == pytest.approx(192.0, rel=0.02)
+
+    def test_time_budget_constrains_cadence(self, analyzer):
+        advisor = PipelineAdvisor(analyzer)
+        iters = analyzer.iterations_for(CENTURY)
+        floor = analyzer.post.model.simulation_time(iters)
+        rec = advisor.evaluate(
+            POST_PROCESSING,
+            Constraints(duration_seconds=CENTURY, time_budget_seconds=floor * 1.5),
+        )
+        assert rec.prediction.execution_time <= floor * 1.5 * (1 + 1e-6)
+
+    def test_time_budget_below_floor_rejected(self, analyzer):
+        advisor = PipelineAdvisor(analyzer)
+        with pytest.raises(ModelError):
+            advisor.evaluate(
+                POST_PROCESSING,
+                Constraints(duration_seconds=CENTURY, time_budget_seconds=1.0),
+            )
+
+    def test_constraints_validation(self):
+        with pytest.raises(ConfigurationError):
+            Constraints(duration_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            Constraints(duration_seconds=1.0, storage_budget_gb=-5.0)
+
+    def test_recommendation_summary(self, analyzer):
+        advisor = PipelineAdvisor(analyzer)
+        rec = advisor.recommend(Constraints(duration_seconds=CENTURY,
+                                            storage_budget_gb=100.0))
+        assert isinstance(rec, Recommendation)
+        assert rec.pipeline in (IN_SITU, POST_PROCESSING)
+        assert "every" in rec.summary()

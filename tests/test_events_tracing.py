@@ -1,0 +1,123 @@
+"""Tests for the event tracer (:mod:`repro.events.tracing`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.events.engine import Simulator
+from repro.events.tracing import EventTracer
+
+
+def two_process_workload(sim):
+    def worker(name, delay):
+        yield sim.timeout(delay)
+        yield sim.timeout(delay)
+
+    sim.process(worker("a", 1.0), name="worker-a")
+    sim.process(worker("b", 2.0), name="worker-b")
+
+
+class TestEventTracer:
+    def test_records_every_event(self, sim):
+        tracer = EventTracer(sim)
+        two_process_workload(sim)
+        sim.run()
+        # 2 bootstrap events + 4 timeouts + 2 process-end events.
+        assert tracer.n_processed == 8
+        assert len(tracer.records) == 8
+
+    def test_times_monotone(self, sim):
+        tracer = EventTracer(sim)
+        two_process_workload(sim)
+        sim.run()
+        times = [r.time for r in tracer.records]
+        assert times == sorted(times)
+
+    def test_kind_histogram(self, sim):
+        tracer = EventTracer(sim)
+        two_process_workload(sim)
+        sim.run()
+        kinds = tracer.by_kind()
+        assert kinds["timeout"] == 4
+        assert kinds["process-end"] == 2
+
+    def test_process_names_recorded(self, sim):
+        tracer = EventTracer(sim)
+        two_process_workload(sim)
+        sim.run()
+        names = {r.name for r in tracer.records if r.kind == "process-end"}
+        assert names == {"worker-a", "worker-b"}
+
+    def test_tracing_does_not_change_timing(self):
+        plain, traced = Simulator(), Simulator()
+        EventTracer(traced)
+        for sim in (plain, traced):
+            two_process_workload(sim)
+            sim.run()
+        assert plain.now == traced.now
+
+    def test_capacity_ring(self, sim):
+        tracer = EventTracer(sim, capacity=3)
+        two_process_workload(sim)
+        sim.run()
+        assert len(tracer.records) == 3
+        assert tracer.n_dropped == 5
+        # The ring keeps the newest records.
+        assert tracer.records[-1].index == tracer.n_processed - 1
+
+    def test_predicate_filter(self, sim):
+        tracer = EventTracer(sim, predicate=lambda r: r.kind == "process-end")
+        two_process_workload(sim)
+        sim.run()
+        assert all(r.kind == "process-end" for r in tracer.records)
+        assert len(tracer.records) == 2
+
+    def test_between(self, sim):
+        tracer = EventTracer(sim)
+        two_process_workload(sim)
+        sim.run()
+        early = tracer.between(0.0, 1.5)
+        assert all(r.time <= 1.5 for r in early)
+        assert early
+
+    def test_summary_renders(self, sim):
+        tracer = EventTracer(sim)
+        two_process_workload(sim)
+        sim.run()
+        text = tracer.summary(last=3)
+        assert "events processed" in text
+        assert text.count("\n") == 3
+
+    def test_detach_stops_recording(self, sim):
+        tracer = EventTracer(sim)
+        sim.timeout(1.0)
+        sim.run()
+        count = tracer.n_processed
+        tracer.detach()
+        sim.timeout(1.0)
+        sim.run()
+        assert tracer.n_processed == count
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ConfigurationError):
+            EventTracer(sim, capacity=0)
+
+    def test_traces_a_full_pipeline_run(self):
+        """The tracer survives a real campaign-scale workload."""
+        from repro.ocean.driver import MPASOceanConfig
+        from repro.pipelines.base import PipelineSpec
+        from repro.pipelines.insitu import InSituPipeline
+        from repro.pipelines.platform import SimulatedPlatform
+        from repro.pipelines.sampling import SamplingPolicy
+        from repro.units import MONTH
+
+        platform = SimulatedPlatform()
+        tracer = EventTracer(platform.sim, capacity=100)
+        spec = PipelineSpec(
+            ocean=MPASOceanConfig(duration_seconds=MONTH),
+            sampling=SamplingPolicy(72.0),
+        )
+        m = platform.run(InSituPipeline(), spec)
+        assert tracer.n_processed > 50
+        assert m.n_outputs == 10

@@ -1,0 +1,130 @@
+"""Failure-injection tests: the system fails loudly and precisely.
+
+The paper's premise is that post-processing *physically cannot* sustain fine
+sampling on a bounded filesystem — so the simulator must reproduce the
+failure mode, not just the happy path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machine import caddy
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    PipelineError,
+    StorageFullError,
+)
+from repro.events.engine import Simulator
+from repro.ocean.driver import MPASOceanConfig
+from repro.pipelines.base import PipelineSpec
+from repro.pipelines.insitu import InSituPipeline
+from repro.pipelines.platform import SimulatedPlatform
+from repro.pipelines.postprocessing import PostProcessingPipeline
+from repro.pipelines.sampling import SamplingPolicy
+from repro.storage.lustre import LustreFileSystem, StorageCluster
+from repro.units import GB, MONTH
+
+
+def small_rack_platform(capacity_gb: float) -> SimulatedPlatform:
+    sim = Simulator()
+    fs = LustreFileSystem(sim, capacity_bytes=capacity_gb * GB)
+    return SimulatedPlatform(cluster=caddy(sim), storage=StorageCluster(sim, filesystem=fs))
+
+
+class TestStorageWall:
+    def test_post_processing_hits_the_storage_wall(self):
+        """A post-processing campaign too big for the rack dies with
+        StorageFullError — the physical mechanism behind Fig. 9."""
+        platform = small_rack_platform(capacity_gb=5.0)
+        spec = PipelineSpec(sampling=SamplingPolicy(8.0))
+        with pytest.raises(StorageFullError):
+            platform.run(PostProcessingPipeline(), spec)
+
+    def test_failure_happens_at_the_predicted_sample(self):
+        platform = small_rack_platform(capacity_gb=5.0)
+        spec = PipelineSpec(sampling=SamplingPolicy(8.0))
+        expected_failures = int(5.0e9 / spec.ocean.bytes_per_sample)
+        with pytest.raises(StorageFullError):
+            platform.run(PostProcessingPipeline(), spec)
+        assert platform.storage.fs.n_files == expected_failures
+
+    def test_insitu_fits_where_post_cannot(self):
+        """The same tiny rack comfortably holds the image database."""
+        platform = small_rack_platform(capacity_gb=5.0)
+        spec = PipelineSpec(sampling=SamplingPolicy(8.0))
+        m = platform.run(InSituPipeline(), spec)
+        assert m.storage_bytes < 1.0 * GB
+
+    def test_no_partial_write_on_failure(self):
+        """The failing write moves no bytes (capacity checked up front)."""
+        platform = small_rack_platform(capacity_gb=1.0)
+        spec = PipelineSpec(
+            ocean=MPASOceanConfig(duration_seconds=MONTH),
+            sampling=SamplingPolicy(8.0),
+        )
+        used_before_failure = None
+        try:
+            platform.run(PostProcessingPipeline(), spec)
+        except StorageFullError:
+            used_before_failure = platform.storage.fs.used_bytes
+        assert used_before_failure is not None
+        assert used_before_failure <= 1.0 * GB
+
+
+class TestEngineFailures:
+    def test_process_exception_propagates(self, sim):
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("solver diverged")
+
+        sim.process(bad())
+        with pytest.raises(RuntimeError, match="solver diverged"):
+            sim.run()
+
+    def test_orphaned_waiter_is_a_deadlock(self, sim):
+        def waiter():
+            yield sim.event()
+
+        sim.process(waiter())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_exception_inside_pipeline_surfaces_from_platform(self):
+        """Errors in DES pipeline code surface from platform.run()."""
+
+        class ExplodingPipeline(InSituPipeline):
+            def simulated_process(self, platform, spec, timeline, artifacts):
+                yield platform.sim.timeout(1.0)
+                raise PipelineError("catalyst adaptor crashed")
+
+        platform = SimulatedPlatform()
+        spec = PipelineSpec(
+            ocean=MPASOceanConfig(duration_seconds=MONTH),
+            sampling=SamplingPolicy(72.0),
+        )
+        with pytest.raises(PipelineError, match="catalyst adaptor"):
+            platform.run(ExplodingPipeline(), spec)
+
+
+class TestDegenerateRuns:
+    def test_zero_duration_pipeline_rejected(self):
+        class NullPipeline(InSituPipeline):
+            def simulated_process(self, platform, spec, timeline, artifacts):
+                return
+                yield  # pragma: no cover - makes this a generator
+
+        platform = SimulatedPlatform()
+        spec = PipelineSpec(
+            ocean=MPASOceanConfig(duration_seconds=MONTH),
+            sampling=SamplingPolicy(72.0),
+        )
+        with pytest.raises(ConfigurationError, match="no simulated time"):
+            platform.run(NullPipeline(), spec)
+
+    def test_mismatched_simulators_rejected_at_construction(self):
+        cluster = caddy(Simulator())
+        storage = StorageCluster(Simulator())
+        with pytest.raises(ConfigurationError):
+            SimulatedPlatform(cluster=cluster, storage=storage)

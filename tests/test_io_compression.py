@@ -1,0 +1,131 @@
+"""Tests for the compression codecs (:mod:`repro.io.compression`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, FileFormatError
+from repro.io.compression import (
+    CompressedFieldWriter,
+    compress_field,
+    compression_ratio,
+    decompress_field,
+)
+
+
+class TestLossless:
+    def test_round_trip_exact(self, mini_fields):
+        for name, field in mini_fields.items():
+            back = decompress_field(compress_field(field))
+            np.testing.assert_array_equal(back, field, err_msg=name)
+            assert back.dtype == field.dtype
+
+    def test_float32_supported(self):
+        field = np.random.default_rng(0).standard_normal((16, 16)).astype(np.float32)
+        back = decompress_field(compress_field(field))
+        np.testing.assert_array_equal(back, field)
+
+    def test_lossless_shrinks_but_modestly(self, mini_fields):
+        """Full-precision turbulence has high mantissa entropy: lossless
+        shuffle+zlib only trims the smooth byte planes."""
+        ratio = compression_ratio({"t": mini_fields["temperature"]})
+        assert 0.5 < ratio < 0.95
+
+    def test_quantization_is_where_the_savings_are(self, mini_fields):
+        """At a physically sensible precision the fields compress hard."""
+        import numpy as np
+        field = mini_fields["temperature"]
+        ratio = compression_ratio(
+            {"t": field}, precision=1e-4 * float(np.std(field))
+        )
+        assert ratio < 0.4
+
+    def test_integer_dtype_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compress_field(np.zeros((4, 4), dtype=np.int32))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(FileFormatError):
+            decompress_field(b"definitely not compressed")
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        ny=st.integers(min_value=1, max_value=16),
+        nx=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_round_trip_property(self, ny, nx, seed):
+        field = np.random.default_rng(seed).standard_normal((ny, nx))
+        np.testing.assert_array_equal(decompress_field(compress_field(field)), field)
+
+
+class TestQuantized:
+    def test_error_bounded_by_half_precision(self, mini_fields):
+        field = mini_fields["temperature"]
+        for precision in (0.1, 0.01, 1e-4):
+            back = decompress_field(compress_field(field, precision=precision))
+            assert np.max(np.abs(back - field)) <= precision / 2 + 1e-12
+
+    def test_coarser_precision_compresses_better(self, mini_fields):
+        field = mini_fields["okubo_weiss"]
+        scale = float(np.std(field))
+        sizes = [
+            len(compress_field(field, precision=p * scale))
+            for p in (1e-6, 1e-3, 1e-1)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_quantized_beats_lossless(self, mini_fields):
+        field = mini_fields["u"]
+        lossless = len(compress_field(field))
+        lossy = len(compress_field(field, precision=1e-3 * float(np.std(field))))
+        assert lossy < lossless
+
+    def test_invalid_precision(self):
+        with pytest.raises(ConfigurationError):
+            compress_field(np.zeros((4, 4)), precision=0.0)
+
+
+class TestCompressedFieldWriter:
+    def test_container_round_trip(self, mini_fields):
+        writer = CompressedFieldWriter()
+        blob = writer.serialize(mini_fields)
+        back = CompressedFieldWriter.deserialize(blob)
+        assert set(back) == set(mini_fields)
+        for name in mini_fields:
+            np.testing.assert_array_equal(back[name], np.asarray(mini_fields[name], float))
+
+    def test_write_to_disk(self, tmp_path, mini_fields):
+        writer = CompressedFieldWriter(precision=1e-6)
+        path = str(tmp_path / "fields.nclz")
+        n = writer.write(path, mini_fields)
+        assert n == (tmp_path / "fields.nclz").stat().st_size
+
+    def test_overall_ratio_tracks_writes(self, mini_fields):
+        writer = CompressedFieldWriter()
+        writer.serialize(mini_fields)
+        assert 0.0 < writer.overall_ratio < 1.0
+
+    def test_ratio_before_writes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompressedFieldWriter().overall_ratio
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompressedFieldWriter().serialize({})
+
+    def test_trailing_garbage_rejected(self, mini_fields):
+        blob = CompressedFieldWriter().serialize(mini_fields)
+        with pytest.raises(FileFormatError):
+            CompressedFieldWriter.deserialize(blob + b"xx")
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            CompressedFieldWriter(level=10)
+
+    def test_compression_ratio_of_nothing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compression_ratio({})

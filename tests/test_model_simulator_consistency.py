@@ -1,0 +1,103 @@
+"""Cross-layer consistency: the DES platform obeys the analytical model.
+
+The paper's two-stage structure only works because Eq. 4 really describes
+the machine.  These tests verify that *our* simulated machine has the same
+property: measurements taken at arbitrary cadences and campaign lengths are
+predicted by a model calibrated elsewhere — the strongest end-to-end
+invariant in the repo.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.calibration import calibrate_least_squares, points_from_measurements
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.ocean.driver import MPASOceanConfig
+from repro.pipelines.base import PipelineSpec
+from repro.pipelines.insitu import InSituPipeline
+from repro.pipelines.platform import SimulatedPlatform
+from repro.pipelines.postprocessing import PostProcessingPipeline
+from repro.pipelines.sampling import SamplingPolicy
+from repro.units import MONTH
+
+
+def run_cell(pipeline, hours, months=6.0):
+    platform = SimulatedPlatform()
+    spec = PipelineSpec(
+        ocean=MPASOceanConfig(duration_seconds=months * MONTH),
+        sampling=SamplingPolicy(hours),
+    )
+    return platform.run(pipeline, spec)
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    """Least-squares fit over a 4-cell grid (distinct from the test cells)."""
+    cells = [
+        run_cell(InSituPipeline(), 8.0),
+        run_cell(InSituPipeline(), 48.0),
+        run_cell(PostProcessingPipeline(), 16.0),
+        run_cell(PostProcessingPipeline(), 48.0),
+    ]
+    points = points_from_measurements(cells)
+    return calibrate_least_squares(points, iter_ref=cells[0].n_timesteps)
+
+
+class TestUnseenCadences:
+    @pytest.mark.parametrize("hours", [4.0, 12.0, 36.0, 120.0])
+    def test_insitu_predicted_at_unseen_cadence(self, fitted_model, hours):
+        m = run_cell(InSituPipeline(), hours)
+        predicted = fitted_model.model.execution_time(
+            m.n_timesteps, m.storage_bytes / 1e9, m.n_outputs
+        )
+        assert predicted == pytest.approx(m.execution_time, rel=0.02)
+
+    @pytest.mark.parametrize("hours", [4.0, 36.0])
+    def test_post_predicted_at_unseen_cadence(self, fitted_model, hours):
+        m = run_cell(PostProcessingPipeline(), hours)
+        predicted = fitted_model.model.execution_time(
+            m.n_timesteps, m.storage_bytes / 1e9, m.n_outputs
+        )
+        assert predicted == pytest.approx(m.execution_time, rel=0.02)
+
+
+class TestUnseenCampaignLengths:
+    @pytest.mark.parametrize("months", [1.0, 3.0, 12.0])
+    def test_iteration_scaling_holds(self, fitted_model, months):
+        """Eq. 4's first term: time scales with the campaign length."""
+        m = run_cell(InSituPipeline(), 24.0, months=months)
+        predicted = fitted_model.model.execution_time(
+            m.n_timesteps, m.storage_bytes / 1e9, m.n_outputs
+        )
+        assert predicted == pytest.approx(m.execution_time, rel=0.02)
+
+
+class TestStructuralInvariants:
+    def test_execution_time_monotone_in_rate(self):
+        """Finer sampling never makes a pipeline faster."""
+        for pipeline in (InSituPipeline(), PostProcessingPipeline()):
+            times = [
+                run_cell(pipeline, h, months=2.0).execution_time
+                for h in (72.0, 24.0, 8.0)
+            ]
+            assert times == sorted(times)
+
+    def test_storage_linear_in_rate(self):
+        """Eq. 6 emerges from the simulator (not assumed by it)."""
+        a = run_cell(PostProcessingPipeline(), 12.0, months=2.0)
+        b = run_cell(PostProcessingPipeline(), 48.0, months=2.0)
+        assert a.storage_bytes / b.storage_bytes == pytest.approx(4.0, rel=0.01)
+
+    def test_image_count_linear_in_rate(self):
+        a = run_cell(InSituPipeline(), 6.0, months=2.0)
+        b = run_cell(InSituPipeline(), 24.0, months=2.0)
+        assert a.n_images / b.n_images == pytest.approx(4.0)
+
+    def test_fitted_coefficients_have_physical_values(self, fitted_model):
+        """α tracks the Lustre bandwidth; β tracks the render model."""
+        assert fitted_model.model.alpha == pytest.approx(1e9 / 160e6, rel=0.05)
+        assert fitted_model.model.beta == pytest.approx(1.2, rel=0.10)
+
+    def test_residuals_small_on_training_cells(self, fitted_model):
+        assert fitted_model.max_relative_error < 0.02

@@ -1,0 +1,112 @@
+"""Tests for ocean diagnostics and the in-situ simulation monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ocean.barotropic import BarotropicSolver
+from repro.ocean.diagnostics import (
+    SimulationMonitor,
+    energy_spectrum,
+    spectral_slope,
+)
+from repro.ocean.grid import SpectralGrid
+
+
+@pytest.fixture(scope="module")
+def turbulent_solver() -> BarotropicSolver:
+    solver = BarotropicSolver(SpectralGrid(128, 128), viscosity=5e7, seed=4)
+    solver.run(60, 1_800.0)
+    return solver
+
+
+class TestEnergySpectrum:
+    def test_parseval(self, turbulent_solver):
+        """The spectrum integrates to the domain-mean kinetic energy."""
+        _, e = energy_spectrum(turbulent_solver)
+        assert e.sum() == pytest.approx(turbulent_solver.kinetic_energy(), rel=1e-6)
+
+    def test_peak_near_injection_scale(self):
+        # psi-spectrum peaks at k_peak=6; the k^3 shell factor of E(k)
+        # shifts the energy peak to ~2 k_peak.
+        solver = BarotropicSolver(SpectralGrid(64, 64), seed=0)
+        k, e = energy_spectrum(solver)
+        assert 8 <= k[np.argmax(e)] <= 16
+
+    def test_single_mode_spectrum(self):
+        """A pure sin(k x) flow concentrates all energy in one bin."""
+        g = SpectralGrid(64, 64)
+        solver = BarotropicSolver(g, seed=None)
+        x, _ = g.coordinates()
+        k0 = 2 * np.pi / g.length_m
+        # ψ = cos(4 k0 x) -> ζ = -16 k0² cos(4 k0 x); flow is v-only at k=4.
+        solver.set_vorticity(-((4 * k0) ** 2) * np.cos(4 * k0 * x))
+        k, e = energy_spectrum(solver)
+        assert k[np.argmax(e)] == pytest.approx(4.0)
+        assert e[np.argmax(e)] / e.sum() > 0.99
+
+    def test_spectrum_nonnegative(self, turbulent_solver):
+        _, e = energy_spectrum(turbulent_solver)
+        assert (e >= 0).all()
+
+
+class TestSpectralSlope:
+    def test_enstrophy_cascade_slope(self, turbulent_solver):
+        """Decaying 2-D turbulence: a falling power law above the energy
+        peak (the mildly dissipated mini model sits between the classic
+        k^-3 cascade and a shallow enstrophy pile-up)."""
+        slope = spectral_slope(turbulent_solver, k_lo=16.0, k_hi=40.0)
+        assert -7.0 < slope < -1.2
+
+    def test_fit_range_validation(self, turbulent_solver):
+        with pytest.raises(ConfigurationError):
+            spectral_slope(turbulent_solver, k_lo=0.0)
+        with pytest.raises(ConfigurationError):
+            spectral_slope(turbulent_solver, k_lo=30.0, k_hi=8.0)
+
+
+class TestSimulationMonitor:
+    def test_healthy_run_stays_healthy(self):
+        solver = BarotropicSolver(SpectralGrid(32, 32), seed=1)
+        monitor = SimulationMonitor()
+        for _ in range(5):
+            solver.run(5, 1_800.0)
+            report = monitor.check(solver, 1_800.0)
+            assert report.healthy, report.reason
+        assert not monitor.ever_unhealthy
+        assert len(monitor.history) == 5
+
+    def test_cfl_violation_flagged(self):
+        solver = BarotropicSolver(SpectralGrid(32, 32), seed=1)
+        monitor = SimulationMonitor(max_cfl=0.5)
+        report = monitor.check(solver, dt=1e6)  # absurd timestep
+        assert not report.healthy
+        assert "CFL" in report.reason
+
+    def test_energy_growth_flagged(self):
+        """The Section II-B use case: catch a diverging run early."""
+        solver = BarotropicSolver(SpectralGrid(32, 32), seed=1)
+        monitor = SimulationMonitor(max_energy_growth=2.0)
+        monitor.check(solver, 1_800.0)  # baseline
+        # Inject a bad state (as a wrong initial condition would produce).
+        solver._zeta_hat *= 3.0
+        report = monitor.check(solver, 1_800.0)
+        assert not report.healthy
+        assert "energy grew" in report.reason
+        assert monitor.ever_unhealthy
+
+    def test_nonfinite_state_flagged(self):
+        solver = BarotropicSolver(SpectralGrid(32, 32), seed=1)
+        monitor = SimulationMonitor()
+        solver._zeta_hat[0, 1] = np.nan
+        report = monitor.check(solver, 1_800.0)
+        assert not report.healthy
+        assert "non-finite" in report.reason
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationMonitor(max_energy_growth=1.0)
+        with pytest.raises(ConfigurationError):
+            SimulationMonitor(max_cfl=0.0)

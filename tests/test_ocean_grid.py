@@ -1,0 +1,166 @@
+"""Tests for :mod:`repro.ocean.grid` and the barotropic solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.ocean.barotropic import BarotropicSolver
+from repro.ocean.grid import SpectralGrid, icosahedral_cell_count
+
+
+class TestIcosahedralCellCount:
+    def test_60km_is_the_paper_mesh(self):
+        assert icosahedral_cell_count(60.0) == 163_842
+
+    def test_refinement_series(self):
+        """Halving the resolution quadruples the cell count (one level up)."""
+        assert icosahedral_cell_count(30.0) == 4 * (163_842 - 2) + 2
+
+    def test_monotone_in_resolution(self):
+        counts = [icosahedral_cell_count(r) for r in (240, 120, 60, 30, 15)]
+        assert counts == sorted(counts)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ConfigurationError):
+            icosahedral_cell_count(0.0)
+
+
+class TestSpectralGrid:
+    def test_shape_and_spacing(self):
+        g = SpectralGrid(64, 32, length_m=1.0e6)
+        assert g.shape == (32, 64)
+        assert g.n_cells == 2_048
+        assert g.dx == pytest.approx(1.0e6 / 64)
+        assert g.dy == pytest.approx(1.0e6 / 32)
+
+    def test_odd_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpectralGrid(63, 32)
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpectralGrid(4, 4)
+
+    def test_transform_round_trip(self):
+        g = SpectralGrid(32, 16)
+        rng = np.random.default_rng(0)
+        field = rng.standard_normal(g.shape)
+        np.testing.assert_allclose(g.to_physical(g.to_spectral(field)), field, atol=1e-12)
+
+    def test_spectral_derivative_of_sine(self):
+        g = SpectralGrid(64, 32, length_m=2 * np.pi)
+        x, _ = g.coordinates()
+        field = np.sin(x)
+        d = g.to_physical(g.ddx(g.to_spectral(field)))
+        np.testing.assert_allclose(d, np.cos(x), atol=1e-10)
+
+    def test_laplacian_of_sine(self):
+        g = SpectralGrid(64, 32, length_m=2 * np.pi)
+        x, _ = g.coordinates()
+        field = np.sin(2 * x)
+        lap = g.to_physical(g.laplacian(g.to_spectral(field)))
+        np.testing.assert_allclose(lap, -4 * np.sin(2 * x), atol=1e-9)
+
+    def test_poisson_inversion(self):
+        """inv_k2 solves ∇²ψ = ζ up to the mean mode."""
+        g = SpectralGrid(32, 32, length_m=2 * np.pi)
+        x, y = g.coordinates()
+        psi = np.sin(3 * x) * np.cos(2 * y)
+        zeta_hat = g.laplacian(g.to_spectral(psi))
+        psi_back = g.to_physical(-g.inv_k2 * zeta_hat)
+        np.testing.assert_allclose(psi_back, psi - psi.mean(), atol=1e-9)
+
+    def test_dealias_mask_keeps_low_modes(self):
+        g = SpectralGrid(32, 32)
+        assert g.dealias_mask[0, 0]
+        assert not g.dealias_mask[:, -1].any()  # highest kx removed
+
+    def test_shape_mismatch_rejected(self):
+        g = SpectralGrid(32, 16)
+        with pytest.raises(ConfigurationError):
+            g.to_spectral(np.zeros((16, 16)))
+
+
+class TestBarotropicSolver:
+    def test_initialization_is_seeded_and_reproducible(self):
+        g = SpectralGrid(32, 32)
+        a = BarotropicSolver(g, seed=42).vorticity()
+        b = BarotropicSolver(SpectralGrid(32, 32), seed=42).vorticity()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        g = SpectralGrid(32, 32)
+        a = BarotropicSolver(g, seed=1).vorticity()
+        b = BarotropicSolver(SpectralGrid(32, 32), seed=2).vorticity()
+        assert not np.allclose(a, b)
+
+    def test_initial_rms_speed_near_unity(self):
+        solver = BarotropicSolver(SpectralGrid(64, 64), seed=0)
+        u, v = solver.velocity()
+        rms = np.sqrt(np.mean(u**2 + v**2))
+        assert rms == pytest.approx(1.0, rel=1e-6)
+
+    def test_velocity_is_divergence_free(self):
+        g = SpectralGrid(64, 64)
+        solver = BarotropicSolver(g, seed=3)
+        u, v = solver.velocity()
+        div = g.to_physical(g.ddx(g.to_spectral(u)) + g.ddy(g.to_spectral(v)))
+        assert np.max(np.abs(div)) < 1e-10 * np.max(np.abs(u))
+
+    def test_curl_of_velocity_is_vorticity(self):
+        g = SpectralGrid(64, 64)
+        solver = BarotropicSolver(g, seed=3)
+        u, v = solver.velocity()
+        curl = g.to_physical(g.ddx(g.to_spectral(v)) - g.ddy(g.to_spectral(u)))
+        np.testing.assert_allclose(curl, solver.vorticity(), atol=1e-10)
+
+    def test_step_advances_clock(self):
+        solver = BarotropicSolver(SpectralGrid(32, 32), seed=0)
+        solver.step(100.0)
+        assert solver.time == 100.0
+        assert solver.step_count == 1
+
+    def test_energy_decays_slowly_enstrophy_faster(self):
+        """2-D turbulence: enstrophy dissipates much faster than energy."""
+        solver = BarotropicSolver(SpectralGrid(64, 64), viscosity=5e7, seed=0)
+        e0, z0 = solver.kinetic_energy(), solver.enstrophy()
+        solver.run(50, 1_800.0)
+        e1, z1 = solver.kinetic_energy(), solver.enstrophy()
+        energy_loss = 1 - e1 / e0
+        enstrophy_loss = 1 - z1 / z0
+        assert 0 <= energy_loss < 0.2
+        assert enstrophy_loss > energy_loss
+
+    def test_mean_vorticity_conserved_at_zero(self):
+        solver = BarotropicSolver(SpectralGrid(32, 32), seed=0)
+        solver.run(20, 1_800.0)
+        assert abs(solver.vorticity().mean()) < 1e-12
+
+    def test_blowup_detected(self):
+        solver = BarotropicSolver(SpectralGrid(32, 32), viscosity=0.0, seed=0)
+        with pytest.raises(SimulationError):
+            solver.run(50, 300_000.0)  # wildly unstable timestep (CFL >> 1)
+
+    def test_nonpositive_timestep_rejected(self):
+        solver = BarotropicSolver(SpectralGrid(32, 32), seed=0)
+        with pytest.raises(ConfigurationError):
+            solver.step(0.0)
+
+    def test_set_vorticity_round_trip(self):
+        g = SpectralGrid(32, 32)
+        solver = BarotropicSolver(g, seed=None)
+        x, y = g.coordinates()
+        k0 = 2 * np.pi / g.length_m
+        zeta = np.sin(4 * k0 * x) * np.sin(4 * k0 * y)
+        solver.set_vorticity(zeta)
+        np.testing.assert_allclose(solver.vorticity(), zeta, atol=1e-12)
+
+    def test_cfl_number_scales_with_dt(self):
+        solver = BarotropicSolver(SpectralGrid(32, 32), seed=0)
+        assert solver.cfl_number(2_000.0) == pytest.approx(2 * solver.cfl_number(1_000.0))
+
+    def test_no_seed_starts_at_rest(self):
+        solver = BarotropicSolver(SpectralGrid(32, 32), seed=None)
+        assert solver.kinetic_energy() == 0.0

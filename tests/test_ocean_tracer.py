@@ -1,0 +1,105 @@
+"""Tests for passive tracer advection (:mod:`repro.ocean.tracer`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ocean.barotropic import BarotropicSolver
+from repro.ocean.grid import SpectralGrid
+from repro.ocean.tracer import TracerField
+
+
+@pytest.fixture
+def flow() -> BarotropicSolver:
+    return BarotropicSolver(SpectralGrid(64, 64), viscosity=5e7, seed=2)
+
+
+class TestSetup:
+    def test_default_gradient_range(self, flow):
+        tracer = TracerField(flow)
+        c = tracer.concentration()
+        # Cell-centered sampling never hits the cosine extrema exactly.
+        assert c.min() == pytest.approx(0.0, abs=0.01)
+        assert c.max() == pytest.approx(1.0, abs=0.01)
+
+    def test_meridional_gradient_is_periodic_smooth(self, flow):
+        tracer = TracerField(flow)
+        c = tracer.concentration()
+        # North and south edges meet smoothly (single cosine mode).
+        assert abs(c[0, 0] - c[-1, 0]) < 0.01
+
+    def test_custom_initial_field(self, flow):
+        # A smooth (low-wavenumber) field passes through dealiasing intact.
+        x, y = flow.grid.coordinates()
+        k0 = 2 * np.pi / flow.grid.length_m
+        init = 0.5 + 0.3 * np.sin(3 * k0 * x) * np.cos(2 * k0 * y)
+        tracer = TracerField(flow, initial=init)
+        np.testing.assert_allclose(tracer.concentration(), init, atol=1e-10)
+
+    def test_shape_mismatch_rejected(self, flow):
+        with pytest.raises(ConfigurationError):
+            TracerField(flow, initial=np.zeros((8, 8)))
+
+    def test_invalid_gradient(self, flow):
+        tracer = TracerField(flow)
+        with pytest.raises(ConfigurationError):
+            tracer.set_meridional_gradient(low=1.0, high=0.0)
+
+    def test_negative_diffusivity_rejected(self, flow):
+        with pytest.raises(ConfigurationError):
+            TracerField(flow, diffusivity=-1.0)
+
+
+class TestConservation:
+    def test_mean_conserved(self, flow):
+        tracer = TracerField(flow, diffusivity=10.0)
+        mean0 = tracer.mean()
+        tracer.run_with_flow(30, 1_800.0)
+        assert tracer.mean() == pytest.approx(mean0, abs=1e-12)
+
+    def test_variance_never_created(self, flow):
+        """Advection-diffusion cannot increase tracer variance."""
+        tracer = TracerField(flow, diffusivity=10.0)
+        var0 = tracer.variance()
+        tracer.run_with_flow(30, 1_800.0)
+        assert tracer.variance() <= var0 * (1 + 1e-9)
+
+    def test_pure_diffusion_decays_variance(self):
+        still = BarotropicSolver(SpectralGrid(32, 32), seed=None)  # no flow
+        tracer = TracerField(still, diffusivity=1e4)
+        var0 = tracer.variance()
+        tracer.run_with_flow(20, 1_800.0)
+        assert tracer.variance() < var0
+
+    def test_no_flow_no_diffusion_is_static(self):
+        still = BarotropicSolver(SpectralGrid(32, 32), seed=None)
+        tracer = TracerField(still, diffusivity=0.0)
+        before = tracer.concentration()
+        tracer.run_with_flow(10, 1_800.0)
+        np.testing.assert_allclose(tracer.concentration(), before, atol=1e-12)
+
+
+class TestStirring:
+    def test_eddies_sharpen_gradients(self, flow):
+        """Stirring steepens fronts: mean |∇c| grows before diffusion wins."""
+        tracer = TracerField(flow, diffusivity=1.0)
+        g0 = tracer.gradient_magnitude().mean()
+        tracer.run_with_flow(40, 1_800.0)
+        assert tracer.gradient_magnitude().mean() > 1.5 * g0
+
+    def test_concentration_stays_bounded(self, flow):
+        """A passive scalar obeys the maximum principle (approximately:
+        spectral ringing may overshoot slightly)."""
+        tracer = TracerField(flow, diffusivity=10.0)
+        tracer.run_with_flow(40, 1_800.0)
+        c = tracer.concentration()
+        assert c.min() > -0.2 and c.max() < 1.2
+
+    def test_invalid_step(self, flow):
+        tracer = TracerField(flow)
+        with pytest.raises(ConfigurationError):
+            tracer.step(0.0)
+        with pytest.raises(ConfigurationError):
+            tracer.run_with_flow(-1, 1_800.0)

@@ -1,0 +1,144 @@
+"""Tests for the Okubo-Weiss metric and its classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ocean.okubo_weiss import (
+    okubo_weiss,
+    okubo_weiss_classification,
+    okubo_weiss_threshold,
+    velocity_gradients,
+)
+
+
+def solid_body_rotation(n=32, omega=1.0):
+    """u = -ω y, v = ω x around the grid center (non-periodic analytics)."""
+    y, x = np.mgrid[0:n, 0:n].astype(float)
+    x -= n / 2
+    y -= n / 2
+    return -omega * y, omega * x
+
+
+def pure_shear(n=32, s=1.0):
+    """u = s y, v = 0: strain/shear-dominated everywhere."""
+    y, _ = np.mgrid[0:n, 0:n].astype(float)
+    return s * y, np.zeros((n, n))
+
+
+class TestVelocityGradients:
+    def test_linear_field_gradients_exact(self):
+        u, v = solid_body_rotation(16, omega=2.0)
+        u_x, u_y, v_x, v_y = velocity_gradients(u, v, 1.0, 1.0, periodic=False)
+        # Interior of a linear field: exact derivatives.
+        np.testing.assert_allclose(u_y[2:-2, 2:-2], -2.0)
+        np.testing.assert_allclose(v_x[2:-2, 2:-2], 2.0)
+        np.testing.assert_allclose(u_x[2:-2, 2:-2], 0.0, atol=1e-12)
+        np.testing.assert_allclose(v_y[2:-2, 2:-2], 0.0, atol=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            velocity_gradients(np.zeros((4, 4)), np.zeros((4, 5)), 1.0, 1.0)
+
+    def test_nonpositive_spacing_rejected(self):
+        u = np.zeros((8, 8))
+        with pytest.raises(ConfigurationError):
+            velocity_gradients(u, u, 0.0, 1.0)
+
+    def test_periodic_derivative_of_sine(self):
+        n = 64
+        x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        u = np.tile(np.sin(x), (n, 1))
+        v = np.zeros_like(u)
+        dx = 2 * np.pi / n
+        u_x, _, _, _ = velocity_gradients(u, v, dx, dx, periodic=True)
+        np.testing.assert_allclose(u_x, np.tile(np.cos(x), (n, 1)), atol=1e-2)
+
+
+class TestOkuboWeiss:
+    def test_rotation_gives_negative_w(self):
+        u, v = solid_body_rotation(32, omega=1.5)
+        w = okubo_weiss(u, v, 1.0, 1.0, periodic=False)
+        interior = w[4:-4, 4:-4]
+        # Pure rotation: sn = ss = 0, ω = 2×1.5 -> W = -9.
+        np.testing.assert_allclose(interior, -9.0)
+
+    def test_shear_gives_positive_w(self):
+        u, v = pure_shear(32, s=2.0)
+        w = okubo_weiss(u, v, 1.0, 1.0, periodic=False)
+        interior = w[4:-4, 4:-4]
+        # Pure shear: ss = 2, ω = -2 -> W = 4 - 4 = 0; combine with strain:
+        # actually u = s·y has ss = s and ω = -s, so W = s² - s² = 0.
+        np.testing.assert_allclose(interior, 0.0, atol=1e-10)
+
+    def test_pure_strain_gives_positive_w(self):
+        n = 32
+        y, x = np.mgrid[0:n, 0:n].astype(float)
+        u, v = x - n / 2, -(y - n / 2)  # sn = 2, ω = 0
+        w = okubo_weiss(u, v, 1.0, 1.0, periodic=False)
+        np.testing.assert_allclose(w[4:-4, 4:-4], 4.0)
+
+    def test_zero_flow_gives_zero_w(self):
+        z = np.zeros((16, 16))
+        np.testing.assert_array_equal(okubo_weiss(z, z, 1.0, 1.0), 0.0)
+
+    def test_threshold_sign_and_magnitude(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((32, 32))
+        cut = okubo_weiss_threshold(w, factor=0.2)
+        assert cut < 0
+        assert cut == pytest.approx(-0.2 * w.std())
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            okubo_weiss_threshold(np.zeros((4, 4)), factor=-0.1)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        scale=st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_w_scales_quadratically_with_velocity(self, scale, seed):
+        """W(k·u, k·v) = k² W(u, v) — a dimensional-consistency invariant."""
+        rng = np.random.default_rng(seed)
+        u = rng.standard_normal((16, 16))
+        v = rng.standard_normal((16, 16))
+        w1 = okubo_weiss(u, v, 1.0, 1.0)
+        w2 = okubo_weiss(scale * u, scale * v, 1.0, 1.0)
+        np.testing.assert_allclose(w2, scale**2 * w1, rtol=1e-9, atol=1e-12)
+
+    def test_w_invariant_under_uniform_translation(self):
+        """Adding a constant background current leaves W unchanged."""
+        rng = np.random.default_rng(1)
+        u = rng.standard_normal((16, 16))
+        v = rng.standard_normal((16, 16))
+        w1 = okubo_weiss(u, v, 1.0, 1.0)
+        w2 = okubo_weiss(u + 5.0, v - 3.0, 1.0, 1.0)
+        np.testing.assert_allclose(w1, w2, atol=1e-12)
+
+
+class TestClassification:
+    def test_three_way_split(self):
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((64, 64))
+        cls = okubo_weiss_classification(w, factor=0.2)
+        assert set(np.unique(cls)) <= {-1, 0, 1}
+        assert (cls == -1).any() and (cls == 1).any() and (cls == 0).any()
+
+    def test_matches_threshold(self):
+        w = np.array([[-10.0, 0.0], [10.0, 0.1]])
+        cls = okubo_weiss_classification(w, factor=0.2)
+        assert cls[0, 0] == -1
+        assert cls[1, 0] == 1
+        assert cls[0, 1] == 0
+
+    def test_real_flow_has_rotation_cores(self, mini_driver):
+        w = mini_driver.okubo_weiss_field()
+        cls = okubo_weiss_classification(w)
+        frac_rotation = (cls == -1).mean()
+        # Turbulent 2-D flow: a small but present fraction of vortex cores.
+        assert 0.005 < frac_rotation < 0.5

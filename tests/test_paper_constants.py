@@ -1,0 +1,80 @@
+"""Internal consistency of the transcribed paper constants (:mod:`repro.paper`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import paper
+
+
+class TestEq5Consistency:
+    def test_printed_solution_satisfies_printed_system(self):
+        """t_sim=603, α=6.3, β=1.2 solves the printed equations to ~1 %."""
+        for s_gb, n_viz, total in paper.EQ5_SYSTEM:
+            lhs = (
+                paper.EQ5_T_SIM
+                + paper.EQ5_ALPHA_S_PER_GB * s_gb
+                + paper.EQ5_BETA_S_PER_IMAGE * n_viz
+            )
+            assert lhs == pytest.approx(total, rel=0.01)
+
+    def test_swapped_assignment_does_not_solve_the_system(self):
+        """The paper's printed 'α=1.2, β=6.3' is inconsistent with Eq. 5."""
+        worst = 0.0
+        for s_gb, n_viz, total in paper.EQ5_SYSTEM:
+            lhs = paper.EQ5_T_SIM + 1.2 * s_gb + 6.3 * n_viz
+            worst = max(worst, abs(lhs / total - 1.0))
+        assert worst > 0.10  # off by far more than measurement noise
+
+    def test_exact_solve_matches_quoted_solution(self):
+        a = np.array([[1.0, s, n] for s, n, _ in paper.EQ5_SYSTEM])
+        b = np.array([t for _, _, t in paper.EQ5_SYSTEM])
+        t_sim, alpha, beta = np.linalg.solve(a, b)
+        assert t_sim == pytest.approx(paper.EQ5_T_SIM, abs=7.0)
+        assert alpha == pytest.approx(paper.EQ5_ALPHA_S_PER_GB, abs=0.25)
+        assert beta == pytest.approx(paper.EQ5_BETA_S_PER_IMAGE, abs=0.05)
+
+
+class TestCrossReferences:
+    def test_output_counts_match_campaign_and_cadence(self):
+        """540/180/60 outputs = 8640 half-hour steps / cadence."""
+        for hours, n in paper.N_OUTPUTS.items():
+            steps_per_output = hours * 3_600 / paper.TIMESTEP_SECONDS
+            assert paper.CAMPAIGN_TIMESTEPS / steps_per_output == n
+
+    def test_eq5_image_counts_are_the_output_counts(self):
+        n_viz_values = sorted(n for _, n, _ in paper.EQ5_SYSTEM)
+        assert n_viz_values == [60, 180, 540]
+
+    def test_storage_proportionality_from_endpoints(self):
+        assert paper.STORAGE_FULL_W / paper.STORAGE_IDLE_W - 1 == pytest.approx(
+            paper.STORAGE_PROPORTIONALITY, abs=0.001
+        )
+
+    def test_compute_dynamic_range_from_endpoints(self):
+        assert paper.COMPUTE_LOADED_W / paper.COMPUTE_IDLE_W - 1 == pytest.approx(
+            paper.COMPUTE_DYNAMIC_RANGE, abs=0.01
+        )
+
+    def test_energy_savings_track_time_savings(self):
+        """Fig. 6 ≈ Fig. 3, because power is flat (Fig. 5)."""
+        for hours in paper.SAMPLING_INTERVALS_HOURS:
+            assert paper.ENERGY_SAVINGS[hours] == pytest.approx(
+                paper.TIME_SAVINGS[hours], abs=0.02
+            )
+
+    def test_insitu_storage_consistent_with_reduction_claim(self):
+        """<1 GB of images against >=99.5 % reduction at every cadence."""
+        for hours, post_gb in paper.POST_STORAGE_GB.items():
+            implied_max = post_gb * (1 - paper.STORAGE_REDUCTION_MIN)
+            assert implied_max <= paper.INSITU_STORAGE_GB_MAX + 0.2
+
+    def test_cluster_shape(self):
+        assert paper.CADDY_NODES * 16 == paper.CADDY_CORES
+        assert paper.CADDY_NODES / 10 == paper.CADDY_CAGES
+
+    def test_whatif_callouts_monotone(self):
+        rates = sorted(paper.WHATIF_ENERGY_SAVINGS)
+        savings = [paper.WHATIF_ENERGY_SAVINGS[r] for r in rates]
+        assert savings == sorted(savings, reverse=True)

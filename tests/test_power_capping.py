@@ -1,0 +1,130 @@
+"""Tests for power capping (:mod:`repro.power.capping`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper
+from repro.cluster.power import e5_2670_node
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.core.model import DataModel, PerformanceModel, PipelinePredictor
+from repro.errors import ConfigurationError, ModelError
+from repro.power.capping import PowerCapEnforcer
+
+
+@pytest.fixture
+def enforcer() -> PowerCapEnforcer:
+    return PowerCapEnforcer(e5_2670_node(), n_nodes=150)
+
+
+@pytest.fixture
+def insitu_predictor() -> PipelinePredictor:
+    model = PerformanceModel(
+        t_sim_ref=paper.EQ5_T_SIM,
+        iter_ref=paper.CAMPAIGN_TIMESTEPS,
+        alpha=paper.EQ5_ALPHA_S_PER_GB,
+        beta=paper.EQ5_BETA_S_PER_IMAGE,
+        power_watts=46_300.0,
+    )
+    return PipelinePredictor(
+        IN_SITU, model, DataModel(24.0, 0.2, 180.0, paper.CAMPAIGN_TIMESTEPS)
+    )
+
+
+@pytest.fixture
+def post_predictor(insitu_predictor) -> PipelinePredictor:
+    return PipelinePredictor(
+        POST_PROCESSING,
+        insitu_predictor.model,
+        DataModel(24.0, 80.0, 180.0, paper.CAMPAIGN_TIMESTEPS),
+    )
+
+
+class TestFrequencyForCap:
+    def test_no_cap_needed_above_uncapped(self, enforcer):
+        assert enforcer.frequency_for_cap(1e9) == 1.0
+        assert enforcer.frequency_for_cap(enforcer.uncapped_watts()) == 1.0
+
+    def test_uncapped_watts_matches_measured_machine(self, enforcer):
+        # 150 nodes at 0.95 utilization + the storage rack.
+        expected = 150 * e5_2670_node().power(0.95) + 2_273.0
+        assert enforcer.uncapped_watts() == pytest.approx(expected)
+
+    def test_tighter_cap_means_lower_frequency(self, enforcer):
+        top = enforcer.uncapped_watts()
+        caps = [0.95 * top, 0.9 * top, 0.85 * top]
+        freqs = [enforcer.frequency_for_cap(c) for c in caps]
+        assert freqs == sorted(freqs, reverse=True)
+        assert all(0 < f < 1 for f in freqs)
+
+    def test_cap_is_respected(self, enforcer):
+        cap = 0.9 * enforcer.uncapped_watts()
+        f = enforcer.frequency_for_cap(cap)
+        node = e5_2670_node()
+        achieved = 150 * node.power(0.95, f * 2.6) + 2_273.0
+        assert achieved <= cap * (1 + 1e-9)
+        # And it is the *highest* such frequency (binding constraint).
+        assert achieved == pytest.approx(cap, rel=1e-6)
+
+    def test_infeasible_cap_rejected(self, enforcer):
+        with pytest.raises(ModelError):
+            enforcer.frequency_for_cap(0.5 * enforcer.floor_watts())
+
+    def test_nonpositive_cap_rejected(self, enforcer):
+        with pytest.raises(ModelError):
+            enforcer.frequency_for_cap(0.0)
+
+    def test_floor_below_uncapped(self, enforcer):
+        assert enforcer.floor_watts() < enforcer.uncapped_watts()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerCapEnforcer(e5_2670_node(), n_nodes=0)
+        with pytest.raises(ConfigurationError):
+            PowerCapEnforcer(e5_2670_node(), n_nodes=1, compute_utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerCapEnforcer(e5_2670_node(), n_nodes=1, overhead_watts=-1.0)
+
+
+class TestApply:
+    def test_uncapped_prediction_unchanged(self, enforcer, insitu_predictor):
+        capped = enforcer.apply(insitu_predictor, 24.0, cap_watts=1e9)
+        assert capped.frequency_ratio == 1.0
+        assert capped.execution_time == pytest.approx(
+            capped.base.execution_time, rel=1e-9
+        )
+        assert capped.slowdown == pytest.approx(1.0)
+
+    def test_cap_slows_compute_not_io(self, enforcer, post_predictor):
+        cap = 0.85 * enforcer.uncapped_watts()
+        capped = enforcer.apply(post_predictor, 24.0, cap)
+        f = capped.frequency_ratio
+        model = post_predictor.model
+        base = capped.base
+        expected = (
+            model.simulation_time(base.iterations) + model.beta * base.n_viz
+        ) / f + model.alpha * base.s_io_gb
+        assert capped.execution_time == pytest.approx(expected, rel=1e-9)
+        assert capped.slowdown > 1.0
+
+    def test_insitu_hurt_more_in_relative_time(
+        self, enforcer, insitu_predictor, post_predictor
+    ):
+        """In-situ is more compute-bound, so a cap stretches it more."""
+        cap = 0.85 * enforcer.uncapped_watts()
+        insitu = enforcer.apply(insitu_predictor, 24.0, cap)
+        post = enforcer.apply(post_predictor, 24.0, cap)
+        assert insitu.slowdown > post.slowdown
+
+    def test_insitu_still_wins_absolutely(self, enforcer, insitu_predictor, post_predictor):
+        cap = 0.85 * enforcer.uncapped_watts()
+        insitu = enforcer.apply(insitu_predictor, 24.0, cap)
+        post = enforcer.apply(post_predictor, 24.0, cap)
+        assert insitu.execution_time < post.execution_time
+        assert insitu.energy < post.energy
+
+    def test_capped_energy_reasonable(self, enforcer, insitu_predictor):
+        """DVFS trades power for time; energy moves far less than power."""
+        cap = 0.85 * enforcer.uncapped_watts()
+        capped = enforcer.apply(insitu_predictor, 24.0, cap)
+        assert capped.energy == pytest.approx(capped.base.energy, rel=0.20)

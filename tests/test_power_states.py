@@ -1,0 +1,122 @@
+"""Tests for idle-period power management (:mod:`repro.power.states`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.power import e5_2670_node
+from repro.core.metrics import PhaseTimeline
+from repro.errors import ConfigurationError
+from repro.power.states import (
+    IdlePeriodManager,
+    LowPowerState,
+    default_states,
+)
+
+
+def timeline_with_waits(*waits: float) -> PhaseTimeline:
+    tl = PhaseTimeline()
+    t = 0.0
+    for w in waits:
+        tl.add("simulation", t, t + 10.0)
+        t += 10.0
+        tl.add("io", t, t + w)
+        t += w
+    return tl
+
+
+class TestLowPowerState:
+    def test_applicability_floor(self):
+        state = LowPowerState("s", 0.5, transition_seconds=0.1, min_interval_seconds=1.0)
+        assert state.applicable(1.0)
+        assert not state.applicable(0.5)
+
+    def test_applicability_transition_bound(self):
+        """Intervals shorter than 2x the transition are never worth it."""
+        state = LowPowerState("s", 0.5, transition_seconds=1.0, min_interval_seconds=0.0)
+        assert not state.applicable(1.5)
+        assert state.applicable(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LowPowerState("s", 1.5, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            LowPowerState("s", 0.5, -1.0, 0.0)
+
+    def test_default_states_ordering(self):
+        states = default_states()
+        fractions = [s.power_fraction for s in states]
+        floors = [s.min_interval_seconds for s in states]
+        assert fractions == sorted(fractions, reverse=True)  # deeper saves more
+        assert floors == sorted(floors)  # deeper needs longer residency
+
+
+class TestIdlePeriodManager:
+    def manager(self, **kw) -> IdlePeriodManager:
+        return IdlePeriodManager(e5_2670_node(), n_nodes=150, **kw)
+
+    def test_wait_interval_extraction(self):
+        tl = timeline_with_waits(3.0, 5.0)
+        tl.add("viz", 100.0, 110.0)  # not a wait phase
+        assert self.manager().wait_intervals(tl) == [3.0, 5.0]
+
+    def test_savings_positive_for_manageable_waits(self):
+        tl = timeline_with_waits(3.0, 3.0, 3.0)
+        state = LowPowerState("s", 0.45, 5e-3, 0.05)
+        s = self.manager().analyze_state(tl, state)
+        assert s.n_managed == 3
+        assert s.energy_saved_joules > 0
+        assert s.coverage == pytest.approx(1.0)
+        assert s.time_penalty_seconds == pytest.approx(3 * 5e-3)
+
+    def test_deep_state_skips_short_waits(self):
+        tl = timeline_with_waits(3.0, 3.0)
+        deep = LowPowerState("deep", 0.2, 2.0, 30.0)
+        s = self.manager().analyze_state(tl, deep)
+        assert s.n_managed == 0
+        assert s.energy_saved_joules == pytest.approx(0.0)
+
+    def test_deep_state_wins_on_long_waits(self):
+        tl = timeline_with_waits(120.0)
+        best = self.manager().best_state(tl)
+        assert best.state.name == "pkg-sleep"
+
+    def test_shallow_state_wins_on_short_waits(self):
+        tl = timeline_with_waits(*([0.01] * 50))
+        best = self.manager().best_state(tl)
+        assert best.state.name == "clock-gate"
+
+    def test_energy_accounting_exact(self):
+        """Hand-check one interval: E = sleep*resident + idle*transition."""
+        node = e5_2670_node()
+        mgr = IdlePeriodManager(node, n_nodes=10, wait_utilization=0.8)
+        tl = timeline_with_waits(10.0)
+        state = LowPowerState("s", 0.5, transition_seconds=1.0, min_interval_seconds=0.0)
+        s = mgr.analyze_state(tl, state)
+        idle = 10 * node.idle_watts
+        poll = 10 * node.power(0.8)
+        expected_managed = 0.5 * idle * 9.0 + idle * 1.0
+        assert s.baseline_energy_joules == pytest.approx(poll * 10.0)
+        assert s.managed_energy_joules == pytest.approx(expected_managed)
+
+    def test_savings_fraction(self):
+        tl = timeline_with_waits(10.0)
+        s = self.manager().analyze(tl)[1]
+        assert 0.0 < s.savings_fraction(1e9) < 1.0
+        with pytest.raises(ConfigurationError):
+            s.savings_fraction(0.0)
+
+    def test_empty_timeline(self):
+        tl = PhaseTimeline()
+        s = self.manager().analyze(tl)[0]
+        assert s.n_intervals == 0
+        assert s.coverage == 0.0
+        assert s.energy_saved_joules == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IdlePeriodManager(e5_2670_node(), n_nodes=0)
+        with pytest.raises(ConfigurationError):
+            IdlePeriodManager(e5_2670_node(), n_nodes=1, wait_utilization=2.0)
+        with pytest.raises(ConfigurationError):
+            IdlePeriodManager(e5_2670_node(), n_nodes=1, states=[])

@@ -1,0 +1,166 @@
+"""Cross-module property tests.
+
+Hypothesis-driven invariants that span module boundaries: the analytical
+model's algebraic identities, meter/trace consistency, eddy-detection
+symmetries and the sampling calendar's arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import DataModel, PerformanceModel, PipelinePredictor
+from repro.ocean.driver import MPASOceanConfig
+from repro.ocean.eddies import detect_eddies
+from repro.ocean.okubo_weiss import okubo_weiss
+from repro.pipelines.sampling import SamplingPolicy
+from repro.power.signal import PowerSignal
+from repro.power.trace import PowerTrace
+
+
+def _predictor(alpha, beta, t_sim, power):
+    model = PerformanceModel(
+        t_sim_ref=t_sim, iter_ref=8_640, alpha=alpha, beta=beta, power_watts=power
+    )
+    data = DataModel(24.0, 80.0, 180.0, 8_640)
+    return PipelinePredictor("p", model, data)
+
+
+class TestModelAlgebra:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        alpha=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        beta=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        t_sim=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        power=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+        h=st.floats(min_value=0.5, max_value=1_000.0, allow_nan=False),
+    )
+    def test_energy_time_ratio_is_power(self, alpha, beta, t_sim, power, h):
+        """E / t = P for every query (Eq. 1)."""
+        pred = _predictor(alpha, beta, t_sim, power).predict(h)
+        assume(pred.execution_time > 0)
+        assert pred.energy / pred.execution_time == pytest.approx(power, rel=1e-12)
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        h=st.floats(min_value=0.5, max_value=500.0, allow_nan=False),
+        factor=st.floats(min_value=1.01, max_value=50.0, allow_nan=False),
+    )
+    def test_storage_inverse_in_interval(self, h, factor):
+        """Eq. 6: S(h) / S(f*h) = f exactly."""
+        p = _predictor(6.3, 1.2, 603.0, 46_000.0)
+        a = p.predict(h).s_io_gb
+        b = p.predict(h * factor).s_io_gb
+        assert a / b == pytest.approx(factor, rel=1e-9)
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        h=st.floats(min_value=0.5, max_value=500.0, allow_nan=False),
+        scale=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    )
+    def test_everything_linear_in_iterations(self, h, scale):
+        """Doubling the campaign doubles time, energy, storage and images."""
+        p = _predictor(6.3, 1.2, 603.0, 46_000.0)
+        base = p.predict(h, 8_640.0)
+        scaled = p.predict(h, 8_640.0 * scale)
+        for attr in ("execution_time", "energy", "s_io_gb", "n_viz"):
+            assert getattr(scaled, attr) == pytest.approx(
+                getattr(base, attr) * scale, rel=1e-9
+            )
+
+
+class TestMeterConsistency:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        changes=st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=300.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=5e4, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_trace_energy_equals_signal_energy(self, changes):
+        """Interval-averaged sampling conserves energy exactly."""
+        signal = PowerSignal(100.0)
+        t = 0.0
+        for dt, watts in changes:
+            t += dt
+            signal.set(t, watts)
+        end = t + 60.0
+        trace = PowerTrace.from_signal(signal, 0.0, end, 60.0)
+        assert trace.energy() == pytest.approx(signal.integrate(0.0, end), rel=1e-9)
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        watts=st.lists(
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_average_between_min_and_max(self, watts):
+        trace = PowerTrace(0.0, 60.0, watts)
+        assert min(watts) - 1e-9 <= trace.average_power() <= max(watts) + 1e-9
+
+
+class TestEddySymmetries:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        shift_r=st.integers(min_value=0, max_value=31),
+        shift_c=st.integers(min_value=0, max_value=31),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_detection_count_invariant_under_periodic_shift(
+        self, shift_r, shift_c, seed
+    ):
+        """Rolling the field around the torus cannot change what is found."""
+        rng = np.random.default_rng(seed)
+        u = rng.standard_normal((32, 32))
+        v = rng.standard_normal((32, 32))
+        w = okubo_weiss(u, v, 1.0, 1.0)
+        base = detect_eddies(w, min_cells=2)
+        rolled = detect_eddies(np.roll(np.roll(w, shift_r, 0), shift_c, 1), min_cells=2)
+        assert len(rolled) == len(base)
+        assert sorted(e.area_cells for e in rolled) == sorted(
+            e.area_cells for e in base
+        )
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_velocity_mirror_flips_vorticity_not_w(self, seed):
+        """(u, v) -> (u, -v) with x -> -x mirrors the flow: W is preserved."""
+        rng = np.random.default_rng(seed)
+        u = rng.standard_normal((24, 24))
+        v = rng.standard_normal((24, 24))
+        w = okubo_weiss(u, v, 1.0, 1.0)
+        w_mirror = okubo_weiss(u[:, ::-1], -v[:, ::-1], 1.0, 1.0)
+        np.testing.assert_allclose(np.sort(w.ravel()), np.sort(w_mirror.ravel()),
+                                   atol=1e-10)
+
+
+class TestSamplingArithmetic:
+    @settings(deadline=None, max_examples=50)
+    @given(k=st.integers(min_value=1, max_value=200))
+    def test_outputs_times_stride_bounded_by_steps(self, k):
+        """n_outputs * steps_between <= total steps, with remainder < stride."""
+        cfg = MPASOceanConfig()
+        hours = k * 0.5  # every multiple of the timestep is valid
+        policy = SamplingPolicy(hours)
+        n = policy.n_outputs(cfg)
+        stride = policy.steps_between_outputs(cfg)
+        assert n * stride <= cfg.n_timesteps
+        assert cfg.n_timesteps - n * stride < stride
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        a=st.integers(min_value=1, max_value=100),
+        b=st.integers(min_value=1, max_value=100),
+    )
+    def test_rate_ratio_antisymmetry(self, a, b):
+        pa, pb = SamplingPolicy(a * 0.5), SamplingPolicy(b * 0.5)
+        assert pa.rate_ratio(pb) == pytest.approx(1.0 / pb.rate_ratio(pa))

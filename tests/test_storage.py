@@ -1,0 +1,254 @@
+"""Tests for the Lustre-like storage simulator (:mod:`repro.storage`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, StorageError, StorageFullError
+from repro.events.engine import Simulator
+from repro.storage.devices import OstDevice
+from repro.storage.lustre import LustreFileSystem, StorageCluster
+from repro.storage.power import StoragePowerModel
+from repro.units import GB, MB, TB
+
+
+def run_process(sim, gen):
+    """Drive one generator process to completion, returning its value."""
+    proc = sim.process(gen)
+    sim.run()
+    return proc.value
+
+
+class TestOstDevice:
+    def test_stripe_cap_scales_with_count(self):
+        ost = OstDevice(0, capacity_bytes=1 * TB, write_bandwidth=20 * MB, read_bandwidth=125 * MB)
+        assert ost.stripe_cap(1, write=True) == 20 * MB
+        assert ost.stripe_cap(8, write=True) == 160 * MB
+        assert ost.stripe_cap(2, write=False) == 250 * MB
+
+    def test_invalid_stripe_count(self):
+        ost = OstDevice(0, 1 * TB, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ost.stripe_cap(0, write=True)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            OstDevice(-1, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            OstDevice(0, 0.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            OstDevice(0, 1.0, 0.0, 1.0)
+
+
+class TestStoragePowerModel:
+    def test_paper_endpoints(self):
+        m = StoragePowerModel()
+        assert m.power(0.0) == 2_273.0
+        assert m.power(160 * MB) == 2_302.0
+
+    def test_proportionality_is_1_3_percent(self):
+        assert StoragePowerModel().proportionality() == pytest.approx(0.0128, abs=0.001)
+
+    def test_linear_interpolation(self):
+        m = StoragePowerModel()
+        assert m.power(80 * MB) == pytest.approx(2_287.5)
+
+    def test_saturates_above_rated(self):
+        m = StoragePowerModel()
+        assert m.power(1e12) == m.full_load_watts
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StoragePowerModel().power(-1.0)
+
+    def test_five_nodes(self):
+        m = StoragePowerModel()
+        assert m.n_nodes == 5
+        split = m.per_node_idle()
+        assert sum(split.values()) == pytest.approx(m.idle_watts)
+
+    def test_full_below_idle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StoragePowerModel(idle_watts=100.0, full_load_watts=50.0)
+
+
+class TestLustreFileSystem:
+    def test_write_takes_bandwidth_time(self, sim):
+        fs = LustreFileSystem(sim, metadata_latency=0.0)
+        run_process(sim, fs.write("/a", 1.6e9))
+        assert sim.now == pytest.approx(10.0)  # 1.6 GB at 160 MB/s
+
+    def test_metadata_latency_added(self, sim):
+        fs = LustreFileSystem(sim, metadata_latency=0.5)
+        run_process(sim, fs.write("/a", 0.0))
+        assert sim.now == pytest.approx(0.5)
+
+    def test_write_records_file(self, sim):
+        fs = LustreFileSystem(sim)
+        rec = run_process(sim, fs.write("/out/a.nc", 5 * GB))
+        assert rec.size == 5 * GB
+        assert fs.exists("/out/a.nc")
+        assert fs.used_bytes == 5 * GB
+        assert fs.n_files == 1
+
+    def test_append_extends_file(self, sim):
+        fs = LustreFileSystem(sim)
+        run_process(sim, fs.write("/a", 1 * GB))
+        rec = run_process(sim, fs.write("/a", 1 * GB))
+        assert rec.size == 2 * GB
+        assert rec.n_writes == 2
+        assert fs.n_files == 1
+
+    def test_capacity_enforced_before_moving_data(self, sim):
+        fs = LustreFileSystem(sim, capacity_bytes=1 * GB)
+        with pytest.raises(StorageFullError):
+            run_process(sim, fs.write("/a", 2 * GB))
+        assert fs.used_bytes == 0
+        assert fs.bytes_written == 0
+
+    def test_read_whole_file(self, sim):
+        fs = LustreFileSystem(sim, metadata_latency=0.0)
+        run_process(sim, fs.write("/a", 1e9))
+        t0 = sim.now
+        n = run_process(sim, fs.read("/a"))
+        assert n == 1e9
+        assert sim.now - t0 == pytest.approx(1.0)  # 1 GB at 1 GB/s read path
+
+    def test_read_beyond_eof_rejected(self, sim):
+        fs = LustreFileSystem(sim)
+        run_process(sim, fs.write("/a", 100.0))
+        with pytest.raises(StorageError):
+            run_process(sim, fs.read("/a", 200.0))
+
+    def test_read_missing_file_rejected(self, sim):
+        fs = LustreFileSystem(sim)
+        with pytest.raises(StorageError):
+            run_process(sim, fs.read("/nope"))
+
+    def test_delete(self, sim):
+        fs = LustreFileSystem(sim)
+        run_process(sim, fs.write("/a", 100.0))
+        run_process(sim, fs.delete("/a"))
+        assert not fs.exists("/a")
+        assert fs.used_bytes == 0
+
+    def test_delete_missing_rejected(self, sim):
+        fs = LustreFileSystem(sim)
+        with pytest.raises(StorageError):
+            run_process(sim, fs.delete("/nope"))
+
+    def test_listdir_prefix(self, sim):
+        fs = LustreFileSystem(sim)
+        for p in ("/run/a", "/run/b", "/other/c"):
+            run_process(sim, fs.write(p, 1.0))
+        assert fs.listdir("/run/") == ["/run/a", "/run/b"]
+
+    def test_concurrent_writers_share_bandwidth(self, sim):
+        fs = LustreFileSystem(sim, metadata_latency=0.0)
+        done = []
+
+        def writer(path):
+            yield from fs.write(path, 0.8e9)
+            done.append(sim.now)
+
+        sim.process(writer("/a"))
+        sim.process(writer("/b"))
+        sim.run()
+        # Two 0.8 GB writes sharing 160 MB/s finish together at 10 s.
+        assert done == pytest.approx([10.0, 10.0])
+
+    def test_stripe_count_caps_single_stream(self, sim):
+        fs = LustreFileSystem(sim, n_ost=8, metadata_latency=0.0)
+        run_process(sim, fs.write("/narrow", 0.16e9, stripe_count=1))
+        # One stripe = 1/8 of the aggregate: 20 MB/s -> 8 s.
+        assert sim.now == pytest.approx(8.0)
+
+    def test_invalid_stripe_count_rejected(self, sim):
+        fs = LustreFileSystem(sim, n_ost=8)
+        with pytest.raises(StorageError):
+            run_process(sim, fs.write("/a", 1.0, stripe_count=9))
+
+    def test_negative_write_rejected(self, sim):
+        fs = LustreFileSystem(sim)
+        with pytest.raises(StorageError):
+            run_process(sim, fs.write("/a", -1.0))
+
+    def test_metadata_ops_counted(self, sim):
+        fs = LustreFileSystem(sim)
+        run_process(sim, fs.write("/a", 1.0))
+        run_process(sim, fs.read("/a"))
+        run_process(sim, fs.delete("/a"))
+        assert fs.metadata_ops == 3
+
+    def test_mds_concurrency_limit(self, sim):
+        """Metadata ops queue on the two MDS servers."""
+        fs = LustreFileSystem(sim, n_mds=2, metadata_latency=1.0)
+
+        def op(i):
+            yield from fs.write(f"/f{i}", 0.0)
+
+        for i in range(4):
+            sim.process(op(i))
+        sim.run()
+        # 4 ops, 2 servers, 1 s each -> 2 s total.
+        assert sim.now == pytest.approx(2.0)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=0.0, max_value=5e9, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_used_bytes_equals_sum_of_writes(self, sizes):
+        sim = Simulator()
+        fs = LustreFileSystem(sim)
+
+        def writer():
+            for i, s in enumerate(sizes):
+                yield from fs.write(f"/f{i}", s)
+
+        sim.process(writer())
+        sim.run()
+        assert fs.used_bytes == pytest.approx(sum(sizes))
+        assert fs.bytes_written == pytest.approx(sum(sizes), rel=1e-9, abs=1e-3)
+
+
+class TestStorageCluster:
+    def test_power_signal_follows_load(self, sim):
+        sc = StorageCluster(sim)
+
+        def proc():
+            yield from sc.fs.write("/a", 1.6e9)
+
+        sim.process(proc())
+        assert sc.current_power == pytest.approx(2_273.0)
+        sim.run()
+        trace = sc.read_pdu(0.0, 60.0)
+        # 10 s of full-rate writing inside one 60 s window:
+        expected = 2_273.0 + (2_302.0 - 2_273.0) * (10.0 / 60.0)
+        assert trace.average_power() == pytest.approx(expected, rel=1e-2)
+
+    def test_idle_cluster_power(self, sim):
+        sc = StorageCluster(sim)
+        sim.timeout(120.0)
+        sim.run()
+        trace = sc.read_pdu(0.0, 120.0)
+        assert trace.average_power() == pytest.approx(2_273.0)
+
+    def test_mismatched_simulators_rejected(self):
+        from repro.pipelines.platform import SimulatedPlatform
+        sim_a, sim_b = Simulator(), Simulator()
+        from repro.cluster.machine import caddy
+        cluster = caddy(sim_a)
+        storage = StorageCluster(sim_b)
+        with pytest.raises(ConfigurationError):
+            SimulatedPlatform(cluster=cluster, storage=storage)
+
+    def test_default_capacity_and_bandwidth_match_paper(self, sim):
+        sc = StorageCluster(sim)
+        assert sc.fs.capacity_bytes == pytest.approx(7.7 * TB)
+        assert sc.fs.write_pipe.capacity == pytest.approx(160 * MB)

@@ -1,0 +1,112 @@
+"""Tests for storage-side power management (:mod:`repro.storage.governor`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.governor import StorageDvfsGovernor, wimpy_storage_model
+from repro.storage.power import StoragePowerModel
+
+
+@pytest.fixture
+def base() -> StoragePowerModel:
+    return StoragePowerModel()
+
+
+class TestStorageDvfsGovernor:
+    def test_idle_power_reduced(self, base):
+        gov = StorageDvfsGovernor(base)
+        assert gov.power(0.0) < base.power(0.0)
+        assert gov.idle_savings_watts() > 0
+
+    def test_full_load_power_unchanged(self, base):
+        """Full demand needs nominal frequency: no performance regression."""
+        gov = StorageDvfsGovernor(base)
+        assert gov.power(base.rated_bandwidth) == pytest.approx(base.full_load_watts)
+
+    def test_frequency_tracks_demand(self, base):
+        gov = StorageDvfsGovernor(base, f_min_ratio=0.4)
+        assert gov.frequency_for(0.0) == 0.4
+        assert gov.frequency_for(base.rated_bandwidth) == 1.0
+        assert gov.frequency_for(0.7 * base.rated_bandwidth) == pytest.approx(0.7)
+        assert gov.frequency_for(0.1 * base.rated_bandwidth) == 0.4  # floored
+
+    def test_idle_savings_follow_f_cubed(self, base):
+        gov = StorageDvfsGovernor(base, cpu_idle_share=0.4, f_min_ratio=0.5)
+        cpu_idle = 0.4 * base.idle_watts
+        expected = cpu_idle * (1.0 - 0.5**3)
+        assert gov.idle_savings_watts() == pytest.approx(expected)
+
+    def test_power_monotone_in_demand(self, base):
+        gov = StorageDvfsGovernor(base)
+        demands = [f * base.rated_bandwidth for f in (0.0, 0.2, 0.5, 0.8, 1.0)]
+        powers = [gov.power(d) for d in demands]
+        assert powers == sorted(powers)
+
+    def test_governed_model_is_more_proportional(self, base):
+        gov = StorageDvfsGovernor(base)
+        governed = gov.governed_model()
+        assert governed.proportionality() > 10 * base.proportionality()
+        assert governed.full_load_watts == pytest.approx(base.full_load_watts)
+
+    def test_negative_throughput_rejected(self, base):
+        with pytest.raises(ConfigurationError):
+            StorageDvfsGovernor(base).frequency_for(-1.0)
+
+    def test_validation(self, base):
+        with pytest.raises(ConfigurationError):
+            StorageDvfsGovernor(base, cpu_idle_share=0.0)
+        with pytest.raises(ConfigurationError):
+            StorageDvfsGovernor(base, f_min_ratio=0.0)
+
+
+class TestWimpyStorage:
+    def test_idle_and_full_shift_equally(self, base):
+        wimpy = wimpy_storage_model(base, cpu_idle_share=0.4, wimpy_ratio=0.25)
+        saved = 0.4 * base.idle_watts * 0.75
+        assert wimpy.idle_watts == pytest.approx(base.idle_watts - saved)
+        assert wimpy.full_load_watts == pytest.approx(base.full_load_watts - saved)
+
+    def test_bandwidth_unchanged(self, base):
+        wimpy = wimpy_storage_model(base)
+        assert wimpy.rated_bandwidth == base.rated_bandwidth
+        assert wimpy.dynamic_watts == pytest.approx(base.dynamic_watts)
+
+    def test_proportionality_improves(self, base):
+        wimpy = wimpy_storage_model(base)
+        assert wimpy.proportionality() > base.proportionality()
+
+    def test_identity_at_ratio_one(self, base):
+        same = wimpy_storage_model(base, wimpy_ratio=1.0)
+        assert same.idle_watts == pytest.approx(base.idle_watts)
+
+    def test_validation(self, base):
+        with pytest.raises(ConfigurationError):
+            wimpy_storage_model(base, wimpy_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            wimpy_storage_model(base, cpu_idle_share=1.0)
+
+    def test_wimpy_rack_usable_in_campaign(self, base):
+        """The derived model drops straight into the simulated platform."""
+        from repro.events.engine import Simulator
+        from repro.cluster.machine import caddy
+        from repro.ocean.driver import MPASOceanConfig
+        from repro.pipelines.base import PipelineSpec
+        from repro.pipelines.insitu import InSituPipeline
+        from repro.pipelines.platform import SimulatedPlatform
+        from repro.pipelines.sampling import SamplingPolicy
+        from repro.storage.lustre import StorageCluster
+        from repro.units import MONTH
+
+        sim = Simulator()
+        platform = SimulatedPlatform(
+            cluster=caddy(sim),
+            storage=StorageCluster(sim, power_model=wimpy_storage_model(base)),
+        )
+        spec = PipelineSpec(
+            ocean=MPASOceanConfig(duration_seconds=MONTH),
+            sampling=SamplingPolicy(72.0),
+        )
+        m = platform.run(InSituPipeline(), spec)
+        assert m.power_report.average_storage_power < base.idle_watts

@@ -1,0 +1,100 @@
+"""Tests for :mod:`repro.units`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestDataSizes:
+    def test_decimal_prefixes(self):
+        assert units.KB == 1_000
+        assert units.MB == 1_000_000
+        assert units.GB == 1_000_000_000
+        assert units.TB == 1_000_000_000_000
+
+    def test_gb_round_trip(self):
+        assert units.bytes_to_gb(units.gb_to_bytes(230.0)) == pytest.approx(230.0)
+
+    def test_tb_round_trip(self):
+        assert units.bytes_to_tb(units.tb_to_bytes(7.7)) == pytest.approx(7.7)
+
+    def test_kb_mb(self):
+        assert units.kb_to_bytes(2) == 2_000
+        assert units.mb_to_bytes(160) == 160e6
+
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_gb_conversion_is_inverse(self, n):
+        assert units.gb_to_bytes(units.bytes_to_gb(n)) == pytest.approx(n, rel=1e-12)
+
+
+class TestTime:
+    def test_calendar_constants(self):
+        assert units.HOUR == 3_600
+        assert units.DAY == 24 * 3_600
+        assert units.MONTH == 30 * units.DAY  # the paper's 6-month = 8640-step convention
+        assert units.YEAR == 365 * units.DAY
+
+    def test_six_months_is_8640_steps(self):
+        assert units.months(6) / 1_800 == 8_640
+
+    def test_helpers(self):
+        assert units.minutes(2) == 120
+        assert units.hours(8) == 28_800
+        assert units.days(3) == 259_200
+        assert units.years(100) == 100 * 365 * 86_400
+        assert units.seconds(5.5) == 5.5
+
+
+class TestEnergy:
+    def test_kwh_round_trip(self):
+        assert units.joules_to_kwh(units.kwh_to_joules(16.2)) == pytest.approx(16.2)
+
+    def test_one_kwh(self):
+        assert units.kwh_to_joules(1.0) == 3.6e6
+
+    def test_mwh(self):
+        assert units.joules_to_mwh(3.6e9) == pytest.approx(1.0)
+
+    def test_kw(self):
+        assert units.watts_to_kw(44_000) == 44.0
+        assert units.kw_to_watts(15.0) == 15_000
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert units.format_bytes(230e9) == "230.0 GB"
+        assert units.format_bytes(7.7e12) == "7.7 TB"
+        assert units.format_bytes(1_500) == "1.5 kB"
+        assert units.format_bytes(12) == "12 B"
+
+    def test_format_bytes_negative(self):
+        assert units.format_bytes(-2e9) == "-2.0 GB"
+
+    def test_format_bytes_nan(self):
+        assert units.format_bytes(float("nan")) == "nan"
+
+    def test_format_seconds(self):
+        assert units.format_seconds(30.0) == "30.0s"
+        assert units.format_seconds(676.0) == "11m 16.0s"
+        assert units.format_seconds(7_322.0).startswith("2h 2m")
+
+    def test_format_seconds_inf(self):
+        assert units.format_seconds(math.inf) == "inf"
+
+    def test_format_power(self):
+        assert units.format_power(44_000) == "44.0 kW"
+        assert units.format_power(2_273) == "2.3 kW"
+        assert units.format_power(250) == "250 W"
+        assert units.format_power(20e6) == "20.00 MW"
+
+    def test_format_energy(self):
+        assert units.format_energy(units.kwh_to_joules(16.2)) == "16.2 kWh"
+        assert units.format_energy(units.kwh_to_joules(2_500)) == "2.50 MWh"
+        assert units.format_energy(500.0) == "500 J"
+        assert units.format_energy(5_000.0) == "5.0 kJ"

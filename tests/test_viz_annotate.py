@@ -1,0 +1,103 @@
+"""Tests for frame annotation (:mod:`repro.viz.annotate`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz.annotate import annotate_frame, draw_text, text_extent
+from repro.viz.image import Image
+
+
+class TestTextExtent:
+    def test_empty(self):
+        assert text_extent("") == (0, 0)
+
+    def test_single_char(self):
+        assert text_extent("A") == (5, 7)
+
+    def test_multiple_chars_include_spacing(self):
+        w, h = text_extent("AB")
+        assert w == 5 + 1 + 5
+        assert h == 7
+
+    def test_scale(self):
+        w1, h1 = text_extent("DAY 42")
+        w2, h2 = text_extent("DAY 42", scale=3)
+        assert (w2, h2) == (3 * w1, 3 * h1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            text_extent("A", scale=0)
+
+
+class TestDrawText:
+    def test_draws_pixels_in_expected_box(self):
+        img = Image.blank(40, 20)
+        draw_text(img, "OK", 3, 4, color=(255, 0, 0))
+        w, h = text_extent("OK")
+        box = img.pixels[3 : 3 + h, 4 : 4 + w]
+        assert (box[:, :, 0] == 255).any()
+        # Nothing outside the text box.
+        outside = img.pixels.copy()
+        outside[3 : 3 + h, 4 : 4 + w] = 0
+        assert (outside == 0).all()
+
+    def test_digits_are_distinct(self):
+        rendered = []
+        for digit in "0123456789":
+            img = Image.blank(8, 8)
+            draw_text(img, digit, 0, 0)
+            rendered.append(img.pixels.tobytes())
+        assert len(set(rendered)) == 10
+
+    def test_lowercase_maps_to_uppercase(self):
+        a, b = Image.blank(8, 8), Image.blank(8, 8)
+        draw_text(a, "day", 0, 0)
+        draw_text(b, "DAY", 0, 0)
+        assert a == b
+
+    def test_unknown_char_renders_box_not_crash(self):
+        img = Image.blank(10, 10)
+        draw_text(img, "@", 0, 0, color=(9, 9, 9))
+        assert (img.pixels == 9).any()
+
+    def test_clipping_at_edges(self):
+        img = Image.blank(10, 10)
+        draw_text(img, "WWWW", -3, -3)  # partially off-screen
+        draw_text(img, "WWWW", 8, 8)
+        # No exception, and something was drawn in-bounds.
+        assert (img.pixels != 0).any()
+
+    def test_scale_multiplies_glyph_size(self):
+        img = Image.blank(40, 40)
+        draw_text(img, "I", 0, 0, scale=3)
+        rows = np.nonzero((img.pixels != 0).any(axis=(1, 2)))[0]
+        assert rows.max() - rows.min() + 1 == 21  # 7 * 3
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            draw_text(Image.blank(8, 8), "A", 0, 0, scale=0)
+
+
+class TestAnnotateFrame:
+    def test_stamps_strip_and_label(self):
+        img = Image.blank(120, 40, color=(50, 50, 50))
+        annotate_frame(img, "DAY 42", color=(255, 255, 0), background=(0, 0, 0))
+        # Background strip present at the corner.
+        assert tuple(img.pixels[0, 0]) == (0, 0, 0)
+        # Label pixels present.
+        yellow = (img.pixels[:, :, 0] == 255) & (img.pixels[:, :, 2] == 0)
+        assert yellow.any()
+        # Rest of the frame untouched.
+        assert tuple(img.pixels[-1, -1]) == (50, 50, 50)
+
+    def test_long_label_clipped_to_frame(self):
+        img = Image.blank(20, 10)
+        annotate_frame(img, "A VERY LONG LABEL INDEED")
+        assert img.width == 20  # unchanged, no error
+
+    def test_returns_same_image(self):
+        img = Image.blank(30, 12)
+        assert annotate_frame(img, "X") is img
