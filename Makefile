@@ -1,0 +1,12 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: lint test check
+
+lint:
+	$(PYTHON) -m repro.lint src/ tests/ benchmarks/
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+check: lint test

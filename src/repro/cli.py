@@ -10,6 +10,7 @@ Commands map onto the paper's sections:
 * ``hypotheses``   — score the Section II-C hypotheses (the §V-A findings box).
 * ``quality``      — measured eddy-tracking fidelity vs cadence (extension).
 * ``proportionality`` — the storage/compute power-proportionality tables.
+* ``lint``         — the project's static-analysis pass (see ``repro.lint``).
 """
 
 from __future__ import annotations
@@ -73,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("proportionality", help="storage/compute power tables")
 
     sub.add_parser("hypotheses", help="score the paper's three hypotheses")
+
+    p = sub.add_parser("lint", help="run the project static-analysis pass")
+    p.add_argument("paths", nargs="*", default=["src"], help="files/directories")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", default=None, help="comma-separated rule ids")
+    p.add_argument("--disable", default=None, help="comma-separated rule ids")
+    p.add_argument("--list-rules", action="store_true")
     return parser
 
 
@@ -190,6 +198,20 @@ def _cmd_proportionality(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.disable:
+        argv += ["--disable", args.disable]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 _COMMANDS = {
     "characterize": _cmd_characterize,
     "calibrate": _cmd_calibrate,
@@ -199,6 +221,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "proportionality": _cmd_proportionality,
     "hypotheses": _cmd_hypotheses,
+    "lint": _cmd_lint,
 }
 
 

@@ -25,6 +25,8 @@ import numpy as np
 from repro.core.metrics import Measurement
 from repro.core.model import PerformanceModel
 from repro.errors import CalibrationError
+from repro.paper import CAMPAIGN_TIMESTEPS
+from repro.units import bytes_to_gb
 
 __all__ = [
     "CalibrationPoint",
@@ -126,7 +128,7 @@ def _build_result(
 
 def calibrate_exact(
     points: Sequence[CalibrationPoint],
-    iter_ref: int = 8_640,
+    iter_ref: int = CAMPAIGN_TIMESTEPS,
     power_watts: Optional[float] = None,
 ) -> CalibrationResult:
     """Solve the square 3-point system of Equation (5) exactly."""
@@ -146,7 +148,7 @@ def calibrate_exact(
 
 def calibrate_least_squares(
     points: Sequence[CalibrationPoint],
-    iter_ref: int = 8_640,
+    iter_ref: int = CAMPAIGN_TIMESTEPS,
     power_watts: Optional[float] = None,
 ) -> CalibrationResult:
     """Fit ``t_sim``, α, β to any number (≥3) of points by least squares."""
@@ -181,7 +183,7 @@ def points_from_measurements(
             ref = m.n_timesteps
         points.append(
             CalibrationPoint(
-                s_io_gb=m.storage_bytes / 1e9,
+                s_io_gb=bytes_to_gb(m.storage_bytes),
                 n_viz=float(m.n_outputs),
                 total_time=m.execution_time,
                 iter_ratio=m.n_timesteps / ref,

@@ -15,7 +15,13 @@ from typing import Iterable, Iterator, Optional
 
 from repro.errors import ConfigurationError
 from repro.power.report import PowerReport
-from repro.units import format_bytes, format_energy, format_power, format_seconds
+from repro.units import (
+    bytes_to_gb,
+    format_bytes,
+    format_energy,
+    format_power,
+    format_seconds,
+)
 
 __all__ = ["Measurement", "MetricSet", "PhaseTimeline"]
 
@@ -103,7 +109,7 @@ class Measurement:
     @property
     def storage_gb(self) -> float:
         """Committed storage in decimal gigabytes."""
-        return self.storage_bytes / 1e9
+        return bytes_to_gb(self.storage_bytes)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError, ModelError
+from repro.units import bytes_to_gb, gb_to_bytes
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.metrics import Measurement
@@ -115,7 +116,7 @@ class DataModel:
         """Anchor the data model at a measured run."""
         return cls(
             interval_hours_ref=measurement.sample_interval_hours,
-            s_io_gb_ref=measurement.storage_bytes / 1e9,
+            s_io_gb_ref=bytes_to_gb(measurement.storage_bytes),
             n_viz_ref=float(measurement.n_outputs),
             iter_ref=measurement.n_timesteps,
         )
@@ -154,7 +155,7 @@ class Prediction:
     @property
     def storage_bytes(self) -> float:
         """Predicted committed storage in bytes."""
-        return self.s_io_gb * 1e9
+        return gb_to_bytes(self.s_io_gb)
 
 
 @dataclass(frozen=True)

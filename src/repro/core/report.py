@@ -14,7 +14,8 @@ from typing import Optional, Sequence
 from repro.core.characterization import CharacterizationStudy, storage_power_sweep
 from repro.core.metrics import IN_SITU, POST_PROCESSING
 from repro.errors import ConfigurationError
-from repro.units import format_energy, format_seconds, years
+from repro.paper import WHATIF_STORAGE_BUDGET_GB
+from repro.units import MB, format_energy, format_seconds, years
 
 __all__ = ["StudyReport", "render_report"]
 
@@ -26,7 +27,7 @@ class StudyReport:
         self,
         study: CharacterizationStudy,
         whatif_years: float = 100.0,
-        whatif_storage_budget_gb: float = 2_000.0,
+        whatif_storage_budget_gb: float = WHATIF_STORAGE_BUDGET_GB,
         whatif_intervals: Sequence[float] = (1.0, 8.0, 24.0, 72.0, 192.0),
         title: str = "In-Situ Visualization Power/Energy Characterization",
     ) -> None:
@@ -82,7 +83,7 @@ class StudyReport:
             "|---|---|",
         ]
         for throughput, watts in rows:
-            lines.append(f"| {throughput / 1e6:.0f} MB/s | {watts:.1f} W |")
+            lines.append(f"| {throughput / MB:.0f} MB/s | {watts:.1f} W |")
         idle, full = rows[0][1], rows[-1][1]
         lines += [
             "",

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 from repro.core.model import PipelinePredictor, Prediction
 from repro.errors import ConfigurationError, ModelError
+from repro.paper import TIMESTEP_SECONDS
 from repro.units import HOUR
 
 __all__ = ["SweepRow", "WhatIfAnalyzer"]
@@ -62,7 +63,7 @@ class WhatIfAnalyzer:
         self,
         insitu: PipelinePredictor,
         post: PipelinePredictor,
-        timestep_seconds: float = 1_800.0,
+        timestep_seconds: float = TIMESTEP_SECONDS,
     ) -> None:
         if timestep_seconds <= 0:
             raise ConfigurationError(f"timestep must be positive: {timestep_seconds}")

@@ -1,0 +1,71 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 = clean, 1 = findings, 2 = bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.engine import LintRunner, registered_rules
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-specific static analysis: units discipline, "
+        "paper provenance, solver hygiene, API hygiene.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS", default=None,
+        help="comma-separated rule ids to run exclusively",
+    )
+    parser.add_argument(
+        "--disable", metavar="IDS", default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _split(ids: Optional[str]) -> Optional[Sequence[str]]:
+    if ids is None:
+        return None
+    return [part.strip() for part in ids.split(",") if part.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, rule in sorted(registered_rules().items()):
+            print(f"{rule_id:16s} {rule.summary}")
+        return 0
+    try:
+        runner = LintRunner(select=_split(args.select), disable=_split(args.disable))
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    findings = runner.run(args.paths)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0

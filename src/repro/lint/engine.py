@@ -1,0 +1,231 @@
+"""Analyzer core: file contexts, the rule registry and the runner.
+
+The engine is deliberately small.  A :class:`Rule` sees one parsed file at
+a time through a :class:`FileContext` (source text, split lines, AST) and
+yields :class:`Finding` objects.  The runner parses each file once, runs
+every registered rule over it, and filters the results through the
+suppression comments found in the source:
+
+* ``x = a_gb + b_bytes  # repro-lint: disable=unit-mix`` — suppresses the
+  named rule(s) on that line only;
+* a standalone ``# repro-lint: disable=unit-mix`` comment line —
+  suppresses the named rule(s) for the entire file;
+* ``disable=all`` — suppresses every rule.
+
+Rules register themselves with the :func:`register` decorator; importing
+:mod:`repro.lint.rules` pulls in the built-in rule pack.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintRunner",
+    "Rule",
+    "iter_python_files",
+    "register",
+    "registered_rules",
+    "run_lint",
+]
+
+#: Matches one suppression comment; group 1 is the comma-separated id list.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+#: Sentinel rule id meaning "suppress everything".
+ALL_RULES = "all"
+
+#: Rule id used for files that fail to parse.
+PARSE_ERROR = "parse-error"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a rule at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.posix = path.resolve().as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.file_suppressions: set = set()
+        self.line_suppressions: Dict[int, set] = {}
+        self._scan_suppressions()
+
+    def _scan_suppressions(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            if text.lstrip().startswith("#"):
+                self.file_suppressions |= ids
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(ids)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """True if ``rule_id`` is disabled file-wide or on ``line``."""
+        if rule_id in self.file_suppressions or ALL_RULES in self.file_suppressions:
+            return True
+        at_line = self.line_suppressions.get(line, ())
+        return rule_id in at_line or ALL_RULES in at_line
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` and ``summary`` and implement :meth:`check`.
+    ``id`` is what suppression comments and ``--select``/``--disable``
+    refer to.
+    """
+
+    #: Stable identifier, e.g. ``"unit-mix"``.
+    id: str = ""
+    #: One-line description shown by ``--list-rules`` and the README.
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+        raise NotImplementedError
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Path-based scoping hook; default: every file."""
+        return True
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in (ALL_RULES, PARSE_ERROR):
+        raise ValueError(f"reserved rule id: {rule.id}")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id: {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def registered_rules() -> Dict[str, Rule]:
+    """The registry (id → rule), loading the built-in pack on first use."""
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand files/directories into ``.py`` files, skipping caches."""
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            if any(part.startswith(".") and part not in (".", "..")
+                   for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+class LintRunner:
+    """Runs a rule set over a collection of files."""
+
+    def __init__(
+        self,
+        rules: Optional[Iterable[Rule]] = None,
+        select: Optional[Sequence[str]] = None,
+        disable: Optional[Sequence[str]] = None,
+    ) -> None:
+        pool = list(rules) if rules is not None else list(registered_rules().values())
+        if select:
+            wanted = set(select)
+            unknown = wanted - {r.id for r in pool}
+            if unknown:
+                raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+            pool = [r for r in pool if r.id in wanted]
+        if disable:
+            dropped = set(disable)
+            pool = [r for r in pool if r.id not in dropped]
+        self.rules = pool
+
+    def check_file(self, path: Path) -> List[Finding]:
+        """Lint one file; a syntax error yields a single parse-error finding."""
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [Finding(str(path), 1, 1, PARSE_ERROR, f"unreadable file: {exc}")]
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    str(path), exc.lineno or 1, (exc.offset or 0) + 1,
+                    PARSE_ERROR, f"syntax error: {exc.msg}",
+                )
+            ]
+        ctx = FileContext(path, source, tree)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if not ctx.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+        return findings
+
+    def run(self, paths: Sequence[str]) -> List[Finding]:
+        """Lint every python file reachable from ``paths``."""
+        findings: List[Finding] = []
+        for path in iter_python_files(paths):
+            findings.extend(self.check_file(path))
+        return sorted(findings)
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    disable: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """One-call API: lint ``paths`` with the registered rule pack."""
+    return LintRunner(select=select, disable=disable).run(paths)

@@ -1,0 +1,44 @@
+"""Finding reporters: plain text (one finding per line) and JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.lint.engine import Finding
+
+__all__ = ["render_json", "render_text", "summary_line"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """``path:line:col: rule: message`` lines plus a count footer."""
+    lines = [str(f) for f in findings]
+    lines.append(summary_line(findings))
+    return "\n".join(lines)
+
+
+def summary_line(findings: Sequence[Finding]) -> str:
+    """The one-line verdict printed after the findings."""
+    if not findings:
+        return "repro-lint: clean"
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    breakdown = ", ".join(f"{rule}={n}" for rule, n in sorted(by_rule.items()))
+    plural = "s" if len(findings) != 1 else ""
+    return f"repro-lint: {len(findings)} finding{plural} ({breakdown})"
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """A JSON document: ``{"findings": [...], "count": N}``."""
+    rows: List[dict] = [
+        {
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "rule": f.rule,
+            "message": f.message,
+        }
+        for f in findings
+    ]
+    return json.dumps({"findings": rows, "count": len(rows)}, indent=2)

@@ -1,0 +1,7 @@
+"""Built-in rule pack; importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.lint.rules import api, provenance, solver, units
+
+__all__ = ["api", "provenance", "solver", "units"]

@@ -1,0 +1,181 @@
+"""Paper-provenance rules.
+
+:mod:`repro.paper` is the single transcription of the paper's measured
+values.  Two rules keep it honest:
+
+* ``paper-doc`` — every module-level constant in ``paper.py`` must carry
+  a ``#:`` doc-comment citing its section/figure/equation.  A single
+  ``#:`` comment may document a contiguous group of assignments (the
+  file's existing convention).
+* ``paper-redef`` — no other module may re-embed a *distinctive* paper
+  value (|value| ≥ 1000) as a module-level constant, class attribute or
+  parameter default; it must import the named constant instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+
+__all__ = ["PaperDocRule", "PaperRedefinitionRule"]
+
+#: Paper constants smaller than this are too generic to police (60, 8.0 ...).
+_DISTINCTIVE_MIN = 1000.0
+
+#: Relative tolerance for float equality against paper values.
+_REL_TOL = 1e-9
+
+
+def _module_constant_targets(node: ast.stmt) -> List[str]:
+    if isinstance(node, ast.Assign):
+        return [t.id for t in node.targets if isinstance(t, ast.Name)]
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        return [node.target.id] if node.value is not None else []
+    return []
+
+
+@register
+class PaperDocRule(Rule):
+    """Constants in paper.py need a ``#:`` provenance comment."""
+
+    id = "paper-doc"
+    summary = (
+        "module-level constant in paper.py lacks a '#:' doc-comment citing "
+        "the paper section/figure/equation it was transcribed from"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Only the paper transcription module is in scope."""
+        return ctx.path.name == "paper.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag undocumented constants, honouring group doc-comments."""
+        spans: Dict[int, int] = {}  # assignment start line → end line
+        names: Dict[int, List[str]] = {}
+        for node in ctx.tree.body:
+            targets = [
+                name for name in _module_constant_targets(node)
+                if not name.startswith("_") and name != "__all__"
+            ]
+            if not targets:
+                continue
+            spans[node.lineno] = node.end_lineno or node.lineno
+            names[node.lineno] = targets
+        end_to_start = {end: start for start, end in spans.items()}
+        documented: Dict[int, bool] = {}
+
+        def is_documented(start: int) -> bool:
+            if start in documented:
+                return documented[start]
+            documented[start] = False  # cycle guard
+            prev = start - 1
+            verdict = False
+            if prev >= 1:
+                text = ctx.lines[prev - 1].strip()
+                if text.startswith("#:"):
+                    verdict = True
+                elif prev in end_to_start:
+                    # Previous line closes another constant: inherit its doc
+                    # status (one '#:' comment may head a contiguous group).
+                    verdict = is_documented(end_to_start[prev])
+            documented[start] = verdict
+            return verdict
+
+        for start in sorted(spans):
+            if is_documented(start):
+                continue
+            for name in names[start]:
+                yield Finding(
+                    path=str(ctx.path),
+                    line=start,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"paper constant `{name}` has no '#:' doc-comment "
+                        "citing its source in the paper"
+                    ),
+                )
+
+
+def _distinctive_paper_values() -> Dict[str, str]:
+    import repro.paper
+
+    table: Dict[str, str] = {}
+    for name in sorted(vars(repro.paper)):
+        value = getattr(repro.paper, name)
+        if name.startswith("_") or isinstance(value, bool):
+            continue
+        if not isinstance(value, (int, float)):
+            continue
+        if abs(value) < _DISTINCTIVE_MIN:
+            continue
+        table.setdefault(_value_key(value), name)
+    return table
+
+
+def _value_key(value: float) -> str:
+    return f"{float(value):.12e}"
+
+
+def _literal_number(node: Optional[ast.expr]) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+@register
+class PaperRedefinitionRule(Rule):
+    """Paper values re-embedded outside paper.py/units.py."""
+
+    id = "paper-redef"
+    summary = (
+        "constant, class attribute or parameter default outside paper.py "
+        "re-embeds a distinctive paper value; import repro.paper instead"
+    )
+
+    _table: Optional[Dict[str, str]] = None
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Library modules only; paper.py/units.py own these values."""
+        if "/repro/" not in ctx.posix or "/repro/lint/" in ctx.posix:
+            return False
+        return ctx.path.name not in ("paper.py", "units.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag assignments/defaults equal to a distinctive paper value."""
+        if PaperRedefinitionRule._table is None:
+            PaperRedefinitionRule._table = _distinctive_paper_values()
+        table = PaperRedefinitionRule._table
+
+        def lookup(node: Optional[ast.expr]) -> Optional[Tuple[float, str]]:
+            value = _literal_number(node)
+            if value is None:
+                return None
+            name = table.get(_value_key(value))
+            return (value, name) if name is not None else None
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = getattr(node, "value", None)
+                hit = lookup(value)
+                if hit is not None:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"value {hit[0]:g} duplicates repro.paper.{hit[1]}; "
+                        "import the constant",
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    hit = lookup(default)
+                    if hit is not None:
+                        yield ctx.finding(
+                            self.id, default,
+                            f"default {hit[0]:g} duplicates "
+                            f"repro.paper.{hit[1]}; import the constant",
+                        )

@@ -1,0 +1,121 @@
+"""Simulation-loop hygiene rules for ``ocean/`` solver step functions.
+
+The solver hot path must stay pure so campaign-scale runs are
+reproducible and instrumentation stays centralized: printing, file I/O
+and wall-clock reads belong in :mod:`repro.events.tracing`, never inside
+``step``/``run``/tendency functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+
+__all__ = ["SolverClockRule", "SolverIoRule", "SolverPrintRule"]
+
+#: Function/method names treated as solver step functions.
+_STEP_NAMES = {"step", "run", "advance", "substep", "integrate", "_rhs"}
+_STEP_PREFIXES = ("step_", "advance_", "_step")
+
+#: ``time`` module attributes that read the wall clock.
+_CLOCK_ATTRS = {"time", "perf_counter", "monotonic", "process_time"}
+
+
+def _is_step_function(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    name = node.name
+    return name in _STEP_NAMES or name.startswith(_STEP_PREFIXES)
+
+
+def _step_functions(ctx: FileContext) -> List[ast.AST]:
+    return [node for node in ast.walk(ctx.tree) if _is_step_function(node)]
+
+
+class _SolverRule(Rule):
+    """Shared scoping: only ``ocean/`` modules, only step functions."""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Only the ocean solver package is in scope."""
+        return "/ocean/" in ctx.posix
+
+    def _offending_calls(self, fn: ast.AST) -> Iterator[ast.Call]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and self._is_offence(node):
+                yield node
+
+    def _is_offence(self, call: ast.Call) -> bool:
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag offending calls inside every solver step function."""
+        for fn in _step_functions(ctx):
+            for call in self._offending_calls(fn):
+                yield ctx.finding(
+                    self.id,
+                    call,
+                    f"{self._describe(call)} inside solver step function "
+                    f"`{fn.name}`; route instrumentation through "
+                    "repro.events.tracing",
+                )
+
+    def _describe(self, call: ast.Call) -> str:
+        raise NotImplementedError
+
+
+@register
+class SolverPrintRule(_SolverRule):
+    """No ``print`` in solver step functions."""
+
+    id = "solver-print"
+    summary = "print() call inside an ocean/ solver step function"
+
+    def _is_offence(self, call: ast.Call) -> bool:
+        return isinstance(call.func, ast.Name) and call.func.id == "print"
+
+    def _describe(self, call: ast.Call) -> str:
+        return "print() call"
+
+
+@register
+class SolverIoRule(_SolverRule):
+    """No file I/O in solver step functions."""
+
+    id = "solver-io"
+    summary = "file I/O (open/…) inside an ocean/ solver step function"
+
+    def _is_offence(self, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            return True
+        return isinstance(func, ast.Attribute) and func.attr in (
+            "open", "write_text", "write_bytes", "read_text", "read_bytes",
+        )
+
+    def _describe(self, call: ast.Call) -> str:
+        return "file I/O call"
+
+
+@register
+class SolverClockRule(_SolverRule):
+    """No wall-clock reads in solver step functions."""
+
+    id = "solver-clock"
+    summary = "wall-clock read (time.time/…) inside an ocean/ solver step function"
+
+    def _is_offence(self, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "time":
+                return func.attr in _CLOCK_ATTRS
+            if isinstance(func.value, ast.Name) and func.value.id == "datetime":
+                return func.attr in ("now", "utcnow", "today")
+            return False
+        if isinstance(func, ast.Name):
+            return func.id in ("perf_counter", "monotonic", "process_time")
+        return False
+
+    def _describe(self, call: ast.Call) -> str:
+        return "wall-clock read"

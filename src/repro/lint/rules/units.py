@@ -1,0 +1,191 @@
+"""Units-discipline rules.
+
+The library's internal convention (see :mod:`repro.units`) is seconds /
+bytes / watts / joules.  Two rules police it:
+
+* ``unit-mix`` — additive arithmetic or comparisons between identifiers
+  whose name suffixes denote *different* units (``x_gb + y_bytes``,
+  ``t_hours < t_seconds``).  Multiplication and division are exempt —
+  crossing units there is how physics works (W × s = J).
+* ``magic-number`` — numeric literals ≥ 1e6 inside ``core/``,
+  ``pipelines/``, ``power/`` or ``storage/`` whose value duplicates a
+  named constant from :mod:`repro.units` or :mod:`repro.paper`.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+
+__all__ = ["MagicNumberRule", "UnitMixRule", "unit_of_identifier"]
+
+#: suffix → (dimension family, canonical unit). Single-letter suffixes are
+#: deliberately absent (``_s`` is usually "per second" in rate names).
+_UNIT_SUFFIXES: Dict[str, Tuple[str, str]] = {
+    "ms": ("time", "milliseconds"),
+    "sec": ("time", "seconds"),
+    "secs": ("time", "seconds"),
+    "seconds": ("time", "seconds"),
+    "minutes": ("time", "minutes"),
+    "hour": ("time", "hours"),
+    "hours": ("time", "hours"),
+    "day": ("time", "days"),
+    "days": ("time", "days"),
+    "months": ("time", "months"),
+    "years": ("time", "years"),
+    "bytes": ("data", "bytes"),
+    "kb": ("data", "kilobytes"),
+    "mb": ("data", "megabytes"),
+    "gb": ("data", "gigabytes"),
+    "tb": ("data", "terabytes"),
+    "watts": ("power", "watts"),
+    "kw": ("power", "kilowatts"),
+    "mw": ("power", "megawatts"),
+    "joules": ("energy", "joules"),
+    "kwh": ("energy", "kilowatt-hours"),
+    "mwh": ("energy", "megawatt-hours"),
+}
+
+#: Paths (posix fragments) where magic-number applies.
+_MAGIC_SCOPES = (
+    "/repro/core/",
+    "/repro/pipelines/",
+    "/repro/power/",
+    "/repro/storage/",
+)
+
+#: Literals below this never count as magic numbers.
+_MAGIC_THRESHOLD = 1e6
+
+
+def _identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def unit_of_identifier(name: str) -> Optional[Tuple[str, str]]:
+    """``(family, unit)`` implied by an identifier's suffix, or ``None``.
+
+    Rate names (anything containing ``_per_``) carry compound units and
+    are ignored.
+    """
+    lowered = name.lower()
+    if "_per_" in lowered:
+        return None
+    tail = lowered.rsplit("_", 1)[-1]
+    return _UNIT_SUFFIXES.get(tail)
+
+
+def _unit_of_node(node: ast.AST) -> Optional[Tuple[str, str, str]]:
+    name = _identifier(node)
+    if name is None:
+        return None
+    unit = unit_of_identifier(name)
+    if unit is None:
+        return None
+    return (name, unit[0], unit[1])
+
+
+@register
+class UnitMixRule(Rule):
+    """Additive arithmetic between identifiers of different units."""
+
+    id = "unit-mix"
+    summary = (
+        "addition/subtraction/comparison mixes identifiers whose suffixes "
+        "denote different units (e.g. *_gb with *_bytes)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag +/-/comparison whose operands carry clashing unit suffixes."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                pairs = [(node.left, node.right)]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                pairs = list(zip(operands, operands[1:]))
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs = [(node.target, node.value)]
+            else:
+                continue
+            for left, right in pairs:
+                a = _unit_of_node(left)
+                b = _unit_of_node(right)
+                if a is None or b is None:
+                    continue
+                if a[1] != b[1] or a[2] != b[2]:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"`{a[0]}` is in {a[2]} but `{b[0]}` is in {b[2]}; "
+                        "convert through repro.units before combining",
+                    )
+
+
+def _known_constants() -> Dict[str, str]:
+    """value-key → qualified name for every large repro.units/paper scalar."""
+    import repro.paper
+    import repro.units
+
+    table: Dict[str, str] = {}
+    for module, label in ((repro.units, "repro.units"), (repro.paper, "repro.paper")):
+        for name in sorted(vars(module)):
+            value = getattr(module, name)
+            if name.startswith("_") or isinstance(value, bool):
+                continue
+            if not isinstance(value, (int, float)):
+                continue
+            if abs(value) < _MAGIC_THRESHOLD:
+                continue
+            table.setdefault(_value_key(value), f"{label}.{name}")
+    return table
+
+
+def _value_key(value: float) -> str:
+    return f"{float(value):.12e}"
+
+
+@register
+class MagicNumberRule(Rule):
+    """Large literals that duplicate a named units/paper constant."""
+
+    id = "magic-number"
+    summary = (
+        "numeric literal >= 1e6 in core/pipelines/power/storage duplicates "
+        "a named constant from repro.units or repro.paper"
+    )
+
+    _table: Optional[Dict[str, str]] = None
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Only the four unit-sensitive subpackages are in scope."""
+        return any(fragment in ctx.posix for fragment in _MAGIC_SCOPES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag large numeric literals equal to a known named constant."""
+        if MagicNumberRule._table is None:
+            MagicNumberRule._table = _known_constants()
+        table = MagicNumberRule._table
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if not math.isfinite(value) or abs(value) < _MAGIC_THRESHOLD:
+                continue
+            name = table.get(_value_key(value))
+            if name is not None:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"literal {value!r} duplicates {name}; use the named constant",
+                )

@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 from repro.ocean.barotropic import BarotropicSolver
 from repro.ocean.grid import SpectralGrid, icosahedral_cell_count
 from repro.ocean.okubo_weiss import okubo_weiss
+from repro.paper import TIMESTEP_SECONDS
 from repro.units import HOUR, MONTH
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -48,7 +49,7 @@ class MPASOceanConfig:
 
     resolution_km: float = 60.0
     n_vertical_levels: int = 60
-    timestep_seconds: float = 1_800.0
+    timestep_seconds: float = TIMESTEP_SECONDS
     duration_seconds: float = 6 * MONTH
     vars_3d: tuple[str, ...] = DEFAULT_3D_VARS
     vars_2d: tuple[str, ...] = DEFAULT_2D_VARS
@@ -161,7 +162,7 @@ class MiniOceanDriver:
         nx: int = 128,
         ny: int = 64,
         length_m: float = 2.0e6,
-        timestep_seconds: float = 1_800.0,
+        timestep_seconds: float = TIMESTEP_SECONDS,
         seed: int = 0,
         viscosity: float = 5.0e7,
     ) -> None:

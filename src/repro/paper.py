@@ -1,13 +1,34 @@
 """Constants and expected values transcribed from the paper.
 
-Benchmarks import these to print paper-vs-measured comparisons.  Nothing in
-the library's *computation* depends on this module — it is ground truth for
-validation only.
+Benchmarks import these to print paper-vs-measured comparisons, and library
+models anchor their *defaults* here (e.g. the reference timestep or the
+storage rack's measured idle power) so every paper value lives in exactly
+one place — the ``paper-redef`` lint rule enforces this.  The library's
+computation itself never hard-wires these numbers: callers can override
+every default.
+
+Every constant carries a ``#:`` doc-comment citing the section, figure or
+equation it was transcribed from (enforced by the ``paper-doc`` lint rule).
 """
 
 from __future__ import annotations
 
 from repro.units import TB
+
+__all__ = [
+    "CADDY_NODES", "CADDY_CORES", "CADDY_CAGES",
+    "STORAGE_CAPACITY_BYTES", "STORAGE_BANDWIDTH_BYTES_PER_S",
+    "GRID_RESOLUTION_KM", "TIMESTEP_SECONDS", "CAMPAIGN_TIMESTEPS",
+    "SAMPLING_INTERVALS_HOURS",
+    "TIME_SAVINGS", "ENERGY_SAVINGS",
+    "POST_STORAGE_GB", "INSITU_STORAGE_GB_MAX", "STORAGE_REDUCTION_MIN",
+    "STORAGE_IDLE_W", "STORAGE_FULL_W", "STORAGE_PROPORTIONALITY",
+    "COMPUTE_IDLE_W", "COMPUTE_LOADED_W", "COMPUTE_DYNAMIC_RANGE",
+    "EQ5_SYSTEM", "EQ5_T_SIM", "EQ5_ALPHA_S_PER_GB", "EQ5_BETA_S_PER_IMAGE",
+    "MODEL_MAX_ERROR", "N_OUTPUTS",
+    "WHATIF_YEARS", "WHATIF_STORAGE_BUDGET_GB",
+    "WHATIF_POST_FORCED_INTERVAL_DAYS", "WHATIF_ENERGY_SAVINGS",
+]
 
 # ---------------------------------------------------------------- Section IV
 #: Compute cluster ("Caddy"): nodes, cores, cages.

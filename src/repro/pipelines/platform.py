@@ -25,9 +25,11 @@ from repro.errors import ConfigurationError
 from repro.events.engine import Simulator
 from repro.io.pio import PIOWriter, SimulatedIOBackend
 from repro.ocean.driver import MiniOceanDriver, OceanCostModel
+from repro.paper import TIMESTEP_SECONDS
 from repro.pipelines.base import Pipeline, PipelineSpec
 from repro.power.report import PowerReport
 from repro.storage.lustre import StorageCluster
+from repro.units import HOUR
 from repro.viz.render import ImageSpec, RenderCostModel
 
 __all__ = ["ImageSizeModel", "SimulatedPlatform", "RealScale", "RealPlatform"]
@@ -231,8 +233,8 @@ class RealPlatform:
 
     def sample_interval_hours(self) -> float:
         """The mini run's cadence expressed in simulated hours."""
-        driver_dt = 1_800.0  # MiniOceanDriver default timestep
-        return self.scale.steps_between_outputs * driver_dt / 3_600.0
+        driver_dt = TIMESTEP_SECONDS  # MiniOceanDriver default timestep
+        return self.scale.steps_between_outputs * driver_dt / HOUR
 
     def run(self, pipeline: Pipeline, spec: Optional[PipelineSpec] = None) -> Measurement:
         """Run the miniature real version of ``pipeline``."""

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.cluster.power import NodePowerModel
 from repro.core.model import PipelinePredictor, Prediction
 from repro.errors import ConfigurationError, ModelError
+from repro.paper import STORAGE_IDLE_W
 
 __all__ = ["PowerCapEnforcer", "CappedPrediction"]
 
@@ -50,7 +51,7 @@ class PowerCapEnforcer:
         node_model: NodePowerModel,
         n_nodes: int,
         compute_utilization: float = 0.95,
-        overhead_watts: float = 2_273.0,
+        overhead_watts: float = STORAGE_IDLE_W,
     ) -> None:
         """``overhead_watts`` is uncappable draw (the storage rack)."""
         if n_nodes < 1:

@@ -14,6 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.paper import (
+    STORAGE_BANDWIDTH_BYTES_PER_S,
+    STORAGE_FULL_W,
+    STORAGE_IDLE_W,
+)
 
 __all__ = ["StoragePowerModel"]
 
@@ -22,10 +27,10 @@ __all__ = ["StoragePowerModel"]
 class StoragePowerModel:
     """Throughput-driven power model for the whole storage rack."""
 
-    idle_watts: float = 2273.0
-    full_load_watts: float = 2302.0
+    idle_watts: float = STORAGE_IDLE_W
+    full_load_watts: float = STORAGE_FULL_W
     #: Aggregate bandwidth (bytes/s) at which full-load power is reached.
-    rated_bandwidth: float = 160e6
+    rated_bandwidth: float = STORAGE_BANDWIDTH_BYTES_PER_S
     n_master: int = 1
     n_mds: int = 2
     n_oss: int = 2

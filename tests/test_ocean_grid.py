@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -140,8 +142,12 @@ class TestBarotropicSolver:
 
     def test_blowup_detected(self):
         solver = BarotropicSolver(SpectralGrid(32, 32), viscosity=0.0, seed=0)
-        with pytest.raises(SimulationError):
-            solver.run(50, 300_000.0)  # wildly unstable timestep (CFL >> 1)
+        with warnings.catch_warnings():
+            # The blow-up must surface as SimulationError alone, not as a
+            # shower of numpy overflow RuntimeWarnings along the way.
+            warnings.simplefilter("error")
+            with pytest.raises(SimulationError):
+                solver.run(50, 300_000.0)  # wildly unstable timestep (CFL >> 1)
 
     def test_nonpositive_timestep_rejected(self):
         solver = BarotropicSolver(SpectralGrid(32, 32), seed=0)

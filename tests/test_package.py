@@ -12,6 +12,15 @@ import pytest
 import repro
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+SRC_DIR = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+
+def _example_env() -> dict:
+    """Environment for example subprocesses with ``src/`` importable."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC_DIR + (os.pathsep + existing if existing else "")
+    return env
 
 
 class TestPublicApi:
@@ -96,6 +105,7 @@ class TestExamples:
             text=True,
             timeout=300,
             cwd=str(tmp_path),
+            env=_example_env(),
         )
         assert out.returncode == 0, out.stderr[-2000:]
         assert "Section VII" in out.stdout
@@ -111,6 +121,7 @@ class TestExamples:
             capture_output=True,
             text=True,
             timeout=300,
+            env=_example_env(),
         )
         assert out.returncode == 0, out.stderr[-2000:]
         assert "storage reduction" in out.stdout
