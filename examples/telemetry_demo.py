@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Telemetry demo: record, export and summarize one instrumented run.
+
+Activates a :func:`repro.obs.session` around a small characterization grid
+(one month of simulated ocean, 72-hour sampling, both pipelines), then
+shows the three artifacts the session leaves behind:
+
+* ``events.jsonl``  — the span/phase/event stream (one JSON object per line);
+* ``metrics.prom``  — Prometheus text exposition of every metric family;
+* ``manifest.json`` — the run manifest (config, durations, provenance).
+
+Equivalent CLI::
+
+    python -m repro characterize --intervals 72 --telemetry out/telemetry
+    python -m repro obs summarize out/telemetry
+
+Usage::
+
+    python examples/telemetry_demo.py [output-directory]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro import obs, run_characterization
+from repro.obs.cli import summarize
+from repro.ocean.driver import MPASOceanConfig
+from repro.pipelines.base import PipelineSpec
+from repro.units import MONTH
+
+
+def main() -> None:
+    directory = sys.argv[1] if len(sys.argv) > 1 else "out/telemetry"
+    spec = PipelineSpec(ocean=MPASOceanConfig(duration_seconds=MONTH))
+
+    print(f"recording telemetry under {directory}/ ...")
+    with obs.session(directory, label="telemetry-demo", argv=sys.argv[1:]) as sess:
+        with obs.span("demo.grid", intervals=1):
+            study = run_characterization(intervals_hours=(72.0,), spec=spec)
+        obs.event("grid-complete", n_measurements=len(study.metrics))
+        print(f"recorded {sess.n_events} events, "
+              f"{len(sess.registry.snapshot())} metric families")
+
+    print("\n--- repro obs summarize ---")
+    print(summarize(directory))
+
+    print("\n--- first lines of the event stream ---")
+    events_path = os.path.join(directory, obs.EVENTS_FILENAME)
+    with open(events_path, encoding="utf-8") as fh:
+        for line in list(fh)[:5]:
+            print(line.rstrip())
+
+
+if __name__ == "__main__":
+    main()

@@ -11,15 +11,22 @@ Commands map onto the paper's sections:
 * ``quality``      — measured eddy-tracking fidelity vs cadence (extension).
 * ``proportionality`` — the storage/compute power-proportionality tables.
 * ``lint``         — the project's static-analysis pass (see ``repro.lint``).
+* ``obs``          — inspect telemetry run directories (see ``repro.obs``).
+
+``characterize``, ``report`` and ``whatif`` accept ``--telemetry PATH`` to
+record the run's spans, metrics and manifest under ``PATH``;
+``characterize`` and ``hypotheses`` accept ``--json`` for machine-readable
+output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
-from repro import run_characterization
+from repro import obs, run_characterization
 from repro.analysis.quality import evaluate_sampling_quality, quality_table
 from repro.core.advisor import Constraints, PipelineAdvisor
 from repro.core.characterization import CharacterizationStudy, storage_power_sweep
@@ -38,11 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    telemetry_help = "record spans/metrics/manifest under this directory"
+
     p = sub.add_parser("characterize", help="run the Section V experiment grid")
     p.add_argument(
         "--intervals", type=float, nargs="+", default=[8.0, 24.0, 72.0],
         metavar="HOURS", help="sampling cadences in simulated hours",
     )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
 
     p = sub.add_parser("calibrate", help="fit Eq. 5 and validate (Fig. 8)")
 
@@ -52,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--intervals", type=float, nargs="+",
         default=[1.0, 8.0, 24.0, 72.0, 192.0], metavar="HOURS",
     )
+    p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
 
     p = sub.add_parser("plan", help="Section VII advisor")
     p.add_argument("--years", type=float, default=100.0, help="campaign length")
@@ -66,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="write the full Markdown study report")
     p.add_argument("--output", default="study_report.md", help="output path")
     p.add_argument("--years", type=float, default=100.0, help="what-if horizon")
+    p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
 
     p = sub.add_parser("quality", help="eddy-tracking fidelity vs cadence")
     p.add_argument("--strides", type=int, nargs="+", default=[1, 2, 4, 8, 16])
@@ -73,7 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("proportionality", help="storage/compute power tables")
 
-    sub.add_parser("hypotheses", help="score the paper's three hypotheses")
+    p = sub.add_parser("hypotheses", help="score the paper's three hypotheses")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p = sub.add_parser("obs", help="inspect telemetry run directories")
+    p.add_argument("action", choices=("summarize", "dump"), help="what to do")
+    p.add_argument("path", help="telemetry directory (or manifest/events file)")
+    p.add_argument(
+        "--limit", type=int, default=None, help="dump: print at most this many records"
+    )
 
     p = sub.add_parser("lint", help="run the project static-analysis pass")
     p.add_argument("paths", nargs="*", default=["src"], help="files/directories")
@@ -92,6 +113,9 @@ def _study(intervals: Sequence[float] = (8.0, 24.0, 72.0)) -> CharacterizationSt
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
     study = _study(args.intervals)
+    if args.json:
+        print(json.dumps(study.to_dict(), indent=2, sort_keys=True))
+        return 0
     print(study.table())
     print()
     print(study.findings())
@@ -174,13 +198,17 @@ def _cmd_quality(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_hypotheses(_args: argparse.Namespace) -> int:
+def _cmd_hypotheses(args: argparse.Namespace) -> int:
     from repro.core.hypotheses import evaluate_hypotheses, findings_summary
 
     study = _study()
+    verdicts = evaluate_hypotheses(study)
+    if args.json:
+        print(json.dumps([v.to_dict() for v in verdicts], indent=2, sort_keys=True))
+        return 0
     print(findings_summary(study))
     print()
-    for verdict in evaluate_hypotheses(study):
+    for verdict in verdicts:
         print(verdict.summary())
     return 0
 
@@ -196,6 +224,15 @@ def _cmd_proportionality(_args: argparse.Namespace) -> int:
     for util in (0.0, 0.25, 0.5, 0.75, 1.0):
         print(f"  util {util:4.2f}  {150 * node.power(util) / 1e3:6.1f} kW")
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.cli import main as obs_main
+
+    argv = [args.action, args.path]
+    if args.limit is not None:
+        argv += ["--limit", str(args.limit)]
+    return obs_main(argv)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -221,6 +258,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "proportionality": _cmd_proportionality,
     "hypotheses": _cmd_hypotheses,
+    "obs": _cmd_obs,
     "lint": _cmd_lint,
 }
 
@@ -228,4 +266,15 @@ _COMMANDS = {
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    telemetry = getattr(args, "telemetry", None)
+    if telemetry is None:
+        return handler(args)
+    config = {k: v for k, v in vars(args).items() if k not in ("command", "telemetry")}
+    with obs.session(
+        telemetry,
+        label=args.command,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        config=config,
+    ):
+        return handler(args)

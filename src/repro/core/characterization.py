@@ -60,6 +60,21 @@ class CharacterizationStudy:
         """The Section V comparison table across the grid."""
         return self.metrics.table()
 
+    def to_dict(self) -> dict:
+        """The grid and its cross-pipeline comparisons as a JSON-safe dict."""
+        comparisons = {}
+        for h in self.metrics.sample_intervals():
+            comparisons[f"{h:g}"] = {
+                "time_savings": self.metrics.time_savings(h),
+                "energy_savings": self.metrics.energy_savings(h),
+                "storage_savings": self.metrics.storage_savings(h),
+                "power_change": self.metrics.power_change(h),
+            }
+        return {
+            "measurements": [m.to_dict() for m in self.metrics],
+            "comparisons": comparisons,
+        }
+
     def findings(self) -> str:
         """Narrative summary mirroring the paper's Findings 1–5."""
         lines = []

@@ -44,6 +44,16 @@ class HypothesisVerdict:
         verdict = "SUPPORTED" if self.supported else "REFUTED"
         return f"{self.hypothesis} [{verdict}] {self.statement} — {self.evidence}"
 
+    def to_dict(self) -> dict:
+        """The verdict as a JSON-safe dict (used by ``--json`` output)."""
+        return {
+            "hypothesis": self.hypothesis,
+            "statement": self.statement,
+            "supported": self.supported,
+            "effect": self.effect,
+            "evidence": self.evidence,
+        }
+
 
 def _mean_over_grid(study: CharacterizationStudy, fn) -> float:
     values = [fn(h) for h in study.metrics.sample_intervals()]

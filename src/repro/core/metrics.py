@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.power.report import PowerReport
 from repro.units import (
@@ -32,15 +33,24 @@ POST_PROCESSING = "post-processing"
 
 @dataclass
 class PhaseTimeline:
-    """Ordered list of ``(phase, t0, t1)`` records for one run."""
+    """Ordered list of ``(phase, t0, t1)`` records for one run.
+
+    Each :meth:`add` also feeds the telemetry layer (a ``phase`` record in
+    the event stream plus the ``repro_pipeline_phase_seconds`` histogram)
+    whenever a session is active; ``domain`` says which clock the caller's
+    timestamps come from (simulated campaign time vs real wall time).
+    """
 
     records: list[tuple[str, float, float]] = field(default_factory=list)
+    #: Clock domain of the timestamps (``obs.SIM`` or ``obs.WALL``).
+    domain: str = obs.SIM
 
     def add(self, phase: str, t0: float, t1: float) -> None:
         """Record that ``phase`` ran over ``[t0, t1]``."""
         if t1 < t0:
             raise ConfigurationError(f"phase {phase!r} ends before it starts: {t0}..{t1}")
         self.records.append((phase, t0, t1))
+        obs.phase(phase, t0, t1, domain=self.domain)
 
     def total(self, phase: str) -> float:
         """Total seconds spent in ``phase`` (across all its segments)."""
@@ -110,6 +120,22 @@ class Measurement:
     def storage_gb(self) -> float:
         """Committed storage in decimal gigabytes."""
         return bytes_to_gb(self.storage_bytes)
+
+    def to_dict(self) -> dict:
+        """The measurement as a JSON-safe dict (used by ``--json`` output)."""
+        return {
+            "pipeline": self.pipeline,
+            "sample_interval_hours": self.sample_interval_hours,
+            "execution_time_seconds": self.execution_time,
+            "n_timesteps": self.n_timesteps,
+            "storage_bytes": self.storage_bytes,
+            "n_outputs": self.n_outputs,
+            "n_images": self.n_images,
+            "phases_seconds": self.timeline.by_phase(),
+            "average_power_watts": self.average_power,
+            "energy_joules": self.energy,
+            "label": self.label,
+        }
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -253,6 +253,7 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._counter = 0
         self._active_processes = 0
+        self._step_listeners: list[Callable[[Event, float], None]] = []
 
     @property
     def now(self) -> float:
@@ -287,6 +288,29 @@ class Simulator:
         """Time of the next scheduled event, or ``inf`` when idle."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    def peek_event(self) -> Optional[Event]:
+        """The next event to be processed, or ``None`` when idle."""
+        return self._heap[0][2] if self._heap else None
+
+    def add_step_listener(self, listener: Callable[[Event, float], None]) -> Callable:
+        """Observe every processed event: ``listener(event, now)``.
+
+        Listeners run *after* an event's callbacks, strictly observationally
+        — they cannot change event order or timing.  This is the engine-level
+        hook that :class:`~repro.events.tracing.EventTracer` and the
+        telemetry layer (:mod:`repro.obs`) both consume.  Returns the
+        listener for symmetric use with :meth:`remove_step_listener`.
+        """
+        self._step_listeners.append(listener)
+        return listener
+
+    def remove_step_listener(self, listener: Callable[[Event, float], None]) -> None:
+        """Stop notifying ``listener``; unknown listeners are ignored."""
+        try:
+            self._step_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def step(self) -> None:
         """Process exactly one event."""
         if not self._heap:
@@ -300,6 +324,9 @@ class Simulator:
             callback(event)
         if not event._ok and not event.defused:
             raise event._value
+        if self._step_listeners:
+            for listener in tuple(self._step_listeners):
+                listener(event, self._now)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or simulated time reaches ``until``.

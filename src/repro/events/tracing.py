@@ -1,16 +1,21 @@
 """Event tracing for the discrete-event engine.
 
-Wraps a :class:`~repro.events.engine.Simulator` so every processed event is
-recorded as a :class:`TraceRecord`.  Used when debugging workflow
-orchestration ("why did the staging partition stall at t=812?") and by
-tests that assert on causal ordering.  Tracing is strictly observational:
-it never changes event order or timing.
+Observes a :class:`~repro.events.engine.Simulator` through the engine's
+public step-listener hook (:meth:`Simulator.add_step_listener`) so every
+processed event is recorded as a :class:`TraceRecord`.  Used when debugging
+workflow orchestration ("why did the staging partition stall at t=812?")
+and by tests that assert on causal ordering.  Tracing is strictly
+observational: it never changes event order or timing.
+
+The record buffer is a ``collections.deque`` with ``maxlen`` when a
+capacity is given, so eviction is O(1) regardless of trace length.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Deque, Optional
 
 from repro.errors import ConfigurationError
 from repro.events.engine import Event, Process, Simulator, Timeout
@@ -56,11 +61,10 @@ class EventTracer:
         self.sim = sim
         self.capacity = capacity
         self.predicate = predicate
-        self.records: list[TraceRecord] = []
+        self.records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._dropped = 0
         self._counter = 0
-        self._original_step = sim.step
-        sim.step = self._traced_step  # type: ignore[method-assign]
+        sim.add_step_listener(self._on_step)
 
     def _classify(self, event: Event) -> tuple[str, str]:
         if isinstance(event, Process):
@@ -69,16 +73,11 @@ class EventTracer:
             return ("timeout", "")
         return (type(event).__name__.lower(), "")
 
-    def _traced_step(self) -> None:
-        # Peek at the event about to be processed.
-        _, _, event = self.sim._heap[0] if self.sim._heap else (0, 0, None)
-        self._original_step()
-        if event is None:
-            return
+    def _on_step(self, event: Event, time: float) -> None:
         kind, name = self._classify(event)
         record = TraceRecord(
             index=self._counter,
-            time=self.sim.now,
+            time=time,
             kind=kind,
             ok=event.ok if event.triggered else True,
             name=name,
@@ -86,8 +85,7 @@ class EventTracer:
         self._counter += 1
         if self.predicate is not None and not self.predicate(record):
             return
-        if self.capacity is not None and len(self.records) >= self.capacity:
-            self.records.pop(0)
+        if self.capacity is not None and len(self.records) == self.capacity:
             self._dropped += 1
         self.records.append(record)
 
@@ -120,9 +118,9 @@ class EventTracer:
             f"{self._counter} events processed, {len(self.records)} recorded"
             + (f" ({self._dropped} dropped)" if self._dropped else "")
         ]
-        lines += [str(r) for r in self.records[-last:]]
+        lines += [str(r) for r in list(self.records)[-last:]]
         return "\n".join(lines)
 
     def detach(self) -> None:
-        """Stop tracing; the simulator's original ``step`` is restored."""
-        self.sim.step = self._original_step  # type: ignore[method-assign]
+        """Stop tracing; the simulator keeps running untouched."""
+        self.sim.remove_step_listener(self._on_step)

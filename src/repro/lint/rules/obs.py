@@ -1,0 +1,69 @@
+"""Telemetry-discipline rules.
+
+* ``obs-naming`` — string-literal metric names passed to the telemetry
+  helpers (``obs.counter`` / ``obs.gauge`` / ``obs.observe`` and the
+  registry's ``counter`` / ``gauge`` / ``histogram`` constructors) must
+  follow the project convention ``repro_<layer>_<name>_<unit>`` with a
+  unit suffix from :data:`repro.obs.naming.METRIC_UNITS`.  Keeping names
+  well-formed here is what keeps dashboards and the Prometheus exposition
+  queryable without per-metric cleanup.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+from repro.obs.naming import METRIC_NAME_RE, METRIC_UNITS
+
+__all__ = ["ObsNamingRule"]
+
+#: Call names whose first string-literal argument is a metric name.
+_METRIC_CALLS = frozenset({"counter", "gauge", "histogram", "observe"})
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+@register
+class ObsNamingRule(Rule):
+    """Metric names must follow ``repro_<layer>_<name>_<unit>``."""
+
+    id = "obs-naming"
+    summary = (
+        "metric name passed to a telemetry helper does not match "
+        "repro_<layer>_<name>_<unit> (unit one of "
+        + "/".join(METRIC_UNITS)
+        + ")"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag malformed string-literal metric names at telemetry calls."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if _call_name(node) not in _METRIC_CALLS:
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(first.value, str):
+                continue
+            name = first.value
+            if not name.startswith("repro_"):
+                # Not a metric name — `counter`/`observe` are common words
+                # (str.count lookalikes, numpy, etc.); only police our own
+                # namespace.
+                continue
+            if not METRIC_NAME_RE.match(name):
+                yield ctx.finding(
+                    self.id,
+                    first,
+                    f"metric name {name!r} violates repro_<layer>_<name>_<unit> "
+                    f"(unit must be one of {', '.join(METRIC_UNITS)})",
+                )

@@ -1,0 +1,88 @@
+"""repro.obs — the unified telemetry layer.
+
+Zero-dependency observability for every layer of the reproduction:
+
+* **Spans** (:func:`span`) — nested wall-clock *or* simulated-time phase
+  timings with attributes, usable as context managers or decorators.
+* **Metrics** (:class:`MetricsRegistry`, :func:`counter` / :func:`gauge` /
+  :func:`observe`) — process-wide counters, gauges and fixed-bucket
+  histograms named ``repro_<layer>_<name>_<unit>``, with snapshot/reset.
+* **Exporters** — JSONL event streams, Prometheus text exposition, and the
+  per-run :class:`RunManifest` (config, durations, metric snapshot,
+  provenance) written next to benchmark results.
+
+Everything is a no-op until a :func:`session` is active, so instrumented
+code paths are bit-identical with telemetry disabled.  See the README's
+"Observability" section and ``examples/telemetry_demo.py``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.exporters import JsonlWriter, read_jsonl, to_prometheus, write_prometheus
+from repro.obs.manifest import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    PROM_FILENAME,
+    RunManifest,
+    collect_provenance,
+)
+from repro.obs.naming import METRIC_NAME_RE, METRIC_UNITS, validate_metric_name
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.telemetry import (
+    PHASE_SECONDS_METRIC,
+    SIM,
+    WALL,
+    Span,
+    TelemetrySession,
+    active,
+    counter,
+    enabled,
+    event,
+    gauge,
+    observe,
+    phase,
+    session,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EVENTS_FILENAME",
+    "Gauge",
+    "Histogram",
+    "JsonlWriter",
+    "MANIFEST_FILENAME",
+    "METRIC_NAME_RE",
+    "METRIC_UNITS",
+    "MetricsRegistry",
+    "PHASE_SECONDS_METRIC",
+    "PROM_FILENAME",
+    "RunManifest",
+    "SIM",
+    "Span",
+    "TelemetrySession",
+    "WALL",
+    "active",
+    "collect_provenance",
+    "counter",
+    "default_registry",
+    "enabled",
+    "event",
+    "gauge",
+    "observe",
+    "phase",
+    "read_jsonl",
+    "session",
+    "span",
+    "to_prometheus",
+    "validate_metric_name",
+    "write_prometheus",
+]

@@ -1,0 +1,167 @@
+"""The ``repro obs`` subcommand: inspect telemetry directories.
+
+* ``repro obs summarize PATH`` — round-trip a run's ``manifest.json`` +
+  ``events.jsonl`` and print the human summary (phases, spans, metrics,
+  provenance).
+* ``repro obs dump PATH`` — stream the raw JSONL records to stdout.
+
+``PATH`` may be the telemetry directory, the manifest file, or the events
+file; the other artifacts are found beside it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs.exporters import read_jsonl
+from repro.obs.manifest import EVENTS_FILENAME, MANIFEST_FILENAME, RunManifest
+
+__all__ = ["build_parser", "main", "resolve_directory", "summarize"]
+
+
+def resolve_directory(path: str) -> str:
+    """The telemetry directory designated by ``path`` (dir or member file)."""
+    if os.path.isdir(path):
+        return path
+    if os.path.basename(path) in (MANIFEST_FILENAME, EVENTS_FILENAME):
+        return os.path.dirname(path) or "."
+    raise ConfigurationError(
+        f"{path!r} is not a telemetry directory, {MANIFEST_FILENAME} "
+        f"or {EVENTS_FILENAME}"
+    )
+
+
+def _load_events(directory: str) -> List[dict]:
+    events_path = os.path.join(directory, EVENTS_FILENAME)
+    if not os.path.exists(events_path):
+        return []
+    return list(read_jsonl(events_path))
+
+
+def _span_rollup(events: Sequence[dict]) -> Dict[str, List[float]]:
+    """``{name: [count, total_duration]}`` over span/phase records."""
+    rollup: Dict[str, List[float]] = {}
+    for record in events:
+        if record.get("type") not in ("span", "phase"):
+            continue
+        entry = rollup.setdefault(record["name"], [0, 0.0])
+        entry[0] += 1
+        entry[1] += float(record.get("dur", 0.0))
+    return rollup
+
+
+def _metric_lines(manifest: RunManifest) -> List[str]:
+    lines = []
+    for name in sorted(manifest.metrics):
+        family = manifest.metrics[name]
+        for series in family.get("series", []):
+            labels = series.get("labels", {})
+            rendered = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if family.get("kind") == "histogram":
+                lines.append(
+                    f"  {name}{rendered} count={series.get('count', 0)} "
+                    f"sum={series.get('sum', 0.0):g}"
+                )
+            else:
+                lines.append(f"  {name}{rendered} {series.get('value', 0.0):g}")
+    return lines
+
+
+def summarize(path: str) -> str:
+    """The human-readable summary of one telemetry directory."""
+    directory = resolve_directory(path)
+    manifest = RunManifest.load(directory)
+    events = _load_events(directory)
+
+    created = time.strftime(
+        "%Y-%m-%d %H:%M:%S UTC", time.gmtime(manifest.created_unix)
+    )
+    lines = [
+        f"run {manifest.label!r} ({manifest.run_id})",
+        f"created {created}   schema v{manifest.schema_version}   "
+        f"{manifest.n_events} events",
+    ]
+    if manifest.argv:
+        lines.append("argv: " + " ".join(manifest.argv))
+    prov = manifest.provenance
+    if prov:
+        commit = prov.get("git_commit")
+        lines.append(
+            "provenance: repro "
+            f"{prov.get('repro_version', '?')}, python {prov.get('python', '?')}, "
+            f"commit {commit[:12] if commit else 'n/a'}"
+        )
+
+    if manifest.durations:
+        total = sum(manifest.durations.values())
+        lines.append("phase totals:")
+        for name, seconds in sorted(
+            manifest.durations.items(), key=lambda kv: -kv[1]
+        ):
+            share = 100.0 * seconds / total if total else 0.0
+            lines.append(f"  {name:14s} {seconds:12.2f} s  {share:5.1f}%")
+
+    rollup = _span_rollup(events)
+    if rollup:
+        lines.append(f"spans/phases: {sum(int(v[0]) for v in rollup.values())} "
+                     f"records across {len(rollup)} names")
+        for name, (count, dur) in sorted(rollup.items(), key=lambda kv: -kv[1][1])[:10]:
+            lines.append(f"  {name:24s} x{int(count):<6d} {dur:12.2f} s")
+
+    metric_lines = _metric_lines(manifest)
+    if metric_lines:
+        lines.append(f"metrics: {len(manifest.metrics)} families")
+        lines.extend(metric_lines)
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``repro obs``."""
+    parser = argparse.ArgumentParser(
+        prog="repro obs", description="inspect telemetry run directories"
+    )
+    parser.add_argument(
+        "action", choices=("summarize", "dump"), help="what to do with the run"
+    )
+    parser.add_argument(
+        "path", help="telemetry directory (or its manifest/events file)"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None,
+        help="dump: print at most this many records",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro obs``; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.action == "summarize":
+            print(summarize(args.path))
+        else:
+            directory = resolve_directory(args.path)
+            events_path = os.path.join(directory, EVENTS_FILENAME)
+            if not os.path.exists(events_path):
+                raise ConfigurationError(f"no {EVENTS_FILENAME} in {directory!r}")
+            import json
+
+            for i, record in enumerate(read_jsonl(events_path)):
+                if args.limit is not None and i >= args.limit:
+                    break
+                print(json.dumps(record, sort_keys=True))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `repro obs dump ... | head`
+        return 0
+    return 0

@@ -1,0 +1,105 @@
+"""Telemetry exporters: JSONL event streams and Prometheus text exposition.
+
+* :class:`JsonlWriter` — append-only newline-delimited JSON; one record per
+  line, keys sorted, so streams diff cleanly across runs.
+* :func:`read_jsonl` — the matching reader (iterator of dicts).
+* :func:`to_prometheus` — render a :class:`~repro.obs.registry.MetricsRegistry`
+  in the Prometheus text exposition format (``# HELP`` / ``# TYPE`` headers,
+  labelled samples, cumulative histogram buckets).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Dict, Iterator, Optional
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+__all__ = ["JsonlWriter", "read_jsonl", "to_prometheus", "write_prometheus"]
+
+
+class JsonlWriter:
+    """Append-only JSON-lines stream with deterministic key order."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self.n_written = 0
+
+    def write(self, record: dict) -> None:
+        """Serialize one record onto its own line."""
+        if self._fh is None:
+            raise ValueError(f"writer for {self.path!r} is closed")
+        self._fh.write(json.dumps(record, sort_keys=True, default=str))
+        self._fh.write("\n")
+        self.n_written += 1
+
+    def close(self) -> None:
+        """Flush and close the stream (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> Iterator[dict]:
+    """Yield the records of a JSON-lines file, skipping blank lines."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _merge_labels(labels: Dict[str, str], **extra: str) -> Dict[str, str]:
+    merged = dict(labels)
+    merged.update(extra)
+    return merged
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for metric in family.series.values():
+            if isinstance(metric, Histogram):
+                for le, cum in metric.cumulative():
+                    bound = "+Inf" if le == float("inf") else f"{le:g}"
+                    labelled = _render_labels(_merge_labels(metric.labels, le=bound))
+                    lines.append(f"{family.name}_bucket{labelled} {cum}")
+                base = _render_labels(metric.labels)
+                lines.append(f"{family.name}_sum{base} {metric.sum:g}")
+                lines.append(f"{family.name}_count{base} {metric.count}")
+            else:
+                labelled = _render_labels(metric.labels)
+                lines.append(f"{family.name}{labelled} {metric.value:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> str:
+    """Write the exposition to ``path``; returns the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_prometheus(registry))
+    return path

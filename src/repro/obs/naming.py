@@ -1,0 +1,43 @@
+"""The project's metric naming convention.
+
+Every metric exported by the telemetry layer is named
+``repro_<layer>_<name>_<unit>``:
+
+* ``repro`` — fixed prefix, so exposition never collides with host metrics;
+* ``<layer>`` — the subsystem that owns the number (``pipeline``, ``power``,
+  ``storage``, ``ocean``, ``viz``, ``events``, ...);
+* ``<name>`` — one or more lowercase words describing the quantity;
+* ``<unit>`` — the unit suffix, restricted to the canonical set below
+  (``total`` marks a unitless count, Prometheus-style).
+
+Examples: ``repro_pipeline_phase_seconds``, ``repro_storage_written_bytes``,
+``repro_events_processed_total``.  The convention is enforced at runtime by
+:class:`~repro.obs.registry.MetricsRegistry` and statically by the
+``obs-naming`` lint rule.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigurationError
+
+__all__ = ["METRIC_NAME_RE", "METRIC_UNITS", "validate_metric_name"]
+
+#: Allowed unit suffixes.  ``total`` is the Prometheus idiom for counts.
+METRIC_UNITS = ("total", "seconds", "bytes", "watts", "joules", "ratio")
+
+#: ``repro_<layer>_<name...>_<unit>`` — at least layer + name + unit.
+METRIC_NAME_RE = re.compile(
+    r"^repro(?:_[a-z][a-z0-9]*){2,}_(?:" + "|".join(METRIC_UNITS) + r")$"
+)
+
+
+def validate_metric_name(name: str) -> str:
+    """Return ``name`` if it follows the convention; raise otherwise."""
+    if METRIC_NAME_RE.match(name) is None:
+        raise ConfigurationError(
+            f"metric name {name!r} violates the repro_<layer>_<name>_<unit> "
+            f"convention (unit one of {', '.join(METRIC_UNITS)})"
+        )
+    return name

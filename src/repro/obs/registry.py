@@ -1,0 +1,247 @@
+"""The process-wide metrics registry: counters, gauges and histograms.
+
+Zero-dependency, deliberately small.  A registry holds *families* keyed by
+metric name; each family holds labelled *series* (children), Prometheus
+style::
+
+    reg = MetricsRegistry()
+    reg.counter("repro_storage_writes_total").inc()
+    reg.histogram("repro_pipeline_phase_seconds", phase="viz").observe(3.2)
+    snap = reg.snapshot()          # plain nested dict, JSON-safe
+    reg.reset()                    # tests start from a clean slate
+
+Metric names must follow the ``repro_<layer>_<name>_<unit>`` convention
+(:mod:`repro.obs.naming`); violations raise at creation time.  Histograms
+use *fixed* bucket bounds chosen at family creation, so observation is O(len
+buckets) with no allocation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.naming import validate_metric_name
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+]
+
+#: Default histogram bucket upper bounds (seconds-oriented, wide enough for
+#: both wall-clock phases and simulated campaign phases).  ``+inf`` implied.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0, 3600.0, 86400.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: Dict[str, str]) -> None:
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ConfigurationError(f"counter increment must be >= 0, got {amount}")
+        self.value += float(amount)
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: Dict[str, str]) -> None:
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self.value += float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self.value -= float(amount)
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-count exposition."""
+
+    __slots__ = ("labels", "bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, labels: Dict[str, str], bounds: Sequence[float]) -> None:
+        self.labels = dict(labels)
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # last = +inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``+inf``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """All series sharing one metric name."""
+
+    __slots__ = ("name", "kind", "help", "bounds", "series")
+
+    def __init__(self, name: str, kind: str, help: str, bounds: Optional[Sequence[float]]) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.bounds = tuple(bounds) if bounds is not None else None
+        self.series: Dict[_LabelKey, object] = {}
+
+    def child(self, labels: Dict[str, str]):
+        key = _label_key(labels)
+        metric = self.series.get(key)
+        if metric is None:
+            if self.kind == "histogram":
+                metric = Histogram(labels, self.bounds or DEFAULT_BUCKETS)
+            else:
+                metric = _KINDS[self.kind](labels)
+            self.series[key] = metric
+        return metric
+
+
+class MetricsRegistry:
+    """A named collection of metric families with snapshot/reset semantics."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    # -------------------------------------------------------------- creation
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            validate_metric_name(name)
+            family = _Family(name, kind, help, bounds)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} is a {family.kind}, requested as {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """The counter series for ``name`` + ``labels`` (created on first use)."""
+        return self._family(name, "counter", help).child(labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """The gauge series for ``name`` + ``labels``."""
+        return self._family(name, "gauge", help).child(labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+        **labels: str,
+    ) -> Histogram:
+        """The histogram series for ``name`` + ``labels``.
+
+        ``buckets`` (ascending upper bounds, ``+inf`` implied) is fixed by
+        the first call that creates the family; later calls must pass the
+        same bounds or ``None``.
+        """
+        if buckets is not None and sorted(buckets) != list(buckets):
+            raise ConfigurationError(f"histogram buckets must ascend: {buckets}")
+        family = self._family(name, "histogram", help, bounds=buckets)
+        if buckets is not None and family.bounds is not None \
+                and tuple(buckets) != family.bounds:
+            raise ConfigurationError(
+                f"metric {name!r} already has buckets {family.bounds}"
+            )
+        return family.child(labels)
+
+    # --------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def families(self) -> Iterator[_Family]:
+        """Families in name order (for exposition)."""
+        for name in sorted(self._families):
+            yield self._families[name]
+
+    def snapshot(self) -> Dict[str, dict]:
+        """The whole registry as a plain, JSON-safe nested dict."""
+        out: Dict[str, dict] = {}
+        for family in self.families():
+            series = []
+            for metric in family.series.values():
+                if isinstance(metric, Histogram):
+                    series.append(
+                        {
+                            "labels": dict(metric.labels),
+                            "count": metric.count,
+                            "sum": metric.sum,
+                            "buckets": [
+                                ["+Inf" if le == float("inf") else le, n]
+                                for le, n in metric.cumulative()
+                            ],
+                        }
+                    )
+                else:
+                    series.append(
+                        {"labels": dict(metric.labels), "value": metric.value}
+                    )
+            out[family.name] = {"kind": family.kind, "series": series}
+        return out
+
+    def reset(self) -> None:
+        """Drop every family — tests start from a clean registry."""
+        self._families.clear()
+
+
+#: The process-wide registry used by the instrumentation helpers.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT

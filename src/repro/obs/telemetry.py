@@ -1,0 +1,365 @@
+"""Sessions, spans and the module-level instrumentation helpers.
+
+This is the layer the rest of the library talks to.  Instrumentation points
+call the module-level helpers (:func:`span`, :func:`phase`, :func:`event`,
+:func:`counter`, :func:`gauge`, :func:`observe`); when no session is active
+every helper is a cheap no-op, so telemetry-off runs are bit-identical to
+uninstrumented ones.  Activating a session::
+
+    from repro import obs
+
+    with obs.session(directory="out/telemetry", label="characterize") as tel:
+        ...instrumented work...
+
+writes three artifacts into the directory: ``events.jsonl`` (the span/event
+stream), ``manifest.json`` (the :class:`~repro.obs.manifest.RunManifest`)
+and ``metrics.prom`` (Prometheus text exposition of the registry).
+
+Spans nest: each open span becomes the parent of spans and phases recorded
+inside it, and each record carries its clock *domain* — ``"wall"`` for real
+(perf-counter) time, ``"sim"`` for discrete-event simulated time — because
+this library routinely times both in one process.  Sessions are
+single-threaded by design, matching the library's execution model.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.exporters import JsonlWriter, write_prometheus
+from repro.obs.manifest import (
+    EVENTS_FILENAME,
+    PROM_FILENAME,
+    RunManifest,
+    collect_provenance,
+)
+from repro.obs.registry import MetricsRegistry, default_registry
+
+__all__ = [
+    "PHASE_SECONDS_METRIC",
+    "SIM",
+    "Span",
+    "TelemetrySession",
+    "WALL",
+    "active",
+    "counter",
+    "enabled",
+    "event",
+    "gauge",
+    "observe",
+    "phase",
+    "session",
+    "span",
+]
+
+#: Clock-domain labels carried by every span/phase record.
+WALL = "wall"
+SIM = "sim"
+
+#: Histogram fed by every recorded phase (labelled by phase name).
+PHASE_SECONDS_METRIC = "repro_pipeline_phase_seconds"
+
+#: In-memory tail of recent records kept by every session (for tests and
+#: directory-less sessions).
+RECENT_CAPACITY = 512
+
+
+class TelemetrySession:
+    """One activation of the telemetry layer.
+
+    Owns the JSONL writer, the span stack, per-phase duration totals and a
+    reference to the metrics registry (the process-wide default unless a
+    private one is injected for tests).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        label: str = "run",
+        registry: Optional[MetricsRegistry] = None,
+        argv: Optional[List[str]] = None,
+        config: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.directory = directory
+        self.label = label
+        self.registry = registry if registry is not None else default_registry()
+        self.argv = list(argv) if argv is not None else []
+        self.config = dict(config) if config is not None else {}
+        self.created_unix = time.time()
+        self.run_id = f"{label}-{os.getpid()}-{int(self.created_unix)}"
+        self.phase_totals: Dict[str, float] = {}
+        self.recent: Deque[dict] = deque(maxlen=RECENT_CAPACITY)
+        self.closed = False
+        self._writer: Optional[JsonlWriter] = None
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._writer = JsonlWriter(os.path.join(directory, EVENTS_FILENAME))
+        self._seq = 0
+        self._n_spans = 0
+        self._stack: List[int] = []
+
+    # ------------------------------------------------------------- emission
+
+    @property
+    def n_events(self) -> int:
+        """Records emitted so far."""
+        return self._seq
+
+    def _emit(self, record: dict) -> None:
+        self._seq += 1
+        record["seq"] = self._seq
+        self.recent.append(record)
+        if self._writer is not None:
+            self._writer.write(record)
+
+    def open_span(self) -> tuple:
+        """Allocate a span id; returns ``(span_id, parent_id)``."""
+        self._n_spans += 1
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(self._n_spans)
+        return self._n_spans, parent
+
+    def close_span(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        t0: float,
+        t1: float,
+        domain: str,
+        attrs: Dict[str, Any],
+    ) -> None:
+        """Pop ``span_id`` and emit its record."""
+        if self._stack and self._stack[-1] == span_id:
+            self._stack.pop()
+        record = {
+            "type": "span",
+            "name": name,
+            "domain": domain,
+            "t0": t0,
+            "t1": t1,
+            "dur": t1 - t0,
+            "id": span_id,
+            "parent": parent_id,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
+    def phase(
+        self, name: str, t0: float, t1: float, domain: str = SIM, **attrs: Any
+    ) -> None:
+        """Record one explicit-times phase segment (and feed the metrics)."""
+        duration = t1 - t0
+        self.phase_totals[name] = self.phase_totals.get(name, 0.0) + duration
+        self.registry.histogram(PHASE_SECONDS_METRIC, phase=name).observe(duration)
+        self._n_spans += 1
+        record = {
+            "type": "phase",
+            "name": name,
+            "domain": domain,
+            "t0": t0,
+            "t1": t1,
+            "dur": duration,
+            "id": self._n_spans,
+            "parent": self._stack[-1] if self._stack else None,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record one point event."""
+        record: dict = {"type": "event", "name": name}
+        if fields:
+            record["fields"] = fields
+        self._emit(record)
+
+    # --------------------------------------------------------------- closing
+
+    def manifest(self) -> RunManifest:
+        """The session's current state as a :class:`RunManifest`."""
+        return RunManifest(
+            label=self.label,
+            run_id=self.run_id,
+            created_unix=self.created_unix,
+            argv=self.argv,
+            config=self.config,
+            durations=dict(self.phase_totals),
+            metrics=self.registry.snapshot(),
+            provenance=collect_provenance(self.config),
+            n_events=self._seq,
+        )
+
+    def close(self) -> Optional[str]:
+        """Write the manifest + exposition and close the stream.
+
+        Returns the manifest path (None for directory-less sessions).
+        Idempotent.
+        """
+        if self.closed:
+            return None
+        self.closed = True
+        if self._writer is not None:
+            self._writer.close()
+        if self.directory is None:
+            return None
+        write_prometheus(self.registry, os.path.join(self.directory, PROM_FILENAME))
+        return self.manifest().write(self.directory)
+
+
+#: The active session, if any.  Single-threaded by design.
+_ACTIVE: Optional[TelemetrySession] = None
+
+
+def active() -> Optional[TelemetrySession]:
+    """The active session, or None."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """True while a telemetry session is active."""
+    return _ACTIVE is not None
+
+
+@contextmanager
+def session(
+    directory: Optional[str] = None,
+    label: str = "run",
+    registry: Optional[MetricsRegistry] = None,
+    argv: Optional[List[str]] = None,
+    config: Optional[Dict[str, Any]] = None,
+) -> Iterator[TelemetrySession]:
+    """Activate telemetry for the dynamic extent of the block."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise ConfigurationError(
+            f"telemetry session {_ACTIVE.run_id!r} is already active"
+        )
+    sess = TelemetrySession(
+        directory=directory, label=label, registry=registry, argv=argv, config=config
+    )
+    _ACTIVE = sess
+    try:
+        yield sess
+    finally:
+        _ACTIVE = None
+        sess.close()
+
+
+ClockLike = Union[Callable[[], float], Any]
+
+
+class Span:
+    """A named, attributed, nestable timing scope.
+
+    Context manager *and* decorator.  ``clock`` may be a zero-argument
+    callable or any object with a ``now`` attribute (e.g. a
+    :class:`~repro.events.engine.Simulator`); when given, the span is
+    recorded in the ``"sim"`` domain unless ``domain`` overrides it.
+    When no session is active, entry and exit are near-free no-ops.
+    """
+
+    __slots__ = ("name", "clock", "domain", "attrs", "_session", "_sid", "_parent", "_t0")
+
+    def __init__(
+        self,
+        name: str,
+        clock: Optional[ClockLike] = None,
+        domain: Optional[str] = None,
+        **attrs: Any,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.domain = domain if domain is not None else (WALL if clock is None else SIM)
+        self.attrs = attrs
+        self._session: Optional[TelemetrySession] = None
+
+    def _now(self) -> float:
+        if self.clock is None:
+            return time.perf_counter()
+        if callable(self.clock):
+            return float(self.clock())
+        return float(self.clock.now)
+
+    def __enter__(self) -> "Span":
+        sess = _ACTIVE
+        self._session = sess
+        if sess is None:
+            return self
+        self._sid, self._parent = sess.open_span()
+        self._t0 = self._now()
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        sess = self._session
+        self._session = None
+        if sess is None:
+            return False
+        attrs = dict(self.attrs)
+        if exc_type is not None:
+            attrs["error"] = exc_type.__name__
+        sess.close_span(
+            self._sid, self._parent, self.name, self._t0, self._now(),
+            self.domain, attrs,
+        )
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with Span(self.name, clock=self.clock, domain=self.domain, **self.attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def span(
+    name: str,
+    clock: Optional[ClockLike] = None,
+    domain: Optional[str] = None,
+    **attrs: Any,
+) -> Span:
+    """A :class:`Span` — use as ``with obs.span(...)`` or ``@obs.span(...)``."""
+    return Span(name, clock=clock, domain=domain, **attrs)
+
+
+def phase(name: str, t0: float, t1: float, domain: str = SIM, **attrs: Any) -> None:
+    """Record an explicit-times phase segment (no-op when disabled)."""
+    sess = _ACTIVE
+    if sess is not None:
+        sess.phase(name, t0, t1, domain, **attrs)
+
+
+def event(name: str, **fields: Any) -> None:
+    """Record a point event (no-op when disabled)."""
+    sess = _ACTIVE
+    if sess is not None:
+        sess.event(name, **fields)
+
+
+def counter(name: str, value: float = 1.0, **labels: str) -> None:
+    """Increment a counter in the session registry (no-op when disabled)."""
+    sess = _ACTIVE
+    if sess is not None:
+        sess.registry.counter(name, **labels).inc(value)
+
+
+def gauge(name: str, value: float, **labels: str) -> None:
+    """Set a gauge in the session registry (no-op when disabled)."""
+    sess = _ACTIVE
+    if sess is not None:
+        sess.registry.gauge(name, **labels).set(value)
+
+
+def observe(name: str, value: float, **labels: str) -> None:
+    """Observe into a histogram in the session registry (no-op when disabled)."""
+    sess = _ACTIVE
+    if sess is not None:
+        sess.registry.histogram(name, **labels).observe(value)

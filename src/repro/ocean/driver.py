@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.ocean.barotropic import BarotropicSolver
 from repro.ocean.grid import SpectralGrid, icosahedral_cell_count
@@ -188,7 +189,9 @@ class MiniOceanDriver:
 
     def advance(self, n_steps: int = 1) -> None:
         """Advance the mini model ``n_steps`` timesteps."""
-        self.solver.run(n_steps, self.timestep_seconds)
+        with obs.span("ocean.advance", n_steps=n_steps):
+            self.solver.run(n_steps, self.timestep_seconds)
+        obs.counter("repro_ocean_steps_total", n_steps)
 
     def okubo_weiss_field(self) -> np.ndarray:
         """The current Okubo-Weiss field on the mini grid."""

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Generator
 
 import numpy as np
 
+from repro import obs
 from repro.core.metrics import IN_SITU, Measurement, PhaseTimeline
 from repro.pipelines.base import Pipeline, PipelineSpec
 from repro.viz.catalyst import CatalystAdaptor
@@ -71,6 +72,11 @@ class InSituPipeline(Pipeline):
                 cinema.add_accounted({"time": i, "camera": cam}, int(image_bytes))
             artifacts["n_outputs"] += 1
             artifacts["n_images"] += spec.images.images_per_sample
+            obs.counter(
+                "repro_viz_images_total",
+                spec.images.images_per_sample,
+                pipeline=self.name,
+            )
         # Trailing timesteps after the last output, if the cadence does not
         # divide the campaign exactly.
         leftover = spec.ocean.n_timesteps - n_out * k
@@ -89,7 +95,7 @@ class InSituPipeline(Pipeline):
         outdir = platform.run_directory(self.name)
         cinema = CinemaDatabase(os.path.join(outdir, "cinema"), name="eddies")
         cameras = [Camera(), Camera(center=(0.5, 0.5), zoom=2.0)]
-        timeline = PhaseTimeline()
+        timeline = PhaseTimeline(domain=obs.WALL)
         n_images = 0
         storage_before = cinema.total_bytes
 
@@ -123,6 +129,7 @@ class InSituPipeline(Pipeline):
                 n_images += 1
             t1 = platform.clock()
             timeline.add("io", t0, t1)
+            obs.counter("repro_viz_images_total", len(images), pipeline=self.name)
         adaptor.finalize()
         cinema.close()
         wall_end = platform.clock()

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Generator
 
 import numpy as np
 
+from repro import obs
 from repro.core.metrics import Measurement, PhaseTimeline
 from repro.errors import ConfigurationError
 from repro.events.resources import Store
@@ -175,7 +176,7 @@ class InTransitPipeline(Pipeline):
         driver = platform.new_driver()
         outdir = platform.run_directory(self.name)
         cinema = CinemaDatabase(os.path.join(outdir, "cinema"), name="eddies-intransit")
-        timeline = PhaseTimeline()
+        timeline = PhaseTimeline(domain=obs.WALL)
         inbox: "queue.Queue" = queue.Queue(maxsize=STAGING_QUEUE_DEPTH)
         n_images = 0
         lock = threading.Lock()

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.cluster.machine import ComputeCluster, PhaseProfile, caddy
 from repro.core.metrics import Measurement, PhaseTimeline
 from repro.errors import ConfigurationError
@@ -133,11 +134,31 @@ class SimulatedPlatform:
         artifacts: dict = {"storage_bytes": 0.0, "n_images": 0, "n_outputs": 0}
         t_start = self.sim.now
         storage_before = self.storage.fs.used_bytes
-        self.sim.process(
-            pipeline.simulated_process(self, run_spec, timeline, artifacts),
-            name=f"{pipeline.name}-{self._run_counter}",
-        )
-        self.sim.run()
+        session = obs.active()
+        listener = None
+        if session is not None:
+            processed = session.registry.counter(
+                "repro_events_processed_total", pipeline=pipeline.name
+            )
+            listener = self.sim.add_step_listener(
+                lambda event, now: processed.inc()
+            )
+        try:
+            with obs.span(
+                "pipeline.run",
+                clock=self.sim,
+                pipeline=pipeline.name,
+                mode="simulated",
+                interval_hours=run_spec.sampling.interval_hours,
+            ):
+                self.sim.process(
+                    pipeline.simulated_process(self, run_spec, timeline, artifacts),
+                    name=f"{pipeline.name}-{self._run_counter}",
+                )
+                self.sim.run()
+        finally:
+            if listener is not None:
+                self.sim.remove_step_listener(listener)
         t_end = self.sim.now
         duration = t_end - t_start
         if duration <= 0:
@@ -151,6 +172,21 @@ class SimulatedPlatform:
             budget_watts=self.cluster.peak_watts + self.storage.power_model.full_load_watts,
         )
         measured_storage = self.storage.fs.used_bytes - storage_before
+        obs.counter("repro_pipeline_runs_total", pipeline=pipeline.name, mode="simulated")
+        obs.counter(
+            "repro_pipeline_storage_bytes", measured_storage, pipeline=pipeline.name
+        )
+        obs.counter(
+            "repro_pipeline_images_total", artifacts["n_images"], pipeline=pipeline.name
+        )
+        obs.event(
+            "measurement",
+            pipeline=pipeline.name,
+            interval_hours=run_spec.sampling.interval_hours,
+            execution_time=duration,
+            storage_bytes=measured_storage,
+            average_power=report.average_power,
+        )
         return Measurement(
             pipeline=pipeline.name,
             sample_interval_hours=run_spec.sampling.interval_hours,
@@ -238,4 +274,10 @@ class RealPlatform:
 
     def run(self, pipeline: Pipeline, spec: Optional[PipelineSpec] = None) -> Measurement:
         """Run the miniature real version of ``pipeline``."""
-        return pipeline.run_real(self, spec if spec is not None else PipelineSpec())
+        with obs.span("pipeline.run", pipeline=pipeline.name, mode="real"):
+            measurement = pipeline.run_real(self, spec if spec is not None else PipelineSpec())
+        obs.counter("repro_pipeline_runs_total", pipeline=pipeline.name, mode="real")
+        obs.counter(
+            "repro_pipeline_images_total", measurement.n_images, pipeline=pipeline.name
+        )
+        return measurement

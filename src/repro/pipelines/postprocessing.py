@@ -12,6 +12,7 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Generator
 
+from repro import obs
 from repro.core.metrics import POST_PROCESSING, Measurement, PhaseTimeline
 from repro.events.resources import Resource, Store
 from repro.io.ncformat import read_nclite
@@ -108,6 +109,11 @@ class PostProcessingPipeline(Pipeline):
             cluster.set_utilization(cluster.phases.idle)
             timeline.add("io", t0, sim.now)
             artifacts["n_images"] += spec.images.images_per_sample
+            obs.counter(
+                "repro_viz_images_total",
+                spec.images.images_per_sample,
+                pipeline=self.name,
+            )
 
     # ------------------------------------------------------------------ real
 
@@ -116,7 +122,7 @@ class PostProcessingPipeline(Pipeline):
         driver = platform.new_driver()
         outdir = platform.run_directory(self.name)
         backend = RealIOBackend(os.path.join(outdir, "raw"))
-        timeline = PhaseTimeline()
+        timeline = PhaseTimeline(domain=obs.WALL)
         wall_start = platform.clock()
 
         # ---- Phase 1: simulate + write raw nclite files.
@@ -148,6 +154,7 @@ class PostProcessingPipeline(Pipeline):
             t0 = platform.clock()
             cinema.add_image({"time": i, "camera": 0}, image)
             n_images += 1
+            obs.counter("repro_viz_images_total", 1.0, pipeline=self.name)
             t1 = platform.clock()
             timeline.add("io", t0, t1)
         cinema.close()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro import obs
 from repro.errors import ConfigurationError, MeterError
 from repro.power.signal import PowerSignal
 from repro.power.trace import PowerTrace
@@ -84,12 +85,17 @@ class PowerMeter:
             trace = PowerTrace(
                 trace.start, trace.dt, trace.watts * self.loss_factor, name=self.name
             )
+        obs.counter("repro_power_meter_reads_total", meter=self.name)
+        obs.counter(
+            "repro_power_samples_total", len(trace.watts), meter=self.name
+        )
         return trace
 
     def instantaneous(self, time: float) -> float:
         """True total power behind the inlet at ``time`` (watts)."""
         if not self._signals:
             raise MeterError(f"meter {self.name!r} has no attached signals")
+        obs.counter("repro_power_instantaneous_reads_total", meter=self.name)
         return self.loss_factor * sum(s.value_at(time) for s in self._signals)
 
 

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, MeterError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -72,6 +73,9 @@ class PowerTrace:
         edges = np.arange(t0, t1, dt)
         edges = np.append(edges, t1)
         watts = [signal.mean(a, b) for a, b in zip(edges[:-1], edges[1:])]
+        obs.counter(
+            "repro_power_trace_intervals_total", len(watts), signal=name or signal.name
+        )
         return cls(
             t0, dt, watts, name=name or signal.name, final_dt=float(edges[-1] - edges[-2])
         )

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
+from repro import obs
 from repro.errors import ConfigurationError, StorageError, StorageFullError
 from repro.events.engine import Simulator
 from repro.events.resources import BandwidthPipe, Resource
@@ -149,6 +150,7 @@ class LustreFileSystem:
         yield self.sim.timeout(self.metadata_latency)
         self.mds.release(req)
         self._metadata_ops += 1
+        obs.counter("repro_storage_metadata_ops_total")
 
     def write(
         self, path: str, nbytes: float, stripe_count: Optional[int] = None
@@ -180,6 +182,8 @@ class LustreFileSystem:
             self._files[path] = record
         record.size += nbytes
         record.n_writes += 1
+        obs.counter("repro_storage_writes_total")
+        obs.counter("repro_storage_written_bytes", nbytes)
         return record
 
     def read(self, path: str, nbytes: Optional[float] = None) -> Generator[object, object, float]:
@@ -197,6 +201,8 @@ class LustreFileSystem:
         if size > 0:
             yield self.read_pipe.transfer(size, cap=cap, tag=path)
         record.n_reads += 1
+        obs.counter("repro_storage_reads_total")
+        obs.counter("repro_storage_read_bytes", size)
         return size
 
     def delete(self, path: str) -> Generator:

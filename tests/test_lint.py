@@ -377,6 +377,49 @@ class TestStaleAllRule:
         assert "stale-all" not in rule_ids(findings)
 
 
+class TestObsNamingRule:
+    def test_missing_unit_suffix_is_flagged(self, tmp_path):
+        source = 'obs.counter("repro_storage_writes")\n'
+        findings = lint_source(tmp_path, "mod.py", source)
+        assert "obs-naming" in rule_ids(findings)
+
+    def test_missing_layer_segment_is_flagged(self, tmp_path):
+        source = 'registry.histogram("repro_seconds")\n'
+        findings = lint_source(tmp_path, "mod.py", source)
+        assert "obs-naming" in rule_ids(findings)
+
+    def test_well_formed_name_is_fine(self, tmp_path):
+        source = 'obs.counter("repro_storage_writes_total", 2.0)\n'
+        findings = lint_source(tmp_path, "mod.py", source)
+        assert "obs-naming" not in rule_ids(findings)
+
+    def test_every_unit_suffix_is_accepted(self, tmp_path):
+        lines = [
+            f'obs.observe("repro_layer_name_{unit}", 1.0)'
+            for unit in ("total", "seconds", "bytes", "watts", "joules", "ratio")
+        ]
+        findings = lint_source(tmp_path, "mod.py", "\n".join(lines) + "\n")
+        assert "obs-naming" not in rule_ids(findings)
+
+    def test_foreign_namespaces_are_ignored(self, tmp_path):
+        source = 'text.count("chars")\ngauge("other_metric")\n'
+        findings = lint_source(tmp_path, "mod.py", source)
+        assert "obs-naming" not in rule_ids(findings)
+
+    def test_dynamic_names_are_ignored(self, tmp_path):
+        source = "obs.counter(name_variable)\n"
+        findings = lint_source(tmp_path, "mod.py", source)
+        assert "obs-naming" not in rule_ids(findings)
+
+    def test_suppression_comment(self, tmp_path):
+        source = (
+            'obs.counter("repro_legacy")'
+            "  # repro-lint: disable=obs-naming\n"
+        )
+        findings = lint_source(tmp_path, "mod.py", source)
+        assert "obs-naming" not in rule_ids(findings)
+
+
 class TestReporters:
     def _findings(self):
         return [

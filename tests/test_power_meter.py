@@ -1,0 +1,60 @@
+"""Focused coverage for :class:`PowerMeter.instantaneous` and cage limits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, MeterError
+from repro.power.meter import CageMonitor, PowerMeter
+from repro.power.signal import PowerSignal
+
+
+class TestInstantaneous:
+    def test_sums_all_attached_signals(self):
+        meter = PowerMeter("m")
+        meter.attach_all([PowerSignal(100.0), PowerSignal(50.0), PowerSignal(25.0)])
+        assert meter.instantaneous(0.0) == 175.0
+
+    def test_applies_loss_factor(self):
+        meter = PowerMeter("m", loss_factor=1.2)
+        meter.attach(PowerSignal(100.0))
+        assert meter.instantaneous(0.0) == pytest.approx(120.0)
+
+    def test_follows_signal_steps(self):
+        s = PowerSignal(100.0)
+        s.set(10.0, 400.0)
+        s.set(20.0, 150.0)
+        meter = PowerMeter("m")
+        meter.attach(s)
+        assert meter.instantaneous(9.99) == 100.0
+        assert meter.instantaneous(10.0) == 400.0
+        assert meter.instantaneous(25.0) == 150.0
+
+    def test_no_signals_raises(self):
+        with pytest.raises(MeterError):
+            PowerMeter("m").instantaneous(0.0)
+
+
+class TestCageMonitorAttachAll:
+    def test_attach_all_fills_one_cage(self):
+        cage = CageMonitor(3)
+        cage.attach_all(PowerSignal(300.0) for _ in range(CageMonitor.NODES_PER_CAGE))
+        assert cage.n_signals == CageMonitor.NODES_PER_CAGE
+        assert cage.instantaneous(0.0) == 300.0 * CageMonitor.NODES_PER_CAGE
+
+    def test_attach_all_overflow_raises(self):
+        cage = CageMonitor(0)
+        signals = [PowerSignal(100.0) for _ in range(CageMonitor.NODES_PER_CAGE + 1)]
+        with pytest.raises(ConfigurationError):
+            cage.attach_all(signals)
+        # The first ten were accepted before the eleventh overflowed.
+        assert cage.n_signals == CageMonitor.NODES_PER_CAGE
+
+    def test_attach_all_respects_prior_attachments(self):
+        cage = CageMonitor(1)
+        cage.attach(PowerSignal(100.0))
+        with pytest.raises(ConfigurationError):
+            cage.attach_all(
+                PowerSignal(100.0) for _ in range(CageMonitor.NODES_PER_CAGE)
+            )
+        assert cage.n_signals == CageMonitor.NODES_PER_CAGE
