@@ -5,6 +5,8 @@ Commands map onto the paper's sections:
 * ``characterize`` — run the Section V experiment grid, print the table.
 * ``calibrate``    — fit Eq. 5 and validate on held-out cells (Fig. 8).
 * ``whatif``       — Figs. 9/10 sweeps for an arbitrary campaign length.
+* ``faults``       — seeded fault campaign: both pipelines under identical
+  fault loads, with and without checkpoint/restart (see ``repro.faults``).
 * ``plan``         — the Section VII advisor: pipeline + cadence under budgets.
 * ``report``       — the full Markdown study report (all sections).
 * ``hypotheses``   — score the Section II-C hypotheses (the §V-A findings box).
@@ -63,6 +65,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--intervals", type=float, nargs="+",
         default=[1.0, 8.0, 24.0, 72.0, 192.0], metavar="HOURS",
     )
+    p.add_argument(
+        "--mtbf-hours", type=float, default=None,
+        help="also print the failure-aware sweep at this node MTBF",
+    )
+    p.add_argument(
+        "--checkpoint-write-seconds", type=float, default=60.0,
+        help="checkpoint write cost for the failure-aware sweep",
+    )
+    p.add_argument(
+        "--restart-seconds", type=float, default=30.0,
+        help="recovery cost for the failure-aware sweep",
+    )
+    p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+
+    p = sub.add_parser(
+        "faults", help="seeded fault campaign: both pipelines, identical faults"
+    )
+    p.add_argument(
+        "--mtbf-hours", type=float, default=6.0,
+        help="node mean time between crashes (simulated hours)",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=8,
+        help="checkpoint cadence in pipeline outputs",
+    )
+    p.add_argument("--seed", type=int, default=57, help="fault-schedule seed")
+    p.add_argument(
+        "--interval", type=float, default=24.0, metavar="HOURS",
+        help="sampling cadence (simulated hours)",
+    )
+    p.add_argument(
+        "--months", type=float, default=6.0, help="campaign length (simulated months)"
+    )
+    p.add_argument(
+        "--restart-penalty", type=float, default=30.0, metavar="SECONDS",
+        help="fixed restart cost paid per recovery",
+    )
+    p.add_argument(
+        "--brownout-rate", type=float, default=0.0, metavar="PER_HOUR",
+        help="write-bandwidth brownout arrival rate",
+    )
+    p.add_argument(
+        "--io-error-rate", type=float, default=0.0, metavar="PER_HOUR",
+        help="transient I/O error arrival rate",
+    )
+    p.add_argument(
+        "--no-unprotected", action="store_true",
+        help="skip the unprotected (no-checkpoint) comparison runs",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
 
     p = sub.add_parser("plan", help="Section VII advisor")
@@ -154,6 +206,61 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
         )
     limit = analyzer.finest_interval_for_storage(POST_PROCESSING, 2_000.0, duration)
     print(f"\n2 TB budget forces post-processing to every {limit / 24:.1f} days")
+    if args.mtbf_hours is not None:
+        rows = analyzer.failure_aware_sweep(
+            args.intervals,
+            duration,
+            mtbf_hours=args.mtbf_hours,
+            checkpoint_write_seconds=args.checkpoint_write_seconds,
+            restart_seconds=args.restart_seconds,
+        )
+        tau = rows[0].checkpoint_interval_seconds
+        print(f"\nwith failures (MTBF {args.mtbf_hours:g} h, "
+              f"optimal checkpoint every {tau / 3_600:.2f} h):")
+        print(f"{'cadence':>10s} {'post +%':>9s} {'in-situ +%':>11s} "
+              f"{'energy saving':>14s}")
+        for frow in rows:
+            print(
+                f"{frow.interval_hours:>8.0f} h "
+                f"{100 * frow.post_overhead_ratio():>8.1f}% "
+                f"{100 * frow.insitu_overhead_ratio():>10.1f}% "
+                f"{100 * frow.energy_savings():>13.1f}%"
+            )
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import run_fault_campaign
+    from repro.ocean.driver import MPASOceanConfig
+    from repro.pipelines.base import PipelineSpec
+    from repro.pipelines.platform import SimulatedPlatform
+    from repro.pipelines.sampling import SamplingPolicy
+    from repro.units import MONTH
+
+    spec = PipelineSpec(
+        ocean=MPASOceanConfig(duration_seconds=args.months * MONTH),
+        sampling=SamplingPolicy(args.interval),
+    )
+    print(
+        "running the fault campaign (fault-free baselines, protected and "
+        "unprotected runs for both pipelines)...",
+        file=sys.stderr,
+    )
+    result = run_fault_campaign(
+        spec,
+        SimulatedPlatform,
+        seed=args.seed,
+        mtbf_hours=args.mtbf_hours,
+        checkpoint_every=args.checkpoint_every,
+        restart_penalty_seconds=args.restart_penalty,
+        brownout_rate_per_hour=args.brownout_rate,
+        io_error_rate_per_hour=args.io_error_rate,
+        include_unprotected=not args.no_unprotected,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(result.table())
     return 0
 
 
@@ -253,6 +360,7 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "calibrate": _cmd_calibrate,
     "whatif": _cmd_whatif,
+    "faults": _cmd_faults,
     "plan": _cmd_plan,
     "quality": _cmd_quality,
     "report": _cmd_report,

@@ -21,10 +21,11 @@ from typing import Optional, Sequence
 
 from repro.core.model import PipelinePredictor, Prediction
 from repro.errors import ConfigurationError, ModelError
+from repro.faults.model import FailureModel
 from repro.paper import TIMESTEP_SECONDS
 from repro.units import HOUR
 
-__all__ = ["SweepRow", "WhatIfAnalyzer"]
+__all__ = ["FailureSweepRow", "SweepRow", "WhatIfAnalyzer"]
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,40 @@ class SweepRow:
         if self.post.execution_time == 0:
             raise ModelError("post-processing time is zero; no baseline")
         return 1.0 - self.insitu.execution_time / self.post.execution_time
+
+
+@dataclass(frozen=True)
+class FailureSweepRow:
+    """One cadence under failures: fault-free vs expected (Daly) outcomes."""
+
+    interval_hours: float
+    checkpoint_interval_seconds: float
+    insitu: Prediction
+    post: Prediction
+    insitu_expected_seconds: float
+    post_expected_seconds: float
+    insitu_expected_joules: Optional[float]
+    post_expected_joules: Optional[float]
+
+    def insitu_overhead_ratio(self) -> float:
+        """Fractional runtime inflation failures impose on in-situ."""
+        if self.insitu.execution_time == 0:
+            raise ModelError("in-situ time is zero; no baseline")
+        return self.insitu_expected_seconds / self.insitu.execution_time - 1.0
+
+    def post_overhead_ratio(self) -> float:
+        """Fractional runtime inflation failures impose on post-processing."""
+        if self.post.execution_time == 0:
+            raise ModelError("post-processing time is zero; no baseline")
+        return self.post_expected_seconds / self.post.execution_time - 1.0
+
+    def energy_savings(self) -> float:
+        """In-situ energy savings fraction *including* failure overheads."""
+        if self.insitu_expected_joules is None or self.post_expected_joules is None:
+            raise ModelError("predictors lack power; energy unavailable")
+        if self.post_expected_joules == 0:
+            raise ModelError("post-processing energy is zero; no baseline")
+        return 1.0 - self.insitu_expected_joules / self.post_expected_joules
 
 
 class WhatIfAnalyzer:
@@ -121,6 +156,62 @@ class WhatIfAnalyzer:
         """In-situ energy savings fraction at one cadence (Fig. 10 callouts)."""
         (row,) = self.sweep([interval_hours], duration_seconds)
         return row.energy_savings()
+
+    def failure_aware_sweep(
+        self,
+        intervals_hours: Sequence[float],
+        duration_seconds: float,
+        mtbf_hours: float,
+        checkpoint_write_seconds: float,
+        restart_seconds: float = 30.0,
+        checkpoint_interval_seconds: Optional[float] = None,
+    ) -> list[FailureSweepRow]:
+        """The Fig. 9/10 sweeps with failures folded in (Eq. 4 + Daly).
+
+        Each cadence's fault-free prediction becomes an *expected* runtime
+        and energy under a node MTBF of ``mtbf_hours``, a checkpoint that
+        costs ``checkpoint_write_seconds`` to write and ``restart_seconds``
+        to recover from.  The checkpoint interval defaults to Daly's
+        optimum ``sqrt(2 * delta * MTBF)`` per cadence.
+        """
+        if mtbf_hours <= 0:
+            raise ModelError(f"MTBF must be positive: {mtbf_hours}")
+        model = FailureModel(
+            mtbf_seconds=mtbf_hours * HOUR,
+            checkpoint_write_seconds=checkpoint_write_seconds,
+            restart_seconds=restart_seconds,
+        )
+        if checkpoint_interval_seconds is not None:
+            tau = float(checkpoint_interval_seconds)
+        else:
+            tau = model.optimal_interval()
+        rows = []
+        for base in self.sweep(intervals_hours, duration_seconds):
+            insitu_t = model.expected_time(base.insitu.execution_time, tau)
+            post_t = model.expected_time(base.post.execution_time, tau)
+            insitu_j = None
+            post_j = None
+            if base.insitu.energy is not None and base.insitu.execution_time > 0:
+                power = base.insitu.energy / base.insitu.execution_time
+                insitu_j = model.expected_energy(
+                    base.insitu.execution_time, tau, power
+                )
+            if base.post.energy is not None and base.post.execution_time > 0:
+                power = base.post.energy / base.post.execution_time
+                post_j = model.expected_energy(base.post.execution_time, tau, power)
+            rows.append(
+                FailureSweepRow(
+                    interval_hours=base.interval_hours,
+                    checkpoint_interval_seconds=tau,
+                    insitu=base.insitu,
+                    post=base.post,
+                    insitu_expected_seconds=insitu_t,
+                    post_expected_seconds=post_t,
+                    insitu_expected_joules=insitu_j,
+                    post_expected_joules=post_j,
+                )
+            )
+        return rows
 
     # ------------------------------------------------------------- inversions
 

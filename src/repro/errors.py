@@ -14,12 +14,18 @@ __all__ = [
     "ResourceError",
     "StorageError",
     "StorageFullError",
+    "TransientIOError",
     "FileFormatError",
     "CalibrationError",
     "ModelError",
     "PipelineError",
     "MeterError",
     "ConfigurationError",
+    "FaultError",
+    "Interrupt",
+    "NodeCrashError",
+    "OperationTimeoutError",
+    "RetryExhaustedError",
 ]
 
 
@@ -69,3 +75,43 @@ class PipelineError(ReproError):
 
 class MeterError(ReproError):
     """A power meter was sampled outside the recorded window."""
+
+
+class TransientIOError(StorageError):
+    """A storage operation failed in a way a retry may fix (injected faults).
+
+    This is the *retryable* storage failure: :class:`~repro.faults.RetryPolicy`
+    re-attempts operations that raise it, while permanent failures such as
+    :class:`StorageFullError` propagate immediately.
+    """
+
+
+class FaultError(ReproError):
+    """Base class for injected-failure and resilience errors."""
+
+
+class Interrupt(FaultError):
+    """Thrown into a DES process by :meth:`~repro.events.engine.Process.interrupt`.
+
+    ``cause`` carries whatever the interruptor passed (may be ``None``).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class NodeCrashError(FaultError):
+    """A compute-node crash killed the in-flight pipeline attempt.
+
+    Recoverable through checkpoint/restart (see :mod:`repro.faults`); fatal
+    when no checkpoint policy is active.
+    """
+
+
+class OperationTimeoutError(FaultError):
+    """A storage/IO operation exceeded its per-operation timeout."""
+
+
+class RetryExhaustedError(FaultError):
+    """A retried operation failed on every allowed attempt."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, Interrupt, SimulationError
 
 __all__ = ["Event", "Timeout", "Process", "AllOf", "AnyOf", "Simulator"]
 
@@ -115,6 +115,14 @@ class Process(Event):
     triggers, the generator is resumed with the event's value (``throw`` if
     the event failed).  The value of the process-event is the generator's
     return value.
+
+    Failure semantics: an exception the generator does not catch *fails* the
+    process-event, so supervisors can ``yield proc`` and handle it; if nobody
+    handles (defuses) the failure, the exception propagates out of
+    :meth:`Simulator.run` exactly as before.  :meth:`interrupt` throws an
+    exception into the generator at the current simulated time, detaching it
+    from whatever it was waiting on — ``try/finally`` blocks in the generator
+    run, so resources can be cleaned up mid-flight.
     """
 
     __slots__ = ("generator", "_target", "name")
@@ -137,6 +145,39 @@ class Process(Event):
         """True while the generator has not finished."""
         return not self.triggered
 
+    def interrupt(self, exception: Optional[BaseException] = None) -> None:
+        """Throw ``exception`` into the process at the current simulated time.
+
+        The process is detached from the event it is waiting on and resumed
+        with the exception raised at its current ``yield``; ``try/finally``
+        blocks run, so in-flight operations can release resources.  The
+        default exception is :class:`~repro.errors.Interrupt`.  Delivery is
+        an ordinary scheduled event (FIFO at the current time), so interrupts
+        are deterministic; if the process finishes before delivery the
+        interrupt is silently dropped.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt {self!r}: process already finished")
+        exc = exception if exception is not None else Interrupt(f"process {self.name!r} interrupted")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"interrupt() requires an exception, got {exc!r}")
+        delivery = Event(self.sim)
+        delivery.callbacks.append(self._deliver_interrupt)
+        delivery.fail(exc)
+
+    def _deliver_interrupt(self, delivery: Event) -> None:
+        delivery.defused = True
+        if self.triggered:
+            return  # completed (or crashed) between scheduling and delivery
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._target = None
+        self._resume(delivery)
+
     def _resume(self, trigger: Event) -> None:
         sim = self.sim
         event: Any = trigger
@@ -152,7 +193,17 @@ class Process(Event):
                 self._value = stop.value
                 sim._enqueue(self)
                 return
+            except Exception as exc:
+                # The generator died: fail the process-event so supervisors
+                # waiting on it can handle the failure.  If nobody defuses
+                # it, step() re-raises — the pre-existing crash behaviour.
+                sim._active_processes -= 1
+                self._ok = False
+                self._value = exc
+                sim._enqueue(self)
+                return
             except BaseException:
+                # KeyboardInterrupt / SystemExit abort the run outright.
                 sim._active_processes -= 1
                 raise
             if not isinstance(target, Event):

@@ -72,16 +72,28 @@ class Resource:
         return event
 
     def release(self, request: Event) -> None:
-        """Release the slot held by ``request``."""
-        if id(request) not in self._granted:
-            raise ResourceError("release() of a request that does not hold the resource")
-        self._granted.remove(id(request))
-        if self._queue:
-            nxt = self._queue.popleft()
-            self._granted.add(id(nxt))
-            nxt.succeed()
-        else:
-            self._in_use -= 1
+        """Release the slot held by ``request``.
+
+        A request that is still *queued* (never granted) is cancelled
+        instead — it is removed from the wait queue without touching the
+        grant count.  This makes ``try/finally`` release correct for
+        processes interrupted while waiting on the resource.
+        """
+        if id(request) in self._granted:
+            self._granted.remove(id(request))
+            if self._queue:
+                nxt = self._queue.popleft()
+                self._granted.add(id(nxt))
+                nxt.succeed()
+            else:
+                self._in_use -= 1
+            return
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            raise ResourceError(
+                "release() of a request that does not hold the resource"
+            ) from None
 
 
 class Store:
@@ -199,6 +211,40 @@ class BandwidthPipe:
         self._active.append(t)
         self._reprogram()
         return t
+
+    def cancel(self, transfer: Transfer) -> float:
+        """Abort an in-flight transfer, discarding its partial progress.
+
+        The bytes the transfer had already moved are rolled back out of
+        :attr:`bytes_moved` — an aborted write never becomes durable data,
+        so the byte counter stays consistent with the committed namespace.
+        Returns the discarded byte count; cancelling a transfer that is not
+        in flight (already complete, or never started) is a no-op returning
+        0.0, so cleanup paths may call it unconditionally.
+        """
+        if transfer not in self._active:
+            return 0.0
+        self._advance()
+        self._active.remove(transfer)
+        discarded = transfer.size - transfer.remaining
+        self._bytes_moved -= discarded
+        transfer.remaining = 0.0
+        transfer.rate = 0.0
+        self._reprogram()
+        return discarded
+
+    def set_capacity(self, capacity: float) -> None:
+        """Reprogram the link to a new aggregate bandwidth, effective now.
+
+        Progress under the old rates is applied first, then every in-flight
+        transfer's share is recomputed — this is how injected OST dropouts
+        and bandwidth brownouts act on the storage model.
+        """
+        if capacity <= 0:
+            raise ResourceError(f"pipe capacity must be positive, got {capacity}")
+        self._advance()
+        self.capacity = float(capacity)
+        self._reprogram()
 
     # ------------------------------------------------------------ internals
 

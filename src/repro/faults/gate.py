@@ -1,0 +1,53 @@
+"""Transient-error arming point between the injector and the storage layer.
+
+The storage layer cannot import :mod:`repro.faults.injector` (it would be a
+circular dependency: the injector drives storage), so faults reach it through
+this tiny intermediary.  The injector *arms* the gate with a count of
+operations that must fail; the filesystem *checks* the gate at the top of
+each write/read, and an armed gate raises
+:class:`~repro.errors.TransientIOError` while decrementing its count.
+
+A gate with nothing armed is free: ``check`` is two dict lookups, and a
+filesystem constructed without a gate skips the call entirely, keeping the
+fault-free path bit-identical to the pre-fault code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError, TransientIOError
+from repro import obs
+
+__all__ = ["FaultGate"]
+
+
+class FaultGate:
+    """Holds armed transient-error counts per operation class."""
+
+    def __init__(self) -> None:
+        self._armed: Dict[str, int] = {}
+        self.tripped = 0
+
+    def arm(self, op: str, count: int = 1) -> None:
+        """Make the next ``count`` operations of class ``op`` fail."""
+        if count < 1:
+            raise ConfigurationError(f"armed error count must be >= 1: {count}")
+        self._armed[op] = self._armed.get(op, 0) + int(count)
+
+    def armed(self, op: str) -> int:
+        """How many failures are pending for ``op``."""
+        return self._armed.get(op, 0)
+
+    def check(self, op: str, path: str = "") -> None:
+        """Raise :class:`TransientIOError` if a failure is armed for ``op``."""
+        pending = self._armed.get(op, 0)
+        if pending <= 0:
+            return
+        if pending == 1:
+            del self._armed[op]
+        else:
+            self._armed[op] = pending - 1
+        self.tripped += 1
+        obs.counter("repro_faults_io_errors_total", op=op)
+        raise TransientIOError(f"injected transient {op} failure on {path!r}")

@@ -1,0 +1,217 @@
+"""Schedules a :class:`~repro.faults.spec.FaultSpec` onto a live simulation.
+
+The injector translates declarative fault events into ordinary DES timeout
+callbacks against the storage model and the supervised pipeline process:
+
+* capacity faults (``ost-dropout``, ``write-brownout``) multiply the
+  affected :class:`~repro.events.resources.BandwidthPipe` capacity down for
+  the fault's duration, then restore it — concurrent faults compose
+  multiplicatively and the nominal capacity is recovered *exactly* once all
+  of them lift (the scale is recomputed as a product over active factors,
+  never by dividing back out);
+* ``mds-stall`` scales the filesystem's metadata latency the same way;
+* ``io-error`` arms the filesystem's :class:`~repro.faults.gate.FaultGate`;
+* ``node-crash`` interrupts the process registered via :meth:`watch` with
+  :class:`~repro.errors.NodeCrashError`.
+
+Everything is driven by the simulated clock through the normal FIFO event
+queue, so a fault run is bit-identical for a given ``(seed, FaultSpec)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.errors import ConfigurationError, NodeCrashError
+from repro.events.engine import Event, Process, Simulator
+from repro.events.resources import BandwidthPipe
+from repro.faults.gate import FaultGate
+from repro.faults.spec import (
+    IO_ERROR,
+    MDS_STALL,
+    NODE_CRASH,
+    OST_DROPOUT,
+    WRITE_BROWNOUT,
+    FaultEvent,
+    FaultSpec,
+)
+from repro.storage.lustre import LustreFileSystem
+
+__all__ = ["FaultInjector"]
+
+
+class _ScaledQuantity:
+    """A nominal value degraded by the product of active fault factors."""
+
+    def __init__(self, nominal: float) -> None:
+        self.nominal = nominal
+        self._factors: List[float] = []
+
+    def push(self, factor: float) -> float:
+        self._factors.append(factor)
+        return self.value
+
+    def pop(self, factor: float) -> float:
+        self._factors.remove(factor)
+        return self.value
+
+    @property
+    def value(self) -> float:
+        scaled = self.nominal
+        for f in self._factors:
+            scaled *= f
+        return scaled
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSpec` to a filesystem and a watched process."""
+
+    def __init__(self, sim: Simulator, fs: LustreFileSystem, spec: FaultSpec) -> None:
+        if fs.sim is not sim:
+            raise ConfigurationError("filesystem belongs to a different Simulator")
+        self.sim = sim
+        self.fs = fs
+        self.spec = spec
+        self.gate = self._ensure_gate(fs)
+        self._write_capacity = _ScaledQuantity(fs.write_pipe.capacity)
+        self._read_capacity = _ScaledQuantity(fs.read_pipe.capacity)
+        self._mds_latency = _ScaledQuantity(fs.metadata_latency)
+        self._watched: Optional[Process] = None
+        self._armed = False
+        self._disarmed = False
+        #: Injection tally per fault kind (``node-crash`` counts deliveries,
+        #: not scheduled events a finished run never reached).
+        self.counts: Dict[str, int] = {}
+        #: Crash events that fired with no live process to kill.
+        self.missed_crashes = 0
+
+    @staticmethod
+    def _ensure_gate(fs: LustreFileSystem) -> FaultGate:
+        gate = getattr(fs, "fault_gate", None)
+        if gate is None:
+            gate = FaultGate()
+            fs.fault_gate = gate
+        return gate
+
+    # ------------------------------------------------------------------ wiring
+
+    def watch(self, process: Process) -> None:
+        """Aim subsequent node-crash faults at ``process``."""
+        if process.sim is not self.sim:
+            raise ConfigurationError("watched process belongs to a different Simulator")
+        self._watched = process
+
+    def arm(self) -> None:
+        """Schedule every fault in the spec relative to the current time."""
+        if self._armed:
+            raise ConfigurationError("injector already armed")
+        self._armed = True
+        for event in self.spec.events:
+            wake = self.sim.timeout(event.at_seconds)
+            wake.callbacks.append(lambda _ev, ev=event: self._strike(ev))
+
+    def disarm(self) -> None:
+        """Neutralize faults not yet delivered and lift active degradations.
+
+        Called when the supervised run finishes: timeouts already in the
+        heap become no-ops, and pipe/MDS scaling is restored to nominal so a
+        platform can host further (fault-free) runs.
+        """
+        self._disarmed = True
+        self._write_capacity._factors.clear()
+        self._read_capacity._factors.clear()
+        self._mds_latency._factors.clear()
+        if self.fs.write_pipe.capacity != self._write_capacity.nominal:
+            self.fs.write_pipe.set_capacity(self._write_capacity.nominal)
+        if self.fs.read_pipe.capacity != self._read_capacity.nominal:
+            self.fs.read_pipe.set_capacity(self._read_capacity.nominal)
+        self.fs.metadata_latency = self._mds_latency.nominal
+
+    # ------------------------------------------------------------------ faults
+
+    def _strike(self, event: FaultEvent) -> None:
+        if self._disarmed:
+            return
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+        obs.counter("repro_faults_injected_total", kind=event.kind)
+        obs.event(
+            "fault",
+            kind=event.kind,
+            t=self.sim.now,
+            severity=event.severity,
+            duration_seconds=event.duration_seconds,
+            target=event.target,
+        )
+        if event.kind == WRITE_BROWNOUT:
+            self._degrade_pipes(event, write_factor=event.severity, read_factor=None)
+        elif event.kind == OST_DROPOUT:
+            n_ost = len(self.fs.osts)
+            lost = min(int(event.severity), n_ost - 1)
+            factor = (n_ost - lost) / n_ost
+            self._degrade_pipes(event, write_factor=factor, read_factor=factor)
+        elif event.kind == MDS_STALL:
+            self.fs.metadata_latency = self._mds_latency.push(event.severity)
+            self._schedule_revert(event, self._lift_mds_stall)
+        elif event.kind == IO_ERROR:
+            self.gate.arm(event.target, int(event.severity))
+        elif event.kind == NODE_CRASH:
+            self._crash()
+
+    def _degrade_pipes(
+        self,
+        event: FaultEvent,
+        write_factor: Optional[float],
+        read_factor: Optional[float],
+    ) -> None:
+        if write_factor is not None:
+            self.fs.write_pipe.set_capacity(self._write_capacity.push(write_factor))
+        if read_factor is not None:
+            self.fs.read_pipe.set_capacity(self._read_capacity.push(read_factor))
+        self._schedule_revert(
+            event,
+            lambda ev: self._lift_pipes(ev, write_factor, read_factor),
+        )
+
+    def _schedule_revert(self, event: FaultEvent, lift) -> None:
+        wake = self.sim.timeout(event.duration_seconds)
+        wake.callbacks.append(lambda _ev, ev=event: None if self._disarmed else lift(ev))
+
+    def _lift_pipes(
+        self,
+        event: FaultEvent,
+        write_factor: Optional[float],
+        read_factor: Optional[float],
+    ) -> None:
+        if write_factor is not None:
+            self.fs.write_pipe.set_capacity(self._write_capacity.pop(write_factor))
+        if read_factor is not None:
+            self.fs.read_pipe.set_capacity(self._read_capacity.pop(read_factor))
+
+    def _lift_mds_stall(self, event: FaultEvent) -> None:
+        self.fs.metadata_latency = self._mds_latency.pop(event.severity)
+
+    def _crash(self) -> None:
+        proc = self._watched
+        if proc is None or proc.triggered:
+            self.missed_crashes += 1
+            return
+        obs.counter("repro_faults_crashes_total")
+        proc.interrupt(NodeCrashError(f"node crash at t={self.sim.now:.1f}s"))
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def total_injected(self) -> int:
+        """Faults actually delivered so far."""
+        return sum(self.counts.values())
+
+    def summary(self) -> dict:
+        """JSON-safe injection tally for manifests and reports."""
+        return {
+            "seed": self.spec.seed,
+            "scheduled": len(self.spec),
+            "injected": dict(sorted(self.counts.items())),
+            "missed_crashes": self.missed_crashes,
+            "io_errors_tripped": self.gate.tripped,
+        }

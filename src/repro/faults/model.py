@@ -1,0 +1,92 @@
+"""Analytic failure-aware extension of the paper's time model.
+
+The paper's Eq. 4 predicts execution time on a dedicated, fault-free
+allocation.  At extreme scale the machine MTBF drops to hours, and the
+expected runtime must include rework (progress lost since the last
+checkpoint), recovery (restart + checkpoint read-back) and the checkpointing
+overhead itself.  We use the classic first-order model (Daly 2006, building
+on Young 1974): for a fault-free runtime :math:`T_0`, checkpoint interval
+:math:`\\tau`, checkpoint write cost :math:`\\delta`, restart cost :math:`R`
+and MTBF :math:`M`,
+
+.. math::
+
+    T \\;=\\; T_0 \\; \\frac{1 + \\delta/\\tau}{1 - (R + \\tau/2)/M}
+
+with the well-known optimum cadence :math:`\\tau^\\ast = \\sqrt{2\\delta M}`
+(valid while :math:`\\tau^\\ast \\ll M`).  Because the paper's energy model
+is :math:`E = P\\,t` (Eq. 1), the same inflation factor applies directly to
+energy at the run's average power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ModelError
+
+__all__ = ["FailureModel"]
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """First-order checkpoint/restart runtime model."""
+
+    #: Machine mean time between failures, seconds.
+    mtbf_seconds: float
+    #: Cost of writing one checkpoint, seconds.
+    checkpoint_write_seconds: float
+    #: Cost of one recovery (restart penalty + checkpoint read), seconds.
+    restart_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.mtbf_seconds <= 0:
+            raise ConfigurationError(f"MTBF must be positive: {self.mtbf_seconds}")
+        if self.checkpoint_write_seconds < 0:
+            raise ConfigurationError(
+                f"negative checkpoint cost: {self.checkpoint_write_seconds}"
+            )
+        if self.restart_seconds < 0:
+            raise ConfigurationError(f"negative restart cost: {self.restart_seconds}")
+
+    def expected_time(self, base_seconds: float, interval_seconds: float) -> float:
+        """Expected runtime for fault-free time ``base_seconds`` at cadence
+        ``interval_seconds`` (Daly's first-order formula)."""
+        if base_seconds < 0:
+            raise ModelError(f"negative base time: {base_seconds}")
+        if interval_seconds <= 0:
+            raise ModelError(f"checkpoint interval must be positive: {interval_seconds}")
+        loss = (self.restart_seconds + interval_seconds / 2.0) / self.mtbf_seconds
+        if loss >= 1.0:
+            raise ModelError(
+                "no forward progress: expected per-interval loss "
+                f"{loss:.2f} of MTBF >= 1 (interval {interval_seconds:.0f}s, "
+                f"MTBF {self.mtbf_seconds:.0f}s)"
+            )
+        overhead = 1.0 + self.checkpoint_write_seconds / interval_seconds
+        return base_seconds * overhead / (1.0 - loss)
+
+    def optimal_interval(self) -> float:
+        """Young's optimum checkpoint cadence :math:`\\sqrt{2\\delta M}`."""
+        if self.checkpoint_write_seconds == 0.0:
+            raise ModelError("optimal interval undefined for zero checkpoint cost")
+        return math.sqrt(2.0 * self.checkpoint_write_seconds * self.mtbf_seconds)
+
+    def expected_faults(self, base_seconds: float, interval_seconds: float) -> float:
+        """Expected number of failures over the (inflated) run."""
+        return self.expected_time(base_seconds, interval_seconds) / self.mtbf_seconds
+
+    def expected_energy(
+        self, base_seconds: float, interval_seconds: float, average_power_watts: float
+    ) -> float:
+        """Eq. 1 applied to the failure-inflated runtime: ``E = P * T``."""
+        if average_power_watts < 0:
+            raise ModelError(f"negative power: {average_power_watts}")
+        return average_power_watts * self.expected_time(base_seconds, interval_seconds)
+
+    def overhead_ratio(self, base_seconds: float, interval_seconds: float) -> float:
+        """Fractional time (= energy) inflation over the fault-free run."""
+        if base_seconds <= 0:
+            raise ModelError(f"base time must be positive: {base_seconds}")
+        return self.expected_time(base_seconds, interval_seconds) / base_seconds - 1.0

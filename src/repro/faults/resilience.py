@@ -1,0 +1,78 @@
+"""Checkpoint/restart policy objects shared by the pipelines and platform.
+
+:class:`CheckpointPolicy` says *when* a pipeline checkpoints and what a
+restart costs; :class:`ResumeState` is the tiny restart token the platform
+hands a pipeline when re-spawning it after a crash.  Both are pure data —
+the mechanics live in :mod:`repro.pipelines` (the checkpoint write is costed
+through the simulated storage model like any other I/O) and in the platform's
+supervised run loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CheckpointPolicy", "ResumeState"]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Periodic checkpointing cadence and restart cost model."""
+
+    #: Checkpoint after every N pipeline outputs (cinema samples or raw
+    #: dumps).  The cadence knob the failure-aware model optimizes.
+    every_n_outputs: int = 8
+    #: Fixed restart overhead (job relaunch, reschedule) in simulated
+    #: seconds, paid on every recovery *in addition* to reading the
+    #: checkpoint back from storage.
+    restart_penalty_seconds: float = 30.0
+    #: Checkpoint state size in bytes; ``None`` means "one simulation
+    #: sample" — the platform substitutes ``ocean.bytes_per_sample``.
+    state_bytes: Optional[float] = None
+    #: Maximum recoveries before the run is declared lost (guards against
+    #: a crash storm thrashing forever).
+    max_restarts: int = 100
+
+    def __post_init__(self) -> None:
+        if self.every_n_outputs < 1:
+            raise ConfigurationError(
+                f"checkpoint cadence must be >= 1 output: {self.every_n_outputs}"
+            )
+        if self.restart_penalty_seconds < 0:
+            raise ConfigurationError(
+                f"negative restart penalty: {self.restart_penalty_seconds}"
+            )
+        if self.state_bytes is not None and self.state_bytes <= 0:
+            raise ConfigurationError(f"checkpoint size must be positive: {self.state_bytes}")
+        if self.max_restarts < 1:
+            raise ConfigurationError(f"max_restarts must be >= 1: {self.max_restarts}")
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation for manifests."""
+        return {
+            "every_n_outputs": self.every_n_outputs,
+            "restart_penalty_seconds": self.restart_penalty_seconds,
+            "state_bytes": self.state_bytes,
+            "max_restarts": self.max_restarts,
+        }
+
+
+@dataclass(frozen=True)
+class ResumeState:
+    """Progress token handed to a pipeline re-spawned after a crash."""
+
+    #: Simulation outputs already durably produced (and checkpointed).
+    outputs_done: int = 0
+    #: Images already rendered (post-processing phase 2 progress).
+    renders_done: int = 0
+
+    def __post_init__(self) -> None:
+        if self.outputs_done < 0 or self.renders_done < 0:
+            raise ConfigurationError(f"negative resume progress: {self}")
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation for manifests."""
+        return {"outputs_done": self.outputs_done, "renders_done": self.renders_done}

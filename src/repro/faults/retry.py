@@ -1,0 +1,161 @@
+"""Bounded retry with exponential backoff, deterministic jitter and timeouts.
+
+:class:`RetryPolicy` is the only sanctioned way to retry a simulated
+operation (the ``fault-retry`` lint rule flags ad-hoc retry loops).  It is
+deliberately a *bounded* ``for`` loop — never ``while True`` — and every
+source of randomness is the caller-supplied seeded ``random.Random``, so a
+retried run is a pure function of ``(seed, FaultSpec)``.
+
+The policy is a plain frozen dataclass; :meth:`RetryPolicy.run` is a DES
+generator meant to be delegated to from inside a process::
+
+    result = yield from policy.run(sim, lambda: fs_write_op(), rng)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional, Tuple, Type
+
+from repro import obs
+from repro.errors import (
+    ConfigurationError,
+    Interrupt,
+    OperationTimeoutError,
+    RetryExhaustedError,
+    TransientIOError,
+)
+from repro.events.engine import Simulator
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRYABLE"]
+
+#: Exception types a :class:`RetryPolicy` re-attempts by default.  Permanent
+#: failures (``StorageFullError``, programming errors...) always propagate.
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    TransientIOError,
+    OperationTimeoutError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to re-attempt a failed simulated operation."""
+
+    #: Total attempts, including the first (so 1 disables retrying).
+    max_attempts: int = 4
+    #: Backoff before the second attempt, in simulated seconds.
+    base_delay_seconds: float = 0.5
+    #: Multiplier applied per subsequent retry.
+    backoff_factor: float = 2.0
+    #: Upper bound on a single backoff delay.
+    max_delay_seconds: float = 30.0
+    #: Fractional jitter: the delay is scaled by ``1 ± jitter`` using the
+    #: caller's seeded rng (0 disables jitter).
+    jitter: float = 0.25
+    #: Per-attempt wall limit in simulated seconds; ``None`` disables it.
+    op_timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_delay_seconds < 0:
+            raise ConfigurationError(f"negative base delay: {self.base_delay_seconds}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(f"backoff factor must be >= 1: {self.backoff_factor}")
+        if self.max_delay_seconds < self.base_delay_seconds:
+            raise ConfigurationError(
+                f"max delay {self.max_delay_seconds} < base delay {self.base_delay_seconds}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1): {self.jitter}")
+        if self.op_timeout_seconds is not None and self.op_timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"op timeout must be positive: {self.op_timeout_seconds}"
+            )
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (0-based), jittered.
+
+        Always consumes exactly one draw from ``rng`` when jitter is enabled,
+        so the random stream stays aligned regardless of delay magnitudes.
+        """
+        delay = min(
+            self.base_delay_seconds * self.backoff_factor**attempt,
+            self.max_delay_seconds,
+        )
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+    def run(
+        self,
+        sim: Simulator,
+        factory: Callable[[], Generator],
+        rng: random.Random,
+        retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
+        op: str = "op",
+    ) -> Generator:
+        """Attempt ``factory()`` (a fresh generator per attempt) with retries.
+
+        Delegate to this from inside a DES process with ``yield from``.  A
+        retryable failure backs off and re-attempts, a non-retryable one
+        propagates immediately, and exhausting ``max_attempts`` raises
+        :class:`~repro.errors.RetryExhaustedError` chained to the last
+        failure.
+        """
+        last_exc: Optional[BaseException] = None
+        # Bounded by construction: RetryPolicy is the one place retry loops
+        # are allowed, and even here the loop has a hard attempt ceiling.
+        for attempt in range(self.max_attempts):
+            try:
+                if self.op_timeout_seconds is None:
+                    result = yield from factory()
+                else:
+                    result = yield from self._timed_attempt(sim, factory)
+                return result
+            except retryable as exc:
+                last_exc = exc
+                obs.counter("repro_faults_retries_total", op=op)
+                if attempt + 1 >= self.max_attempts:
+                    break
+                delay = self.backoff_delay(attempt, rng)
+                if delay > 0.0:
+                    yield sim.timeout(delay)
+        obs.counter("repro_faults_retry_exhausted_total", op=op)
+        raise RetryExhaustedError(
+            f"{op} failed after {self.max_attempts} attempts"
+        ) from last_exc
+
+    def _timed_attempt(self, sim: Simulator, factory: Callable[[], Generator]) -> Generator:
+        """One attempt raced against the per-op deadline."""
+        proc = sim.process(factory(), name="retry-attempt")
+        deadline = sim.timeout(self.op_timeout_seconds)
+        try:
+            # A failure inside the attempt propagates straight through the
+            # AnyOf (it fails fast), which is exactly what we want.
+            yield sim.any_of([proc, deadline])
+            if not proc.triggered:
+                proc.interrupt(
+                    OperationTimeoutError(
+                        f"operation exceeded {self.op_timeout_seconds}s timeout"
+                    )
+                )
+            # Wait out the attempt either way: on timeout this absorbs the
+            # interrupted process's failure (after its cleanup ran);
+            # otherwise it yields the completed attempt's return value
+            # immediately.
+            result = yield proc
+            return result
+        except BaseException:
+            if not proc.triggered:
+                # We are being torn down from outside (e.g. a node-crash
+                # interrupt while waiting): kill the orphaned attempt too,
+                # and mark its failure handled so it cannot crash the run.
+                proc.callbacks.append(_defuse)
+                proc.interrupt(Interrupt("attempt supervisor torn down"))
+            raise
+
+
+def _defuse(event: object) -> None:
+    event.defused = True

@@ -65,9 +65,13 @@ class SimulatedIOBackend:
         self.bytes_written = 0.0
         self.files_written = 0
 
-    def write_bytes(self, relpath: str, nbytes: float) -> Generator:
-        """DES process: write ``nbytes`` to ``relpath`` through Lustre."""
-        yield from self.fs.write(relpath, nbytes)
+    def write_bytes(self, relpath: str, nbytes: float, overwrite: bool = False) -> Generator:
+        """DES process: write ``nbytes`` to ``relpath`` through Lustre.
+
+        ``overwrite=True`` replaces an existing file instead of extending it
+        (restart-safe rewrites after a checkpoint recovery).
+        """
+        yield from self.fs.write(relpath, nbytes, overwrite=overwrite)
         self.bytes_written += nbytes
         self.files_written += 1
 
@@ -112,13 +116,13 @@ class PIOWriter:
         return senders_per_agg * per_message
 
     def write_simulated(
-        self, backend: SimulatedIOBackend, relpath: str, nbytes: float
+        self, backend: SimulatedIOBackend, relpath: str, nbytes: float, overwrite: bool = False
     ) -> Generator:
         """DES process: aggregate then write ``nbytes`` through the backend."""
         agg = self.aggregation_seconds(nbytes)
         if agg > 0:
             yield backend.fs.sim.timeout(agg)
-        yield from backend.write_bytes(relpath, nbytes)
+        yield from backend.write_bytes(relpath, nbytes, overwrite=overwrite)
 
     def write_real(
         self,

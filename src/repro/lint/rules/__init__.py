@@ -2,6 +2,6 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import api, obs, provenance, solver, units
+from repro.lint.rules import api, faults, obs, provenance, solver, units
 
-__all__ = ["api", "obs", "provenance", "solver", "units"]
+__all__ = ["api", "faults", "obs", "provenance", "solver", "units"]

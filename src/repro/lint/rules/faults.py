@@ -1,0 +1,89 @@
+"""Resilience hygiene: retries must go through ``repro.faults.RetryPolicy``.
+
+Ad-hoc retry loops hide two bugs the fault-injection campaigns are designed
+to expose: unbounded ``while True`` loops that spin forever when a fault is
+persistent, and ``time.sleep`` backoff that stalls the *wall clock* instead
+of the simulator.  :class:`~repro.faults.retry.RetryPolicy` bounds the
+attempts, uses simulated (and seeded) backoff, and counts every retry in
+telemetry — so inside ``repro`` it is the only sanctioned retry mechanism.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+
+__all__ = ["FaultRetryRule"]
+
+
+def _is_while_true(node: ast.While) -> bool:
+    test = node.test
+    return isinstance(test, ast.Constant) and test.value is True
+
+
+def _has_except_continue(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(stmt, ast.Continue) for stmt in ast.walk(handler))
+
+
+def _retries_forever(loop: ast.While) -> bool:
+    """A ``while True`` whose ``try``'s exception path loops again."""
+    for stmt in loop.body:
+        if isinstance(stmt, ast.Try) and any(
+            _has_except_continue(h) for h in stmt.handlers
+        ):
+            return True
+    return False
+
+
+def _is_time_sleep(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr == "sleep"
+        )
+    return isinstance(func, ast.Name) and func.id == "sleep"
+
+
+@register
+class FaultRetryRule(Rule):
+    """Flag ad-hoc retry loops that bypass ``RetryPolicy``."""
+
+    id = "fault-retry"
+    summary = "ad-hoc retry loop (while True + except/continue, or sleep in a loop)"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Library code only; tests may spin up whatever loops they need."""
+        return "/repro/" in ctx.posix
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag unbounded retry loops and wall-clock backoff."""
+        sleeps_seen: set = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+                continue
+            if isinstance(node, ast.While) and _is_while_true(node) and _retries_forever(node):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "unbounded retry loop (`while True` re-attempting after an "
+                    "exception); use repro.faults.RetryPolicy, which bounds "
+                    "attempts and backs off in simulated time",
+                )
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.Call)
+                    and _is_time_sleep(inner)
+                    and id(inner) not in sleeps_seen
+                ):
+                    sleeps_seen.add(id(inner))
+                    yield ctx.finding(
+                        self.id,
+                        inner,
+                        "time.sleep inside a loop stalls the wall clock, not "
+                        "the simulator; use repro.faults.RetryPolicy backoff "
+                        "(sim.timeout) instead",
+                    )

@@ -6,6 +6,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator
 
+from repro import obs
 from repro.core.metrics import Measurement, PhaseTimeline
 from repro.errors import ConfigurationError
 from repro.ocean.driver import MPASOceanConfig
@@ -15,7 +16,10 @@ from repro.viz.render import ImageSpec
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipelines.platform import RealPlatform, SimulatedPlatform
 
-__all__ = ["PipelineSpec", "Pipeline"]
+__all__ = ["CHECKPOINT_FILENAME", "PipelineSpec", "Pipeline"]
+
+#: Namespace-relative filename of a run's (single, rotating) checkpoint.
+CHECKPOINT_FILENAME = "checkpoint.dat"
 
 
 @dataclass(frozen=True)
@@ -72,11 +76,61 @@ class Pipeline(ABC):
 
         Implementations record phases into ``timeline`` and artifact counts
         (``storage_bytes``, ``n_images``, ``n_outputs``) into ``artifacts``.
+        Restartable pipelines additionally accept an optional ``resume``
+        keyword (a :class:`~repro.faults.ResumeState`), passed only by the
+        platform's supervised run path when recovering from a crash —
+        subclasses that never run under fault injection can ignore it.
         """
 
     @abstractmethod
     def run_real(self, platform: "RealPlatform", spec: PipelineSpec) -> Measurement:
         """Run the miniature real-mode version; returns its measurement."""
+
+    def maybe_checkpoint(
+        self,
+        platform: "SimulatedPlatform",
+        spec: PipelineSpec,
+        timeline: PhaseTimeline,
+        artifacts: dict,
+        progress: int,
+        outputs_done: int,
+        renders_done: int = 0,
+    ) -> Generator:
+        """DES sub-generator: write a periodic checkpoint when due.
+
+        ``progress`` is the pipeline's unit-of-work counter; a checkpoint is
+        written whenever it reaches a multiple of the platform checkpoint
+        policy's cadence.  The state write is costed through the simulated
+        storage model like any other I/O (one rotating file, overwritten in
+        place).  With no policy installed this yields **zero events**, so
+        fault-free runs stay bit-identical to the unsupervised path.
+        """
+        policy = getattr(platform, "checkpoints", None)
+        if policy is None or progress <= 0 or progress % policy.every_n_outputs:
+            return
+        sim = platform.sim
+        cluster = platform.cluster
+        state_bytes = (
+            policy.state_bytes
+            if policy.state_bytes is not None
+            else float(spec.ocean.bytes_per_sample)
+        )
+        t0 = sim.now
+        cluster.set_utilization(cluster.phases.io_wait)
+        try:
+            yield from platform.storage.fs.write(
+                f"{spec.output_prefix}/{CHECKPOINT_FILENAME}", state_bytes, overwrite=True
+            )
+        finally:
+            cluster.set_utilization(cluster.phases.idle)
+        timeline.add("checkpoint", t0, sim.now)
+        # The durable-progress marker the platform supervisor rewinds to.
+        artifacts["checkpoint"] = {
+            "outputs_done": outputs_done,
+            "renders_done": renders_done,
+            "state_bytes": state_bytes,
+        }
+        obs.counter("repro_faults_checkpoints_total", pipeline=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

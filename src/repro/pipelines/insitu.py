@@ -39,6 +39,7 @@ class InSituPipeline(Pipeline):
         spec: PipelineSpec,
         timeline: PhaseTimeline,
         artifacts: dict,
+        resume=None,
     ) -> Generator:
         sim = platform.sim
         cluster = platform.cluster
@@ -50,7 +51,10 @@ class InSituPipeline(Pipeline):
         image_bytes = platform.image_size.bytes_per_image(spec.images)
         sample_bytes = platform.image_size.bytes_per_sample(spec.images)
         cinema = CinemaDatabase(name=spec.output_prefix)
-        for i in range(n_out):
+        # After a crash recovery the supervisor re-spawns us with the last
+        # checkpoint's progress; outputs before it are already durable.
+        start = resume.outputs_done if resume is not None else 0
+        for i in range(start, n_out):
             t0 = sim.now
             yield from cluster.run_phase(k * step_s, cluster.phases.simulation)
             timeline.add("simulation", t0, sim.now)
@@ -65,6 +69,7 @@ class InSituPipeline(Pipeline):
                 platform.io_backend,
                 f"{spec.output_prefix}/cinema/sample-{i:05d}.png",
                 sample_bytes,
+                overwrite=True,
             )
             cluster.set_utilization(cluster.phases.idle)
             timeline.add("io", t0, sim.now)
@@ -76,6 +81,15 @@ class InSituPipeline(Pipeline):
                 "repro_viz_images_total",
                 spec.images.images_per_sample,
                 pipeline=self.name,
+            )
+            yield from self.maybe_checkpoint(
+                platform,
+                spec,
+                timeline,
+                artifacts,
+                progress=i + 1,
+                outputs_done=i + 1,
+                renders_done=artifacts["n_images"],
             )
         # Trailing timesteps after the last output, if the cadence does not
         # divide the campaign exactly.

@@ -15,19 +15,24 @@ directory, wall-clock timed.  It produces the same ``Measurement`` shape
 from __future__ import annotations
 
 import os
+import random
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Generator, Optional
 
 from repro import obs
 from repro.cluster.machine import ComputeCluster, PhaseProfile, caddy
 from repro.core.metrics import Measurement, PhaseTimeline
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlockError, NodeCrashError
 from repro.events.engine import Simulator
+from repro.faults.injector import FaultInjector
+from repro.faults.resilience import CheckpointPolicy, ResumeState
+from repro.faults.retry import RetryPolicy
+from repro.faults.spec import FaultSpec
 from repro.io.pio import PIOWriter, SimulatedIOBackend
 from repro.ocean.driver import MiniOceanDriver, OceanCostModel
 from repro.paper import TIMESTEP_SECONDS
-from repro.pipelines.base import Pipeline, PipelineSpec
+from repro.pipelines.base import CHECKPOINT_FILENAME, Pipeline, PipelineSpec
 from repro.power.report import PowerReport
 from repro.storage.lustre import StorageCluster
 from repro.units import HOUR
@@ -101,6 +106,18 @@ class SimulatedPlatform:
             interconnect=self.cluster.interconnect,
         )
         self._run_counter = 0
+        #: Active checkpoint policy; set only for the duration of a
+        #: supervised run (pipelines consult it via ``maybe_checkpoint``).
+        self.checkpoints: Optional[CheckpointPolicy] = None
+        #: Retry policy installed on the filesystem during supervised runs.
+        #: ``op_timeout_seconds`` stays off by default: injected transient
+        #: errors fail fast, and retries back off deterministically.
+        self.retry_policy = RetryPolicy()
+        #: Injection tally of the most recent faulted run (``None`` after a
+        #: fault-free run).
+        self.last_fault_summary: Optional[dict] = None
+        #: Recoveries performed during the most recent run.
+        self.last_recoveries = 0
 
     # ------------------------------------------------------------ cost hooks
 
@@ -121,8 +138,23 @@ class SimulatedPlatform:
 
     # ------------------------------------------------------------------- run
 
-    def run(self, pipeline: Pipeline, spec: PipelineSpec) -> Measurement:
-        """Execute ``pipeline`` at campaign scale and meter everything."""
+    def run(
+        self,
+        pipeline: Pipeline,
+        spec: PipelineSpec,
+        faults: Optional[FaultSpec] = None,
+        checkpoints: Optional[CheckpointPolicy] = None,
+    ) -> Measurement:
+        """Execute ``pipeline`` at campaign scale and meter everything.
+
+        With ``faults`` and/or ``checkpoints`` the run goes through the
+        supervised path: a seeded :class:`~repro.faults.FaultInjector`
+        delivers the spec's chaos schedule, transient storage errors retry
+        with deterministic backoff, and node crashes rewind to the last
+        checkpoint instead of aborting (when a policy is given).  With both
+        ``None`` — the default — the legacy unsupervised path runs and is
+        bit-identical to the pre-fault-subsystem behaviour.
+        """
         self._run_counter += 1
         run_spec = PipelineSpec(
             ocean=spec.ocean,
@@ -151,11 +183,16 @@ class SimulatedPlatform:
                 mode="simulated",
                 interval_hours=run_spec.sampling.interval_hours,
             ):
-                self.sim.process(
-                    pipeline.simulated_process(self, run_spec, timeline, artifacts),
-                    name=f"{pipeline.name}-{self._run_counter}",
-                )
-                self.sim.run()
+                if faults is None and checkpoints is None:
+                    self.sim.process(
+                        pipeline.simulated_process(self, run_spec, timeline, artifacts),
+                        name=f"{pipeline.name}-{self._run_counter}",
+                    )
+                    self.sim.run()
+                else:
+                    self._run_supervised(
+                        pipeline, run_spec, timeline, artifacts, faults, checkpoints
+                    )
         finally:
             if listener is not None:
                 self.sim.remove_step_listener(listener)
@@ -205,6 +242,111 @@ class SimulatedPlatform:
             power_report=report,
             label=run_spec.output_prefix,
         )
+
+    # ------------------------------------------------------- supervised path
+
+    def _run_supervised(
+        self,
+        pipeline: Pipeline,
+        run_spec: PipelineSpec,
+        timeline: PhaseTimeline,
+        artifacts: dict,
+        faults: Optional[FaultSpec],
+        checkpoints: Optional[CheckpointPolicy],
+    ) -> None:
+        """Drive one pipeline run under fault injection and/or checkpointing.
+
+        The simulator is stepped manually until the supervisor process
+        completes, so fault events scheduled beyond the end of the run never
+        advance the clock (they are disarmed and left stale in the heap —
+        use a fresh platform per faulted run when comparing measurements).
+        """
+        fs = self.storage.fs
+        self.last_fault_summary = None
+        self.last_recoveries = 0
+        injector = None
+        if faults is not None:
+            injector = FaultInjector(self.sim, fs, faults)
+            injector.arm()
+        prev_policy, prev_rng = fs.retry_policy, fs.retry_rng
+        self.checkpoints = checkpoints
+        fs.retry_policy = self.retry_policy
+        fs.retry_rng = random.Random(faults.seed if faults is not None else 0)
+        supervisor = self.sim.process(
+            self._supervise(pipeline, run_spec, timeline, artifacts, injector, checkpoints),
+            name=f"{pipeline.name}-supervisor-{self._run_counter}",
+        )
+        try:
+            while not supervisor.triggered:
+                if not self.sim._heap:
+                    raise DeadlockError(
+                        "supervised run stalled: event queue drained before "
+                        "the supervisor completed"
+                    )
+                self.sim.step()
+        finally:
+            self.checkpoints = None
+            fs.retry_policy, fs.retry_rng = prev_policy, prev_rng
+            if injector is not None:
+                injector.disarm()
+                self.last_fault_summary = injector.summary()
+                self.last_fault_summary["recoveries"] = self.last_recoveries
+        if not supervisor.ok:
+            supervisor.defused = True
+            raise supervisor.value
+
+    def _supervise(
+        self,
+        pipeline: Pipeline,
+        run_spec: PipelineSpec,
+        timeline: PhaseTimeline,
+        artifacts: dict,
+        injector: Optional[FaultInjector],
+        checkpoints: Optional[CheckpointPolicy],
+    ) -> Generator:
+        """Checkpoint/restart supervisor: re-spawns the pipeline after crashes."""
+        fs = self.storage.fs
+        max_attempts = 1 + (checkpoints.max_restarts if checkpoints is not None else 0)
+        ckpt_path = f"{run_spec.output_prefix}/{CHECKPOINT_FILENAME}"
+        for attempt in range(max_attempts):
+            if attempt == 0:
+                gen = pipeline.simulated_process(self, run_spec, timeline, artifacts)
+            else:
+                marker = artifacts.get("checkpoint")
+                resume = ResumeState(
+                    outputs_done=marker["outputs_done"] if marker else 0,
+                    renders_done=marker["renders_done"] if marker else 0,
+                )
+                # Rewind the progress counters to the durable state; the
+                # re-spawned pipeline re-counts the replayed work (its file
+                # rewrites use overwrite semantics, so storage agrees).
+                artifacts["n_outputs"] = resume.outputs_done
+                artifacts["n_images"] = resume.renders_done
+                t0 = self.sim.now
+                if checkpoints.restart_penalty_seconds > 0:
+                    yield self.sim.timeout(checkpoints.restart_penalty_seconds)
+                if marker is not None and fs.exists(ckpt_path):
+                    yield from fs.read(ckpt_path)
+                timeline.add("recovery", t0, self.sim.now)
+                self.last_recoveries += 1
+                obs.counter("repro_faults_recoveries_total", pipeline=pipeline.name)
+                gen = pipeline.simulated_process(
+                    self, run_spec, timeline, artifacts, resume=resume
+                )
+            proc = self.sim.process(
+                gen, name=f"{pipeline.name}-{self._run_counter}-attempt-{attempt}"
+            )
+            if injector is not None:
+                injector.watch(proc)
+            try:
+                yield proc
+                return
+            except NodeCrashError:
+                # The crash left the cluster wherever the phase put it;
+                # recovery proceeds from idle.
+                self.cluster.set_utilization(self.cluster.phases.idle)
+                if checkpoints is None or attempt + 1 >= max_attempts:
+                    raise
 
 
 @dataclass(frozen=True)

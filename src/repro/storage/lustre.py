@@ -20,8 +20,9 @@ Writes and reads are DES generator processes::
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Any, Generator, Optional
 
 from repro import obs
 from repro.errors import ConfigurationError, StorageError, StorageFullError
@@ -89,6 +90,20 @@ class LustreFileSystem:
         self.read_pipe = BandwidthPipe(sim, read_bandwidth)
         self._files: dict[str, FileRecord] = {}
         self._metadata_ops = 0
+        #: Bytes reserved by in-flight writes; counted against free space so
+        #: concurrent writers cannot both pass the capacity check and
+        #: overfill the filesystem.
+        self._reserved_bytes = 0.0
+        #: Optional fault hook (``check(op, path)`` raises TransientIOError
+        #: when an injected error is armed).  Duck-typed — this module never
+        #: imports :mod:`repro.faults`, which sits above it.
+        self.fault_gate: Optional[Any] = None
+        #: Optional retry hook (a :class:`repro.faults.RetryPolicy`) applied
+        #: to whole write/read operations; ``None`` (the default) keeps the
+        #: legacy single-attempt path bit-identical.
+        self.retry_policy: Optional[Any] = None
+        #: Seeded randomness for retry backoff jitter (deterministic runs).
+        self.retry_rng: random.Random = random.Random(0)
 
     # --------------------------------------------------------------- queries
 
@@ -99,8 +114,13 @@ class LustreFileSystem:
 
     @property
     def free_bytes(self) -> float:
-        """Remaining capacity."""
-        return self.capacity_bytes - self.used_bytes
+        """Remaining capacity, net of reservations held by in-flight writes."""
+        return self.capacity_bytes - self.used_bytes - self._reserved_bytes
+
+    @property
+    def reserved_bytes(self) -> float:
+        """Bytes reserved by writes currently in flight."""
+        return self._reserved_bytes
 
     @property
     def n_files(self) -> int:
@@ -146,20 +166,32 @@ class LustreFileSystem:
 
     def _metadata_op(self) -> Generator:
         req = self.mds.request()
-        yield req
-        yield self.sim.timeout(self.metadata_latency)
-        self.mds.release(req)
+        try:
+            yield req
+            yield self.sim.timeout(self.metadata_latency)
+        finally:
+            # Runs even when the waiting process is interrupted mid-flight:
+            # a granted slot is handed to the next waiter, a still-queued
+            # request is cancelled — the server slot never leaks.
+            self.mds.release(req)
         self._metadata_ops += 1
         obs.counter("repro_storage_metadata_ops_total")
 
     def write(
-        self, path: str, nbytes: float, stripe_count: Optional[int] = None
+        self,
+        path: str,
+        nbytes: float,
+        stripe_count: Optional[int] = None,
+        overwrite: bool = False,
     ) -> Generator[object, object, FileRecord]:
         """DES process: create/extend ``path`` with ``nbytes`` of data.
 
+        With ``overwrite=True`` the file's contents are *replaced* rather
+        than appended — the restart-safe mode checkpoint rewrites use.
         Returns the file's namespace record.  Raises
         :class:`~repro.errors.StorageFullError` *before* moving any data if
-        the write cannot fit.
+        the write cannot fit.  When a :attr:`retry_policy` is installed,
+        transient failures re-attempt the whole operation with backoff.
         """
         if nbytes < 0:
             raise StorageError(f"negative write size: {nbytes}")
@@ -168,19 +200,59 @@ class LustreFileSystem:
             raise StorageError(
                 f"stripe_count {stripes} outside [1, {len(self.osts)}]"
             )
-        if nbytes > self.free_bytes:
+        if self.retry_policy is None:
+            record = yield from self._write_attempt(path, nbytes, stripes, overwrite)
+        else:
+            record = yield from self.retry_policy.run(
+                self.sim,
+                lambda: self._write_attempt(path, nbytes, stripes, overwrite),
+                self.retry_rng,
+                op="write",
+            )
+        return record
+
+    def _write_attempt(
+        self, path: str, nbytes: float, stripes: int, overwrite: bool
+    ) -> Generator[object, object, FileRecord]:
+        """One crash-consistent write attempt.
+
+        Capacity is *reserved* before any data moves and released when the
+        attempt leaves (success or failure), so concurrent writes cannot
+        jointly overcommit; on interrupt/failure the in-flight transfer is
+        cancelled, rolling its partial bytes back out of ``bytes_written``
+        so the byte counters and the namespace never disagree.
+        """
+        if self.fault_gate is not None:
+            self.fault_gate.check("write", path)
+        existing = self._files.get(path)
+        replaced = existing.size if (overwrite and existing is not None) else 0.0
+        needed = max(0.0, nbytes - replaced)
+        if needed > self.free_bytes:
             raise StorageFullError(
                 f"write of {nbytes:.3e} B exceeds free capacity {self.free_bytes:.3e} B"
             )
-        yield from self._metadata_op()
-        cap = self.osts[0].stripe_cap(stripes, write=True)
-        if nbytes > 0:
-            yield self.write_pipe.transfer(nbytes, cap=cap, tag=path)
+        self._reserved_bytes += needed
+        transfer = None
+        try:
+            yield from self._metadata_op()
+            cap = self.osts[0].stripe_cap(stripes, write=True)
+            if nbytes > 0:
+                transfer = self.write_pipe.transfer(nbytes, cap=cap, tag=path)
+                yield transfer
+        except BaseException:
+            if transfer is not None:
+                self.write_pipe.cancel(transfer)
+            raise
+        finally:
+            self._reserved_bytes -= needed
         record = self._files.get(path)
         if record is None:
             record = FileRecord(path, created_at=self.sim.now, stripe_count=stripes)
             self._files[path] = record
-        record.size += nbytes
+        if overwrite:
+            record.size = float(nbytes)
+        else:
+            record.size += nbytes
         record.n_writes += 1
         obs.counter("repro_storage_writes_total")
         obs.counter("repro_storage_written_bytes", nbytes)
@@ -196,10 +268,33 @@ class LustreFileSystem:
             raise StorageError(
                 f"read of {size:.3e} B beyond EOF of {path!r} ({record.size:.3e} B)"
             )
-        yield from self._metadata_op()
-        cap = self.osts[0].stripe_cap(record.stripe_count, write=False)
-        if size > 0:
-            yield self.read_pipe.transfer(size, cap=cap, tag=path)
+        if self.retry_policy is None:
+            result = yield from self._read_attempt(path, record, size)
+        else:
+            result = yield from self.retry_policy.run(
+                self.sim,
+                lambda: self._read_attempt(path, record, size),
+                self.retry_rng,
+                op="read",
+            )
+        return result
+
+    def _read_attempt(
+        self, path: str, record: FileRecord, size: float
+    ) -> Generator[object, object, float]:
+        if self.fault_gate is not None:
+            self.fault_gate.check("read", path)
+        transfer = None
+        try:
+            yield from self._metadata_op()
+            cap = self.osts[0].stripe_cap(record.stripe_count, write=False)
+            if size > 0:
+                transfer = self.read_pipe.transfer(size, cap=cap, tag=path)
+                yield transfer
+        except BaseException:
+            if transfer is not None:
+                self.read_pipe.cancel(transfer)
+            raise
         record.n_reads += 1
         obs.counter("repro_storage_reads_total")
         obs.counter("repro_storage_read_bytes", size)

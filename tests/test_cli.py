@@ -76,3 +76,43 @@ class TestCommands:
         assert code == 2
         out = capsys.readouterr().out
         assert "INFEASIBLE" in out
+
+
+class TestFaultsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.mtbf_hours == 6.0
+        assert args.checkpoint_every == 8
+        assert args.seed == 57
+
+    def test_faults_json_round_trips(self, capsys):
+        import json
+
+        argv = [
+            "faults", "--months", "0.3", "--interval", "24",
+            "--mtbf-hours", "0.05", "--checkpoint-every", "2",
+            "--seed", "3", "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fault_spec"]["seed"] == 3
+        assert {r["pipeline"] for r in payload["reports"]} == {
+            "in-situ", "post-processing"
+        }
+
+    def test_faults_table_output(self, capsys):
+        argv = [
+            "faults", "--months", "0.3", "--interval", "24",
+            "--mtbf-hours", "0.05", "--checkpoint-every", "2",
+            "--seed", "3", "--no-unprotected",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fault campaign: seed=3" in out
+        assert "fault-free" in out and "with faults" in out
+
+    def test_whatif_failure_aware_flag(self, capsys):
+        argv = ["whatif", "--intervals", "24", "--mtbf-hours", "6"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "with failures (MTBF 6 h" in out

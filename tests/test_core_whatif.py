@@ -188,3 +188,51 @@ class TestAdvisor:
         assert isinstance(rec, Recommendation)
         assert rec.pipeline in (IN_SITU, POST_PROCESSING)
         assert "every" in rec.summary()
+
+
+class TestFailureAwareSweep:
+    def test_expected_times_exceed_fault_free(self, analyzer):
+        (row,) = analyzer.failure_aware_sweep(
+            [24.0], CENTURY, mtbf_hours=6.0,
+            checkpoint_write_seconds=60.0, restart_seconds=30.0,
+        )
+        assert row.insitu_expected_seconds > row.insitu.execution_time
+        assert row.post_expected_seconds > row.post.execution_time
+        assert row.insitu_overhead_ratio() > 0
+        assert row.post_overhead_ratio() > 0
+
+    def test_daly_inflation_is_pipeline_independent(self, analyzer):
+        """Eq. 4's Daly factor multiplies T0, so both pipelines inflate
+        by the same ratio — and the energy-savings verdict is unchanged."""
+        (row,) = analyzer.failure_aware_sweep(
+            [24.0], CENTURY, mtbf_hours=6.0,
+            checkpoint_write_seconds=60.0, restart_seconds=30.0,
+        )
+        assert row.insitu_overhead_ratio() == pytest.approx(row.post_overhead_ratio())
+        (base,) = analyzer.sweep([24.0], CENTURY)
+        assert row.energy_savings() == pytest.approx(base.energy_savings())
+
+    def test_defaults_to_youngs_optimal_interval(self, analyzer):
+        (row,) = analyzer.failure_aware_sweep(
+            [24.0], CENTURY, mtbf_hours=6.0,
+            checkpoint_write_seconds=60.0, restart_seconds=30.0,
+        )
+        assert row.checkpoint_interval_seconds == pytest.approx(
+            (2 * 60.0 * 6.0 * 3_600.0) ** 0.5
+        )
+
+    def test_explicit_interval_honoured(self, analyzer):
+        (row,) = analyzer.failure_aware_sweep(
+            [24.0], CENTURY, mtbf_hours=6.0,
+            checkpoint_write_seconds=60.0, restart_seconds=30.0,
+            checkpoint_interval_seconds=1_800.0,
+        )
+        assert row.checkpoint_interval_seconds == 1_800.0
+
+    def test_tight_mtbf_rejected(self, analyzer):
+        with pytest.raises(ModelError):
+            analyzer.failure_aware_sweep(
+                [24.0], CENTURY, mtbf_hours=0.01,
+                checkpoint_write_seconds=60.0, restart_seconds=30.0,
+                checkpoint_interval_seconds=100.0,
+            )

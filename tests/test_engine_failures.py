@@ -1,0 +1,231 @@
+"""Failure propagation through the DES engine.
+
+The fault-injection layer leans on exact engine semantics: failed events
+throw into waiting generators, composite conditions fail fast, interrupts
+run ``try/finally`` cleanup, and a drained queue with live waiters is a
+deadlock.  These tests pin each of those behaviours down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, Interrupt, SimulationError
+from repro.events.engine import Simulator
+
+
+class TestFailedEventPropagation:
+    def test_failed_event_throws_into_waiting_process(self, sim):
+        caught = []
+
+        def proc():
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        ev = sim.event()
+        sim.process(proc())
+        ev.fail(ValueError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_uncaught_throw_fails_the_process_event(self, sim):
+        def child():
+            yield ev
+
+        def supervisor():
+            try:
+                yield proc
+            except ValueError as exc:
+                seen.append(str(exc))
+
+        seen = []
+        ev = sim.event()
+        proc = sim.process(child())
+        sim.process(supervisor())
+        ev.fail(ValueError("child dies"))
+        sim.run()
+        assert seen == ["child dies"]
+        assert proc.triggered and not proc.ok
+
+    def test_undefused_process_failure_escapes_run(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("nobody watching")
+
+        sim.process(child())
+        with pytest.raises(RuntimeError, match="nobody watching"):
+            sim.run()
+
+    def test_yielding_processed_failed_event_throws_immediately(self, sim):
+        caught = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            try:
+                yield ev  # already processed and failed by now
+            except KeyError:
+                caught.append(sim.now)
+
+        ev = sim.event()
+        ev.fail(KeyError("gone"))
+        ev.defused = True
+        sim.process(proc())
+        sim.run()
+        assert caught == [1.0]
+
+
+class TestConditionFailure:
+    def test_all_of_fails_fast_on_first_failure(self, sim):
+        outcomes = []
+
+        def proc():
+            try:
+                yield sim.all_of([sim.timeout(10.0), ev])
+            except OSError:
+                outcomes.append(sim.now)
+
+        ev = sim.event()
+        sim.process(proc())
+        fuse = sim.timeout(1.0)
+        fuse.callbacks.append(lambda _e: ev.fail(OSError("disk")))
+        sim.run()
+        # Failure surfaced at t=1, without waiting for the t=10 timeout.
+        assert outcomes == [1.0]
+
+    def test_any_of_propagates_failure(self, sim):
+        outcomes = []
+
+        def proc():
+            try:
+                yield sim.any_of([ev, sim.timeout(10.0)])
+            except OSError as exc:
+                outcomes.append(str(exc))
+
+        ev = sim.event()
+        sim.process(proc())
+        fuse = sim.timeout(1.0)
+        fuse.callbacks.append(lambda _e: ev.fail(OSError("disk")))
+        sim.run()
+        assert outcomes == ["disk"]
+
+    def test_any_of_success_defuses_late_failure(self, sim):
+        results = []
+
+        def proc():
+            got = yield sim.any_of([sim.timeout(1.0, value="fast"), slow])
+            results.append(list(got.values()))
+
+        slow = sim.event()
+        sim.process(proc())
+        fuse = sim.timeout(2.0)
+        fuse.callbacks.append(lambda _e: slow.fail(RuntimeError("late")))
+        sim.run()  # the late failure must not crash the run
+        assert results == [["fast"]]
+
+    def test_all_of_collects_all_values(self, sim):
+        results = []
+
+        def proc():
+            got = yield sim.all_of([sim.timeout(1.0, value="a"), sim.timeout(2.0, value="b")])
+            results.append(sorted(got.values()))
+
+        sim.process(proc())
+        sim.run()
+        assert results == [["a", "b"]]
+
+
+class TestInterrupt:
+    def test_interrupt_runs_finally_blocks(self, sim):
+        cleaned = []
+
+        def proc():
+            try:
+                yield sim.timeout(100.0)
+            finally:
+                cleaned.append(sim.now)
+
+        p = sim.process(proc())
+        fuse = sim.timeout(3.0)
+        fuse.callbacks.append(lambda _e: p.interrupt())
+        with pytest.raises(Interrupt):
+            sim.run()
+        assert cleaned == [3.0]
+
+    def test_interrupt_carries_custom_exception(self, sim):
+        caught = []
+
+        def proc():
+            try:
+                yield sim.timeout(100.0)
+            except ConnectionError as exc:
+                caught.append(str(exc))
+
+        p = sim.process(proc())
+        fuse = sim.timeout(3.0)
+        fuse.callbacks.append(lambda _e: p.interrupt(ConnectionError("cable pulled")))
+        sim.run()
+        assert caught == ["cable pulled"]
+
+    def test_interrupt_detaches_from_waited_event(self, sim):
+        def proc():
+            try:
+                yield target
+            except Interrupt:
+                pass
+            yield sim.timeout(1.0)
+
+        target = sim.event()
+        p = sim.process(proc())
+        fuse = sim.timeout(1.0)
+        fuse.callbacks.append(lambda _e: p.interrupt())
+        sim.run()
+        # The original target later firing must not resume the process twice.
+        target.succeed("late")
+        sim.run()
+        assert p.triggered and p.ok
+
+    def test_interrupting_finished_process_rejected(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupt_survivor_continues(self, sim):
+        trace = []
+
+        def proc():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                trace.append(("interrupted", sim.now))
+            yield sim.timeout(5.0)
+            trace.append(("done", sim.now))
+
+        p = sim.process(proc())
+        fuse = sim.timeout(10.0)
+        fuse.callbacks.append(lambda _e: p.interrupt())
+        sim.run()
+        assert trace == [("interrupted", 10.0), ("done", 15.0)]
+
+
+class TestDeadlock:
+    def test_drained_queue_with_waiters_is_deadlock(self, sim):
+        def proc():
+            yield sim.event()  # nobody will ever trigger this
+
+        sim.process(proc())
+        with pytest.raises(DeadlockError, match="1 process"):
+            sim.run()
+
+    def test_clean_completion_is_not_deadlock(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        assert sim.now == 1.0

@@ -53,10 +53,25 @@ class TestResource:
         with pytest.raises(ResourceError):
             res.release(r)
 
-    def test_queued_request_not_released_before_grant(self, sim):
+    def test_releasing_queued_request_cancels_it(self, sim):
+        """try/finally release is interrupt-safe: a never-granted request is
+        removed from the wait queue instead of corrupting the grant count."""
+        res = Resource(sim, capacity=1)
+        holder = res.request()
+        queued = res.request()
+        later = res.request()
+        res.release(queued)  # cancelled, not an error
+        assert res.queue_length == 1
+        res.release(holder)
+        assert later.triggered  # the cancelled request was skipped
+        assert not queued.triggered
+        assert res.in_use == 1
+
+    def test_cancelled_request_cannot_be_released_twice(self, sim):
         res = Resource(sim, capacity=1)
         res.request()
         queued = res.request()
+        res.release(queued)
         with pytest.raises(ResourceError):
             res.release(queued)
 

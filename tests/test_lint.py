@@ -524,3 +524,70 @@ class TestContextHelpers:
         assert ctx.suppressed("unit-mix", 99)
         assert ctx.suppressed("magic-number", 2)
         assert not ctx.suppressed("magic-number", 1)
+
+
+class TestFaultRetryRule:
+    def test_while_true_except_continue_is_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "repro/mod.py",
+            "def fetch():\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return attempt()\n"
+            "        except OSError:\n"
+            "            continue\n",
+        )
+        assert "fault-retry" in rule_ids(findings)
+
+    def test_sleep_in_loop_is_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "repro/mod.py",
+            "import time\n"
+            "def poll():\n"
+            "    for _ in range(5):\n"
+            "        time.sleep(1.0)\n",
+        )
+        assert "fault-retry" in rule_ids(findings)
+
+    def test_bounded_for_retry_is_fine(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "repro/mod.py",
+            "def fetch():\n"
+            "    for _ in range(3):\n"
+            "        try:\n"
+            "            return attempt()\n"
+            "        except OSError:\n"
+            "            continue\n",
+        )
+        assert "fault-retry" not in rule_ids(findings)
+
+    def test_while_true_without_retry_shape_is_fine(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "repro/mod.py",
+            "def pump(queue):\n"
+            "    while True:\n"
+            "        item = queue.get()\n"
+            "        if item is None:\n"
+            "            break\n",
+        )
+        assert "fault-retry" not in rule_ids(findings)
+
+    def test_rule_scoped_to_repro_sources(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "scripts/mod.py",
+            "import time\n"
+            "def poll():\n"
+            "    while True:\n"
+            "        time.sleep(1.0)\n",
+        )
+        assert "fault-retry" not in rule_ids(findings)
+
+    def test_suppression_comment(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "repro/mod.py",
+            "import time\n"
+            "def poll():\n"
+            "    for _ in range(5):\n"
+            "        time.sleep(1.0)  # repro-lint: disable=fault-retry\n",
+        )
+        assert "fault-retry" not in rule_ids(findings)
