@@ -14,6 +14,7 @@ from benchmarks.conftest import emit
 from repro.cluster.machine import caddy
 from repro.core.metrics import IN_SITU, POST_PROCESSING
 from repro.events.engine import Simulator
+from repro.exec.api import RunRequest
 from repro.ocean.driver import MPASOceanConfig
 from repro.pipelines.base import PipelineSpec
 from repro.pipelines.insitu import InSituPipeline
@@ -42,7 +43,8 @@ def _savings_at(bandwidth_mb_s: float) -> float:
         )
         storage = StorageCluster(sim, filesystem=fs)
         platform = SimulatedPlatform(cluster=cluster, storage=storage)
-        times[pipeline.name] = platform.run(pipeline, spec).execution_time
+        run = pipeline.execute(RunRequest(spec=spec), platform=platform)
+        times[pipeline.name] = run.measurement.execution_time
     return 1.0 - times[IN_SITU] / times[POST_PROCESSING]
 
 

@@ -15,6 +15,7 @@ import pytest
 from benchmarks.conftest import emit
 from repro.cluster.machine import PhaseProfile
 from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.exec.api import RunRequest
 from repro.ocean.driver import MPASOceanConfig
 from repro.pipelines.base import PipelineSpec
 from repro.pipelines.insitu import InSituPipeline
@@ -35,7 +36,7 @@ def _power_pair(io_wait: float):
     for pipeline in (InSituPipeline(), PostProcessingPipeline()):
         profile = PhaseProfile(io_wait=io_wait)
         platform = SimulatedPlatform(phase_profile=profile)
-        m = platform.run(pipeline, spec)
+        m = pipeline.execute(RunRequest(spec=spec), platform=platform).measurement
         out[pipeline.name] = m.average_power
     return out
 

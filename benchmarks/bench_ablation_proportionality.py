@@ -14,6 +14,7 @@ import pytest
 from benchmarks.conftest import emit
 from repro.core.metrics import IN_SITU, POST_PROCESSING
 from repro.events.engine import Simulator
+from repro.exec.api import RunRequest
 from repro.pipelines.base import PipelineSpec
 from repro.pipelines.insitu import InSituPipeline
 from repro.pipelines.platform import SimulatedPlatform
@@ -47,7 +48,8 @@ def _run_pair(idle_fraction: float):
         )
         storage = StorageCluster(sim, power_model=power_model)
         platform = SimulatedPlatform(cluster=cluster, storage=storage)
-        results[pipeline.name] = platform.run(pipeline, spec)
+        run = pipeline.execute(RunRequest(spec=spec), platform=platform)
+        results[pipeline.name] = run.measurement
     return results
 
 

@@ -47,10 +47,12 @@ def test_ablation_render_cost(benchmark):
     rows = []
     for mult in BETA_MULTIPLIERS:
         analyzer = _analyzer(mult * paper.EQ5_BETA_S_PER_IMAGE)
-        (row,) = analyzer.sweep([24.0])
+        (row,) = analyzer.sweep(intervals_hours=[24.0])
         rows.append((mult, row.time_savings(), row.energy_savings()))
 
-    benchmark(lambda: _analyzer(paper.EQ5_BETA_S_PER_IMAGE).sweep([24.0]))
+    benchmark(
+        lambda: _analyzer(paper.EQ5_BETA_S_PER_IMAGE).sweep(intervals_hours=[24.0])
+    )
 
     lines = [
         "Ablation — in-situ savings vs per-image render cost (24 h cadence)",

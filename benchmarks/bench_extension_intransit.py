@@ -13,6 +13,7 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.core.metrics import IN_SITU
+from repro.exec.api import RunRequest
 from repro.pipelines.base import PipelineSpec
 from repro.pipelines.insitu import InSituPipeline
 from repro.pipelines.intransit import InTransitPipeline
@@ -23,17 +24,16 @@ STAGING_SIZES = (5, 10, 15, 30, 45, 60)
 
 
 def _run_intransit(n_staging: int):
-    platform = SimulatedPlatform()
-    return platform.run(
-        InTransitPipeline(n_staging_nodes=n_staging),
-        PipelineSpec(sampling=SamplingPolicy(24.0)),
-    )
+    request = RunRequest(spec=PipelineSpec(sampling=SamplingPolicy(24.0)))
+    pipeline = InTransitPipeline(n_staging_nodes=n_staging)
+    return pipeline.execute(request, platform=SimulatedPlatform()).measurement
 
 
 def test_extension_intransit_placement(benchmark):
-    insitu = SimulatedPlatform().run(
-        InSituPipeline(), PipelineSpec(sampling=SamplingPolicy(24.0))
-    )
+    insitu = InSituPipeline().execute(
+        RunRequest(spec=PipelineSpec(sampling=SamplingPolicy(24.0))),
+        platform=SimulatedPlatform(),
+    ).measurement
     rows = [(n, _run_intransit(n)) for n in STAGING_SIZES]
 
     benchmark.pedantic(lambda: _run_intransit(15), rounds=2, iterations=1)

@@ -20,7 +20,11 @@ def test_fig10_energy_vs_rate(study, benchmark):
     analyzer = study.analyzer()
     duration = years(paper.WHATIF_YEARS)
 
-    rows = benchmark(lambda: analyzer.energy_vs_rate(SWEEP_HOURS, duration))
+    rows = benchmark(
+        lambda: analyzer.energy_vs_rate(
+            intervals_hours=SWEEP_HOURS, duration_seconds=duration
+        )
+    )
 
     lines = [
         "Fig. 10 — energy vs sampling rate, 100-simulated-year campaign",

@@ -11,6 +11,7 @@ import pytest
 from benchmarks.conftest import emit
 from repro import paper
 from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.exec.api import RunRequest
 from repro.pipelines.base import PipelineSpec
 from repro.pipelines.insitu import InSituPipeline
 from repro.pipelines.platform import SimulatedPlatform
@@ -42,7 +43,9 @@ def test_fig3_insitu_run_cost(benchmark):
     spec = PipelineSpec(sampling=SamplingPolicy(8.0))
 
     def run():
-        return SimulatedPlatform().run(InSituPipeline(), spec)
+        return InSituPipeline().execute(
+            RunRequest(spec=spec), platform=SimulatedPlatform()
+        ).measurement
 
     m = benchmark.pedantic(run, rounds=3, iterations=1)
     assert m.n_outputs == 540

@@ -11,6 +11,7 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.core.metrics import POST_PROCESSING
+from repro.exec.api import RunRequest
 from repro.pipelines.base import PipelineSpec
 from repro.pipelines.platform import SimulatedPlatform
 from repro.pipelines.postprocessing import PostProcessingPipeline
@@ -20,8 +21,11 @@ from repro.pipelines.sampling import SamplingPolicy
 @pytest.fixture(scope="module")
 def profile_run():
     platform = SimulatedPlatform()
-    m = platform.run(PostProcessingPipeline(), PipelineSpec(sampling=SamplingPolicy(8.0)))
-    return platform, m
+    run = PostProcessingPipeline().execute(
+        RunRequest(spec=PipelineSpec(sampling=SamplingPolicy(8.0))),
+        platform=platform,
+    )
+    return platform, run.measurement
 
 
 def test_fig4_power_profile(profile_run, benchmark):

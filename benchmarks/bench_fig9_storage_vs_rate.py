@@ -22,7 +22,11 @@ def test_fig9_storage_vs_rate(study, benchmark):
     analyzer = study.analyzer()
     duration = years(paper.WHATIF_YEARS)
 
-    rows = benchmark(lambda: analyzer.storage_vs_rate(SWEEP_HOURS, duration))
+    rows = benchmark(
+        lambda: analyzer.storage_vs_rate(
+            intervals_hours=SWEEP_HOURS, duration_seconds=duration
+        )
+    )
 
     lines = [
         "Fig. 9 — storage vs sampling rate, 100-simulated-year campaign",

@@ -20,12 +20,12 @@ from __future__ import annotations
 from repro.cluster.power import e5_2670_node
 from repro.core.metrics import POST_PROCESSING
 from repro.core.characterization import run_characterization
+from repro.exec.api import RunRequest
 from repro.pipelines import (
     InSituPipeline,
     InTransitPipeline,
     PipelineSpec,
     SamplingPolicy,
-    SimulatedPlatform,
 )
 from repro.power.states import IdlePeriodManager
 from repro.storage.governor import StorageDvfsGovernor, wimpy_storage_model
@@ -70,11 +70,12 @@ def main() -> None:
 
     print("\n=== 3. In-transit staging (Rodero et al.'s placement question) ===")
     spec = PipelineSpec(sampling=SamplingPolicy(24.0))
-    insitu = SimulatedPlatform().run(InSituPipeline(), spec)
+    insitu = InSituPipeline().execute(RunRequest(spec=spec)).measurement
     print(f"in-situ baseline: {insitu.execution_time:.0f} s, "
           f"{joules_to_kwh(insitu.energy):.1f} kWh")
     for staging in (10, 20, 30, 45):
-        m = SimulatedPlatform().run(InTransitPipeline(n_staging_nodes=staging), spec)
+        pipeline = InTransitPipeline(n_staging_nodes=staging)
+        m = pipeline.execute(RunRequest(spec=spec)).measurement
         verdict = "beats in-situ" if m.execution_time < insitu.execution_time else "loses"
         print(
             f"  {staging:3d} staging nodes: {m.execution_time:6.0f} s, "

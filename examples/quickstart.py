@@ -56,7 +56,7 @@ def main() -> None:
     for hours in (1.0, 12.0, 24.0):
         saving = analyzer.energy_savings(hours, century)
         print(f"energy saved by in-situ at {hours:4.0f}-hour sampling: {100 * saving:.1f}%")
-    row = analyzer.sweep([24.0], century)[0]
+    row = analyzer.sweep(intervals_hours=[24.0], duration_seconds=century)[0]
     print(
         f"daily sampling for a century: post writes {format_bytes(row.post.storage_bytes)}, "
         f"in-situ writes {format_bytes(row.insitu.storage_bytes)}"

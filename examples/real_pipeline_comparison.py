@@ -19,6 +19,7 @@ import os
 import sys
 import tempfile
 
+from repro.exec.api import RunRequest
 from repro.pipelines.insitu import InSituPipeline
 from repro.pipelines.platform import RealPlatform, RealScale
 from repro.pipelines.postprocessing import PostProcessingPipeline
@@ -45,7 +46,9 @@ def main(workdir: str) -> None:
     results = {}
     for pipeline in (PostProcessingPipeline(), InSituPipeline()):
         print(f"\nrunning {pipeline.name} ...")
-        m = platform.run(pipeline)
+        m = pipeline.execute(
+            RunRequest(mode="real"), platform=platform
+        ).measurement
         results[pipeline.name] = m
         phases = m.timeline.by_phase()
         print(f"  wall time : {format_seconds(m.execution_time)}")

@@ -12,13 +12,17 @@ Commands map onto the paper's sections:
 * ``hypotheses``   — score the Section II-C hypotheses (the §V-A findings box).
 * ``quality``      — measured eddy-tracking fidelity vs cadence (extension).
 * ``proportionality`` — the storage/compute power-proportionality tables.
+* ``bench``        — run the fig3/fig9/fig10 sweep set through the execution
+  engine (serial vs parallel vs cached) and emit ``BENCH_exec.json``.
 * ``lint``         — the project's static-analysis pass (see ``repro.lint``).
 * ``obs``          — inspect telemetry run directories (see ``repro.obs``).
 
 ``characterize``, ``report`` and ``whatif`` accept ``--telemetry PATH`` to
 record the run's spans, metrics and manifest under ``PATH``;
 ``characterize`` and ``hypotheses`` accept ``--json`` for machine-readable
-output.
+output.  Grid-running commands accept ``--workers N`` (fan the runs out
+over a process pool; results stay bit-identical to serial) and
+``--cache DIR`` (memoize completed runs on disk).
 """
 
 from __future__ import annotations
@@ -49,6 +53,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     telemetry_help = "record spans/metrics/manifest under this directory"
 
+    def add_engine_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="fan simulation runs out over N worker processes",
+        )
+        p.add_argument(
+            "--cache", default=None, metavar="DIR",
+            help="memoize completed runs in this on-disk cache",
+        )
+
     p = sub.add_parser("characterize", help="run the Section V experiment grid")
     p.add_argument(
         "--intervals", type=float, nargs="+", default=[8.0, 24.0, 72.0],
@@ -56,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+    add_engine_args(p)
 
     p = sub.add_parser("calibrate", help="fit Eq. 5 and validate (Fig. 8)")
 
@@ -78,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="recovery cost for the failure-aware sweep",
     )
     p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+    add_engine_args(p)
 
     p = sub.add_parser(
         "faults", help="seeded fault campaign: both pipelines, identical faults"
@@ -116,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+    add_engine_args(p)
 
     p = sub.add_parser("plan", help="Section VII advisor")
     p.add_argument("--years", type=float, default=100.0, help="campaign length")
@@ -131,6 +148,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="study_report.md", help="output path")
     p.add_argument("--years", type=float, default=100.0, help="what-if horizon")
     p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+    add_engine_args(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="execution-engine benchmark: serial vs parallel vs cached sweeps",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="the small CI sweep set instead of the full fig9/fig10 axes",
+    )
+    p.add_argument(
+        "--output", default="benchmarks/results", metavar="DIR",
+        help="directory for BENCH_exec.json and the text summary",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed baseline JSON; exit non-zero on regression",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed fractional speedup drop vs the baseline",
+    )
+    p.add_argument("--json", action="store_true", help="print the report JSON")
+    p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+    add_engine_args(p)
 
     p = sub.add_parser("quality", help="eddy-tracking fidelity vs cadence")
     p.add_argument("--strides", type=int, nargs="+", default=[1, 2, 4, 8, 16])
@@ -157,14 +199,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _study(intervals: Sequence[float] = (8.0, 24.0, 72.0)) -> CharacterizationStudy:
+def _engine(args: argparse.Namespace):
+    """The execution engine an invocation asked for (None = default inline)."""
+    workers = getattr(args, "workers", None)
+    cache_dir = getattr(args, "cache", None)
+    if workers is None and cache_dir is None:
+        return None
+    from repro.exec.cache import DiskCache
+    from repro.exec.engine import ExecutionEngine
+
+    cache = DiskCache(cache_dir) if cache_dir is not None else None
+    return ExecutionEngine(max_workers=workers, cache=cache)
+
+
+def _study(
+    intervals: Sequence[float] = (8.0, 24.0, 72.0), engine=None
+) -> CharacterizationStudy:
     print("running the characterization grid "
           f"({2 * len(intervals)} campaign-scale simulations)...", file=sys.stderr)
+    if engine is not None:
+        return run_characterization(intervals_hours=tuple(intervals), engine=engine)
     return run_characterization(intervals_hours=tuple(intervals))
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    study = _study(args.intervals)
+    study = _study(args.intervals, engine=_engine(args))
     if args.json:
         print(json.dumps(study.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -193,13 +252,13 @@ def _cmd_calibrate(_args: argparse.Namespace) -> int:
 
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
-    study = _study()
+    study = _study(engine=_engine(args))
     analyzer = study.analyzer()
     duration = years(args.years)
     print(f"campaign: {args.years:g} simulated years\n")
     print(f"{'cadence':>10s} {'post GB':>12s} {'in-situ GB':>11s} "
           f"{'energy saving':>14s}")
-    for row in analyzer.sweep(args.intervals, duration):
+    for row in analyzer.sweep(intervals_hours=args.intervals, duration_seconds=duration):
         print(
             f"{row.interval_hours:>8.0f} h {row.post.s_io_gb:>12.1f} "
             f"{row.insitu.s_io_gb:>11.2f} {100 * row.energy_savings():>13.1f}%"
@@ -208,8 +267,8 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     print(f"\n2 TB budget forces post-processing to every {limit / 24:.1f} days")
     if args.mtbf_hours is not None:
         rows = analyzer.failure_aware_sweep(
-            args.intervals,
-            duration,
+            intervals_hours=args.intervals,
+            duration_seconds=duration,
             mtbf_hours=args.mtbf_hours,
             checkpoint_write_seconds=args.checkpoint_write_seconds,
             restart_seconds=args.restart_seconds,
@@ -233,7 +292,6 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults.campaign import run_fault_campaign
     from repro.ocean.driver import MPASOceanConfig
     from repro.pipelines.base import PipelineSpec
-    from repro.pipelines.platform import SimulatedPlatform
     from repro.pipelines.sampling import SamplingPolicy
     from repro.units import MONTH
 
@@ -248,7 +306,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     )
     result = run_fault_campaign(
         spec,
-        SimulatedPlatform,
+        engine=_engine(args),
         seed=args.seed,
         mtbf_hours=args.mtbf_hours,
         checkpoint_every=args.checkpoint_every,
@@ -292,9 +350,41 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.core.report import StudyReport
 
-    study = _study()
+    study = _study(engine=_engine(args))
     n = StudyReport(study, whatif_years=args.years).write(args.output)
     print(f"wrote {args.output} ({n} bytes)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.exec.bench import compare_to_baseline, run_bench, summary, write_report
+
+    print(
+        "benchmarking the execution engine (serial, parallel and cached "
+        "sweeps over the fig3/fig9/fig10 set)...",
+        file=sys.stderr,
+    )
+    report = run_bench(
+        quick=args.quick,
+        workers=args.workers,
+        cache_dir=args.cache,
+        output_dir=args.output,
+    )
+    path = write_report(report, args.output)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(summary(report))
+    print(f"wrote {path}", file=sys.stderr)
+    if args.baseline is not None:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = compare_to_baseline(report, baseline, tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 2
+        print("baseline check passed", file=sys.stderr)
     return 0
 
 
@@ -364,6 +454,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "quality": _cmd_quality,
     "report": _cmd_report,
+    "bench": _cmd_bench,
     "proportionality": _cmd_proportionality,
     "hypotheses": _cmd_hypotheses,
     "obs": _cmd_obs,

@@ -30,6 +30,8 @@ from repro.core.metrics import IN_SITU, POST_PROCESSING, Measurement, MetricSet
 from repro.core.model import DataModel, PipelinePredictor
 from repro.core.whatif import WhatIfAnalyzer
 from repro.errors import ConfigurationError
+from repro.exec.api import RunRequest
+from repro.exec.engine import ExecutionEngine
 from repro.pipelines.base import PipelineSpec
 from repro.pipelines.insitu import InSituPipeline
 from repro.pipelines.platform import SimulatedPlatform
@@ -152,25 +154,41 @@ def run_characterization(
     platform_factory: Optional[Callable[[], SimulatedPlatform]] = None,
     intervals_hours: Sequence[float] = (8.0, 24.0, 72.0),
     spec: Optional[PipelineSpec] = None,
+    engine: Optional["ExecutionEngine"] = None,
 ) -> CharacterizationStudy:
     """Run the full experiment grid and return the study.
 
     Each (pipeline, cadence) cell runs on a *fresh* platform — the paper's
     dedicated-machine discipline ("we ran our test application on the entire
     cluster so that we are measuring only the power consumed by our
-    application").
+    application").  The grid goes through the execution engine, so passing
+    an ``engine`` with workers and/or a cache fans the cells out in parallel
+    and memoizes them; the default engine runs them inline, bit-identical
+    to the historical serial loop.  ``platform_factory`` (custom clusters,
+    instrumented storage) forces the inline path: bespoke platform objects
+    cannot cross the engine's process/cache boundary.
     """
     if not intervals_hours:
         raise ConfigurationError("need at least one sampling interval")
     base = spec if spec is not None else PipelineSpec()
     metrics = MetricSet()
-    for hours in intervals_hours:
-        for pipeline in (InSituPipeline(), PostProcessingPipeline()):
-            platform = (
-                platform_factory() if platform_factory is not None else SimulatedPlatform()
-            )
-            cell_spec = base.with_sampling(SamplingPolicy(hours))
-            metrics.add(platform.run(pipeline, cell_spec))
+    if platform_factory is not None:
+        for hours in intervals_hours:
+            for pipeline in (InSituPipeline(), PostProcessingPipeline()):
+                cell_spec = base.with_sampling(SamplingPolicy(hours))
+                result = pipeline.execute(
+                    RunRequest(spec=cell_spec), platform=platform_factory()
+                )
+                metrics.add(result.measurement)
+    else:
+        runner = engine if engine is not None else ExecutionEngine()
+        requests = [
+            RunRequest(pipeline=name, spec=base.with_sampling(SamplingPolicy(hours)))
+            for hours in intervals_hours
+            for name in (InSituPipeline.name, PostProcessingPipeline.name)
+        ]
+        for result in runner.map(requests):
+            metrics.add(result.measurement)
     return CharacterizationStudy(metrics, base)
 
 

@@ -128,7 +128,9 @@ class StudyReport:
             "| cadence | post storage | in-situ storage | energy saving |",
             "|---|---|---|---|",
         ]
-        for row in analyzer.sweep(self.intervals, duration):
+        for row in analyzer.sweep(
+            intervals_hours=self.intervals, duration_seconds=duration
+        ):
             lines.append(
                 f"| every {row.interval_hours:g} h | {row.post.s_io_gb:,.0f} GB | "
                 f"{row.insitu.s_io_gb:,.1f} GB | {100 * row.energy_savings():.1f}% |"

@@ -11,21 +11,38 @@ two pipelines, :class:`WhatIfAnalyzer` answers the paper's questions:
   at each cadence, and how much does in-situ save (67.2 % at hourly
   sampling, 49 % at 12-hourly, 38 % at daily)?
 
-All sweeps return plain rows so benches can print them paper-style.
+The sweep family (:meth:`WhatIfAnalyzer.sweep`, :meth:`~WhatIfAnalyzer.
+storage_vs_rate`, :meth:`~WhatIfAnalyzer.energy_vs_rate`,
+:meth:`~WhatIfAnalyzer.failure_aware_sweep`) is keyword-only and returns
+typed, sequence-like results whose ``to_dict()`` carries the same
+``schema_version`` as the obs manifests.  Rows stay tuple-unpackable
+(``for h, insitu, post in ...``) so paper-style printing is unchanged;
+positional calls still work through a ``DeprecationWarning`` shim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import NamedTuple, Optional, Sequence
 
 from repro.core.model import PipelinePredictor, Prediction
 from repro.errors import ConfigurationError, ModelError
+from repro.exec.api import warn_legacy
 from repro.faults.model import FailureModel
+from repro.obs.manifest import SCHEMA_VERSION
 from repro.paper import TIMESTEP_SECONDS
 from repro.units import HOUR
 
-__all__ = ["FailureSweepRow", "SweepRow", "WhatIfAnalyzer"]
+__all__ = [
+    "EnergyRateRow",
+    "FailureSweepResult",
+    "FailureSweepRow",
+    "RateSweepResult",
+    "StorageRateRow",
+    "SweepResult",
+    "SweepRow",
+    "WhatIfAnalyzer",
+]
 
 
 @dataclass(frozen=True)
@@ -55,6 +72,14 @@ class SweepRow:
         if self.post.execution_time == 0:
             raise ModelError("post-processing time is zero; no baseline")
         return 1.0 - self.insitu.execution_time / self.post.execution_time
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (shared schema with obs manifests)."""
+        return {
+            "interval_hours": self.interval_hours,
+            "insitu": asdict(self.insitu),
+            "post": asdict(self.post),
+        }
 
 
 @dataclass(frozen=True)
@@ -90,6 +115,106 @@ class FailureSweepRow:
             raise ModelError("post-processing energy is zero; no baseline")
         return 1.0 - self.insitu_expected_joules / self.post_expected_joules
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (shared schema with obs manifests)."""
+        return {
+            "interval_hours": self.interval_hours,
+            "checkpoint_interval_seconds": self.checkpoint_interval_seconds,
+            "insitu": asdict(self.insitu),
+            "post": asdict(self.post),
+            "insitu_expected_seconds": self.insitu_expected_seconds,
+            "post_expected_seconds": self.post_expected_seconds,
+            "insitu_expected_joules": self.insitu_expected_joules,
+            "post_expected_joules": self.post_expected_joules,
+        }
+
+
+class StorageRateRow(NamedTuple):
+    """One Fig. 9 row; unpacks like the legacy ``(h, insitu, post)`` tuple."""
+
+    interval_hours: float
+    insitu_gb: float
+    post_gb: float
+
+
+class EnergyRateRow(NamedTuple):
+    """One Fig. 10 row; unpacks like the legacy ``(h, insitu, post)`` tuple."""
+
+    interval_hours: float
+    insitu_joules: float
+    post_joules: float
+
+
+class _SweepSequence:
+    """Sequence protocol shared by the typed sweep results."""
+
+    rows: tuple = ()
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+
+@dataclass(frozen=True)
+class SweepResult(_SweepSequence):
+    """Typed result of :meth:`WhatIfAnalyzer.sweep`: a row per cadence."""
+
+    rows: tuple = ()
+    duration_seconds: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe schema (shared with the obs manifests)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "sweep",
+            "duration_seconds": self.duration_seconds,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+
+@dataclass(frozen=True)
+class RateSweepResult(_SweepSequence):
+    """Typed Fig. 9 / Fig. 10 result: named-tuple rows, versioned dict."""
+
+    kind: str = ""
+    columns: tuple = ()
+    rows: tuple = ()
+    duration_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe schema (shared with the obs manifests)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "columns": list(self.columns),
+            "duration_seconds": self.duration_seconds,
+            "rows": [list(row) for row in self.rows],
+        }
+
+
+@dataclass(frozen=True)
+class FailureSweepResult(_SweepSequence):
+    """Typed result of :meth:`WhatIfAnalyzer.failure_aware_sweep`."""
+
+    rows: tuple = ()
+    duration_seconds: float = 0.0
+    mtbf_hours: float = 0.0
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe schema (shared with the obs manifests)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "failure-aware-sweep",
+            "duration_seconds": self.duration_seconds,
+            "mtbf_hours": self.mtbf_hours,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
 
 class WhatIfAnalyzer:
     """Sweeps and budget inversions over the calibrated models."""
@@ -114,10 +239,51 @@ class WhatIfAnalyzer:
 
     # ----------------------------------------------------------------- sweeps
 
+    @staticmethod
+    def _legacy_positional(
+        api: str, args: tuple, names: Sequence[str], provided: dict
+    ) -> dict:
+        """Map a legacy positional call onto keywords, warning once."""
+        if not args:
+            return provided
+        if len(args) > len(names):
+            raise TypeError(
+                f"{api} takes at most {len(names)} positional argument(s), "
+                f"got {len(args)}"
+            )
+        warn_legacy(
+            f"WhatIfAnalyzer.{api} with positional arguments",
+            f"WhatIfAnalyzer.{api}(" + ", ".join(f"{n}=..." for n in names[: len(args)]) + ")",
+        )
+        merged = dict(provided)
+        for name, value in zip(names, args):
+            if merged.get(name) is not None:
+                raise TypeError(f"{api} got multiple values for argument {name!r}")
+            merged[name] = value
+        return merged
+
     def sweep(
-        self, intervals_hours: Sequence[float], duration_seconds: Optional[float] = None
-    ) -> list[SweepRow]:
-        """Predict both pipelines at each cadence for a campaign length."""
+        self,
+        *args: object,
+        intervals_hours: Optional[Sequence[float]] = None,
+        duration_seconds: Optional[float] = None,
+    ) -> SweepResult:
+        """Predict both pipelines at each cadence for a campaign length.
+
+        Keyword-only; positional calls are deprecated (shimmed with a
+        warning).  Returns a :class:`SweepResult` — iterate it like the old
+        ``list[SweepRow]``, or serialize with ``to_dict()``.
+        """
+        params = self._legacy_positional(
+            "sweep",
+            args,
+            ("intervals_hours", "duration_seconds"),
+            {"intervals_hours": intervals_hours, "duration_seconds": duration_seconds},
+        )
+        intervals_hours = params["intervals_hours"]
+        duration_seconds = params["duration_seconds"]
+        if intervals_hours is None:
+            raise TypeError("sweep() missing required keyword argument 'intervals_hours'")
         iters = (
             None if duration_seconds is None else self.iterations_for(duration_seconds)
         )
@@ -130,42 +296,90 @@ class WhatIfAnalyzer:
                     post=self.post.predict(h, iters),
                 )
             )
-        return rows
+        return SweepResult(rows=tuple(rows), duration_seconds=duration_seconds)
 
     def storage_vs_rate(
-        self, intervals_hours: Sequence[float], duration_seconds: float
-    ) -> list[tuple[float, float, float]]:
+        self,
+        *args: object,
+        intervals_hours: Optional[Sequence[float]] = None,
+        duration_seconds: Optional[float] = None,
+    ) -> RateSweepResult:
         """Fig. 9 rows: ``(interval_hours, insitu_gb, post_gb)``."""
-        return [
-            (r.interval_hours, r.insitu.s_io_gb, r.post.s_io_gb)
-            for r in self.sweep(intervals_hours, duration_seconds)
-        ]
+        params = self._legacy_positional(
+            "storage_vs_rate",
+            args,
+            ("intervals_hours", "duration_seconds"),
+            {"intervals_hours": intervals_hours, "duration_seconds": duration_seconds},
+        )
+        if params["intervals_hours"] is None or params["duration_seconds"] is None:
+            raise TypeError(
+                "storage_vs_rate() requires keyword arguments "
+                "'intervals_hours' and 'duration_seconds'"
+            )
+        rows = tuple(
+            StorageRateRow(r.interval_hours, r.insitu.s_io_gb, r.post.s_io_gb)
+            for r in self.sweep(
+                intervals_hours=params["intervals_hours"],
+                duration_seconds=params["duration_seconds"],
+            )
+        )
+        return RateSweepResult(
+            kind="storage-vs-rate",
+            columns=("interval_hours", "insitu_gb", "post_gb"),
+            rows=rows,
+            duration_seconds=float(params["duration_seconds"]),
+        )
 
     def energy_vs_rate(
-        self, intervals_hours: Sequence[float], duration_seconds: float
-    ) -> list[tuple[float, float, float]]:
+        self,
+        *args: object,
+        intervals_hours: Optional[Sequence[float]] = None,
+        duration_seconds: Optional[float] = None,
+    ) -> RateSweepResult:
         """Fig. 10 rows: ``(interval_hours, insitu_joules, post_joules)``."""
+        params = self._legacy_positional(
+            "energy_vs_rate",
+            args,
+            ("intervals_hours", "duration_seconds"),
+            {"intervals_hours": intervals_hours, "duration_seconds": duration_seconds},
+        )
+        if params["intervals_hours"] is None or params["duration_seconds"] is None:
+            raise TypeError(
+                "energy_vs_rate() requires keyword arguments "
+                "'intervals_hours' and 'duration_seconds'"
+            )
         rows = []
-        for r in self.sweep(intervals_hours, duration_seconds):
+        for r in self.sweep(
+            intervals_hours=params["intervals_hours"],
+            duration_seconds=params["duration_seconds"],
+        ):
             if r.insitu.energy is None or r.post.energy is None:
                 raise ModelError("predictors lack power; energy sweep unavailable")
-            rows.append((r.interval_hours, r.insitu.energy, r.post.energy))
-        return rows
+            rows.append(EnergyRateRow(r.interval_hours, r.insitu.energy, r.post.energy))
+        return RateSweepResult(
+            kind="energy-vs-rate",
+            columns=("interval_hours", "insitu_joules", "post_joules"),
+            rows=tuple(rows),
+            duration_seconds=float(params["duration_seconds"]),
+        )
 
     def energy_savings(self, interval_hours: float, duration_seconds: float) -> float:
         """In-situ energy savings fraction at one cadence (Fig. 10 callouts)."""
-        (row,) = self.sweep([interval_hours], duration_seconds)
+        (row,) = self.sweep(
+            intervals_hours=[interval_hours], duration_seconds=duration_seconds
+        )
         return row.energy_savings()
 
     def failure_aware_sweep(
         self,
-        intervals_hours: Sequence[float],
-        duration_seconds: float,
-        mtbf_hours: float,
-        checkpoint_write_seconds: float,
+        *args: object,
+        intervals_hours: Optional[Sequence[float]] = None,
+        duration_seconds: Optional[float] = None,
+        mtbf_hours: Optional[float] = None,
+        checkpoint_write_seconds: Optional[float] = None,
         restart_seconds: float = 30.0,
         checkpoint_interval_seconds: Optional[float] = None,
-    ) -> list[FailureSweepRow]:
+    ) -> FailureSweepResult:
         """The Fig. 9/10 sweeps with failures folded in (Eq. 4 + Daly).
 
         Each cadence's fault-free prediction becomes an *expected* runtime
@@ -174,6 +388,51 @@ class WhatIfAnalyzer:
         to recover from.  The checkpoint interval defaults to Daly's
         optimum ``sqrt(2 * delta * MTBF)`` per cadence.
         """
+        params = self._legacy_positional(
+            "failure_aware_sweep",
+            args,
+            (
+                "intervals_hours",
+                "duration_seconds",
+                "mtbf_hours",
+                "checkpoint_write_seconds",
+                "restart_seconds",
+                "checkpoint_interval_seconds",
+            ),
+            {
+                "intervals_hours": intervals_hours,
+                "duration_seconds": duration_seconds,
+                "mtbf_hours": mtbf_hours,
+                "checkpoint_write_seconds": checkpoint_write_seconds,
+                "restart_seconds": None if args else restart_seconds,
+                "checkpoint_interval_seconds": checkpoint_interval_seconds,
+            },
+        )
+        intervals_hours = params["intervals_hours"]
+        duration_seconds = params["duration_seconds"]
+        mtbf_hours = params["mtbf_hours"]
+        checkpoint_write_seconds = params["checkpoint_write_seconds"]
+        restart_seconds = (
+            restart_seconds
+            if params["restart_seconds"] is None
+            else params["restart_seconds"]
+        )
+        checkpoint_interval_seconds = params["checkpoint_interval_seconds"]
+        missing = [
+            name
+            for name in (
+                "intervals_hours",
+                "duration_seconds",
+                "mtbf_hours",
+                "checkpoint_write_seconds",
+            )
+            if params[name] is None
+        ]
+        if missing:
+            raise TypeError(
+                "failure_aware_sweep() missing required keyword "
+                f"argument(s): {', '.join(missing)}"
+            )
         if mtbf_hours <= 0:
             raise ModelError(f"MTBF must be positive: {mtbf_hours}")
         model = FailureModel(
@@ -186,7 +445,9 @@ class WhatIfAnalyzer:
         else:
             tau = model.optimal_interval()
         rows = []
-        for base in self.sweep(intervals_hours, duration_seconds):
+        for base in self.sweep(
+            intervals_hours=intervals_hours, duration_seconds=duration_seconds
+        ):
             insitu_t = model.expected_time(base.insitu.execution_time, tau)
             post_t = model.expected_time(base.post.execution_time, tau)
             insitu_j = None
@@ -211,7 +472,11 @@ class WhatIfAnalyzer:
                     post_expected_joules=post_j,
                 )
             )
-        return rows
+        return FailureSweepResult(
+            rows=tuple(rows),
+            duration_seconds=float(duration_seconds),
+            mtbf_hours=float(mtbf_hours),
+        )
 
     # ------------------------------------------------------------- inversions
 

@@ -1,0 +1,36 @@
+"""The experiment-execution engine (``repro.exec``).
+
+One unified API for running pipelines — :class:`RunRequest` in,
+:class:`RunResult` out — behind three interchangeable execution strategies:
+inline, fanned out over a process pool (bit-identical to serial), or
+replayed from a content-addressed on-disk cache.  See ``docs/MIGRATION.md``
+for the mapping from the legacy ``platform.run(...)`` entry points.
+"""
+
+from repro.exec.api import (
+    MODE_REAL,
+    MODE_SIMULATED,
+    RunRequest,
+    RunResult,
+    build_pipeline,
+    pipeline_factories,
+    reset_legacy_warnings,
+    warn_legacy,
+)
+from repro.exec.cache import DiskCache, default_code_version
+from repro.exec.engine import ExecutionEngine, execute_request
+
+__all__ = [
+    "MODE_REAL",
+    "MODE_SIMULATED",
+    "DiskCache",
+    "ExecutionEngine",
+    "RunRequest",
+    "RunResult",
+    "build_pipeline",
+    "default_code_version",
+    "execute_request",
+    "pipeline_factories",
+    "reset_legacy_warnings",
+    "warn_legacy",
+]

@@ -1,0 +1,150 @@
+"""Content-addressed on-disk memoization of completed runs.
+
+A cache entry is keyed by :meth:`RunRequest.cache_key` — the sha256 of the
+canonical ``(request, code_version)`` JSON — so a hit is only possible when
+the configuration, the seed *and* the code revision all match.  Each entry
+is two files under ``<dir>/<key[:2]>/``:
+
+* ``<key>.pkl`` — the pickled deterministic payload (measurement, fault
+  summary, recovery count);
+* ``<key>.json`` — a human-readable meta sidecar (the request dict, code
+  version, schema version) for provenance spelunking without unpickling.
+
+Writes are atomic (temp file + ``os.replace``), so a crashed run never
+leaves a torn entry behind.  Hit/miss counters flow through the obs layer
+(the engine owns those — the cache itself stays import-light and silent).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import subprocess
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.manifest import SCHEMA_VERSION
+
+__all__ = ["DiskCache", "default_code_version"]
+
+
+def default_code_version() -> str:
+    """The code revision folded into every cache key.
+
+    The git commit when available (any code change invalidates the cache),
+    falling back to the package version for source-tarball installs.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    import repro
+
+    return f"repro-{repro.__version__}"
+
+
+class DiskCache:
+    """A content-addressed store of completed run payloads."""
+
+    def __init__(self, directory: str, code_version: Optional[str] = None) -> None:
+        if not directory:
+            raise ConfigurationError("cache directory must be non-empty")
+        self.directory = directory
+        self.code_version = (
+            code_version if code_version is not None else default_code_version()
+        )
+        os.makedirs(directory, exist_ok=True)
+
+    # ----------------------------------------------------------------- paths
+
+    def _paths(self, key: str) -> tuple[str, str]:
+        shard = os.path.join(self.directory, key[:2])
+        return os.path.join(shard, f"{key}.pkl"), os.path.join(shard, f"{key}.json")
+
+    # ------------------------------------------------------------------- api
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        A torn or unreadable entry (interrupted write, pickle drift) counts
+        as a miss — the engine simply re-executes and overwrites it.
+        """
+        payload_path, _ = self._paths(key)
+        try:
+            with open(payload_path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def put(self, key: str, payload: Any, meta: Optional[dict] = None) -> None:
+        """Store ``payload`` under ``key`` atomically, with a meta sidecar."""
+        payload_path, meta_path = self._paths(key)
+        os.makedirs(os.path.dirname(payload_path), exist_ok=True)
+        tmp = f"{payload_path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, payload_path)
+        sidecar = {
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "code_version": self.code_version,
+        }
+        if meta:
+            sidecar.update(meta)
+        tmp = f"{meta_path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(sidecar, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, meta_path)
+
+    def __contains__(self, key: str) -> bool:
+        payload_path, _ = self._paths(key)
+        return os.path.exists(payload_path)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def keys(self) -> list:
+        """Every key with a stored payload, sorted."""
+        found = []
+        if not os.path.isdir(self.directory):
+            return found
+        for shard in sorted(os.listdir(self.directory)):
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".pkl"):
+                    found.append(name[: -len(".pkl")])
+        return found
+
+    def meta(self, key: str) -> Optional[dict]:
+        """The JSON meta sidecar for ``key``, or ``None``."""
+        _, meta_path = self._paths(key)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many payloads were removed."""
+        removed = 0
+        for key in self.keys():
+            payload_path, meta_path = self._paths(key)
+            for path in (payload_path, meta_path):
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+            removed += 1
+        return removed

@@ -1,0 +1,186 @@
+"""The experiment-execution engine: fan-out, memoization, determinism.
+
+:class:`ExecutionEngine` takes :class:`~repro.exec.api.RunRequest` objects
+and produces :class:`~repro.exec.api.RunResult` objects three ways:
+
+* **inline** — execute in this process (``max_workers=None`` or ``1``);
+* **pool** — fan simulated requests out over a ``ProcessPoolExecutor``.
+  Results are collected in *submission order* and every worker seeds its
+  RNGs deterministically from the request, so a parallel sweep is
+  bit-identical to the same sweep run serially;
+* **cache** — replay a prior run from the content-addressed
+  :class:`~repro.exec.cache.DiskCache` when the (config, code version,
+  seed) hash matches.
+
+Real-mode requests always execute inline and are never cached: their
+measurements are wall-clock timings, not deterministic functions of the
+request.  Hit/miss/task counters flow through the obs layer and the cache
+configuration lands in the active session's manifest config.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.exec.api import RunRequest, RunResult, build_pipeline
+from repro.exec.cache import DiskCache
+
+__all__ = ["ExecutionEngine", "execute_request"]
+
+
+def _seed_rngs(request: RunRequest) -> None:
+    """Seed the process-global RNGs deterministically for one task.
+
+    The simulated platform draws from its own seeded generators, so this is
+    defense-in-depth: any code that reaches for the global ``random`` /
+    ``numpy.random`` state sees the same stream serially and in a worker.
+    """
+    seed = request.task_seed()
+    random.seed(seed)
+    try:
+        import numpy as np
+
+        np.random.seed(seed % 2**32)
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        pass
+
+
+def execute_request(request: RunRequest) -> RunResult:
+    """Execute one request in this process (the pool's task function).
+
+    Top-level (hence picklable), builds the pipeline from the request's
+    registry name, seeds the RNGs, and routes through the unified
+    :meth:`~repro.pipelines.base.Pipeline.execute` entry point.
+    """
+    _seed_rngs(request)
+    pipeline = build_pipeline(request)
+    return pipeline.execute(request)
+
+
+class ExecutionEngine:
+    """Runs requests inline, over a process pool, or out of the cache."""
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[DiskCache] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1: {max_workers}")
+        self.max_workers = max_workers
+        self.cache = cache
+        #: Cumulative tallies across this engine's lifetime.
+        self.tasks_executed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------- api
+
+    def run(self, request: RunRequest) -> RunResult:
+        """Execute (or replay) a single request."""
+        return self.map([request])[0]
+
+    def map(self, requests: Sequence[RunRequest]) -> list:
+        """Execute a batch; results are ordered exactly like ``requests``.
+
+        Cache hits are satisfied immediately; the misses run inline (one
+        worker) or across the pool, and are stored back.  The output order
+        never depends on completion order, so downstream tables and
+        manifests are bit-identical however the batch was scheduled.
+        """
+        requests = list(requests)
+        results: list = [None] * len(requests)
+        pending: list = []
+        for index, request in enumerate(requests):
+            key = self._cache_key(request)
+            hit = self.cache.get(key) if key is not None else None
+            if hit is not None:
+                t0 = time.perf_counter()
+                results[index] = RunResult(
+                    request=request,
+                    measurement=hit["measurement"],
+                    cache_hit=True,
+                    cache_key=key,
+                    engine="cache",
+                    wall_seconds=time.perf_counter() - t0,
+                    fault_summary=hit.get("fault_summary"),
+                    recoveries=hit.get("recoveries", 0),
+                )
+                self.cache_hits += 1
+                obs.counter("repro_exec_cache_hits_total")
+            else:
+                if key is not None:
+                    self.cache_misses += 1
+                    obs.counter("repro_exec_cache_misses_total")
+                pending.append((index, request, key))
+
+        if len(pending) > 1 and (self.max_workers or 1) > 1:
+            self._run_pool(pending, results)
+        else:
+            for index, request, key in pending:
+                results[index] = self._finish(request, key, execute_request(request))
+        self._record_session()
+        return results
+
+    # -------------------------------------------------------------- internals
+
+    def _cache_key(self, request: RunRequest) -> Optional[str]:
+        if self.cache is None or not request.cacheable:
+            return None
+        return request.cache_key(self.cache.code_version)
+
+    def _run_pool(self, pending: list, results: list) -> None:
+        workers = min(self.max_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (index, request, key, pool.submit(execute_request, request))
+                for index, request, key in pending
+            ]
+            # Collect in submission order — deterministic regardless of
+            # which worker finishes first.
+            for index, request, key, future in futures:
+                result = replace(future.result(), engine="pool")
+                results[index] = self._finish(request, key, result)
+
+    def _finish(self, request: RunRequest, key: Optional[str], result: RunResult) -> RunResult:
+        self.tasks_executed += 1
+        obs.counter("repro_exec_tasks_total", pipeline=request.pipeline)
+        obs.observe("repro_exec_task_seconds", result.wall_seconds)
+        if key is not None:
+            result = replace(result, cache_key=key)
+            self.cache.put(
+                key,
+                {
+                    "measurement": result.measurement,
+                    "fault_summary": result.fault_summary,
+                    "recoveries": result.recoveries,
+                },
+                meta={"request": request.to_dict()},
+            )
+        return result
+
+    def _record_session(self) -> None:
+        """Fold engine/cache provenance into the active manifest config."""
+        session = obs.active()
+        if session is None:
+            return
+        session.config["exec"] = {
+            "workers": self.max_workers or 1,
+            "cache": (
+                None
+                if self.cache is None
+                else {
+                    "directory": self.cache.directory,
+                    "code_version": self.cache.code_version,
+                }
+            ),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "tasks_executed": self.tasks_executed,
+        }

@@ -156,7 +156,7 @@ def _default_pipelines() -> Sequence[Pipeline]:
 
 def run_fault_campaign(
     spec: PipelineSpec,
-    platform_factory: Callable[[], object],
+    platform_factory: Optional[Callable[[], object]] = None,
     seed: int = 0,
     mtbf_hours: Optional[float] = 6.0,
     checkpoint_every: int = 8,
@@ -165,22 +165,42 @@ def run_fault_campaign(
     io_error_rate_per_hour: float = 0.0,
     pipelines: Optional[Sequence[Pipeline]] = None,
     include_unprotected: bool = True,
+    engine: Optional["ExecutionEngine"] = None,
 ) -> FaultCampaignResult:
     """Run the full controlled campaign described in the module docstring.
 
-    ``platform_factory`` must return a *fresh* simulated platform per call.
-    Deterministic: the same arguments produce bit-identical measurements.
+    Runs route through the execution engine by default (pass ``engine`` to
+    fan the per-pipeline runs out or memoize them); ``platform_factory``
+    — a callable returning a *fresh* simulated platform per call — forces
+    every run onto those bespoke platforms, inline.  Deterministic either
+    way: the same arguments produce bit-identical measurements.
     """
     if checkpoint_every < 1:
         raise ConfigurationError(f"checkpoint cadence must be >= 1: {checkpoint_every}")
     workloads = list(pipelines) if pipelines is not None else list(_default_pipelines())
     if not workloads:
         raise ConfigurationError("campaign needs at least one pipeline")
+    # Imported here, not at module top: repro.exec.api itself imports the
+    # fault config objects, so a top-level import would be circular.
+    from repro.exec.api import RunRequest, pipeline_factories
+    from repro.exec.engine import ExecutionEngine
+
+    registry = pipeline_factories()
+    runner: Optional[ExecutionEngine] = None
+    if platform_factory is None and all(p.name in registry for p in workloads):
+        runner = engine if engine is not None else ExecutionEngine()
+
+    def _run(pipeline: Pipeline, request: RunRequest):
+        """One run: through the engine when possible, else a fresh platform."""
+        if runner is not None:
+            return runner.run(request.bound_to(pipeline))
+        platform = platform_factory() if platform_factory is not None else None
+        return pipeline.execute(request, platform=platform)
 
     baselines: Dict[str, Measurement] = {}
     for pipeline in workloads:
-        platform = platform_factory()
-        baselines[pipeline.name] = platform.run(pipeline, spec)
+        result = _run(pipeline, RunRequest(spec=spec))
+        baselines[pipeline.name] = result.measurement
 
     horizon = HORIZON_SAFETY_FACTOR * max(m.execution_time for m in baselines.values())
     fault_spec = FaultSpec.campaign(
@@ -208,9 +228,12 @@ def run_fault_campaign(
     )
     for pipeline in workloads:
         baseline = baselines[pipeline.name]
-        platform = platform_factory()
-        protected = platform.run(pipeline, spec, faults=fault_spec, checkpoints=policy)
-        summary = dict(platform.last_fault_summary or {})
+        run = _run(
+            pipeline,
+            RunRequest(spec=spec, faults=fault_spec, checkpoints=policy),
+        )
+        protected = run.measurement
+        summary = dict(run.fault_summary or {})
         report = PipelineFaultReport(
             pipeline=pipeline.name,
             baseline=baseline,
@@ -253,15 +276,21 @@ def _model_overhead(
 
 
 def _unprotected_outcome(
-    platform_factory: Callable[[], object],
+    platform_factory: Optional[Callable[[], object]],
     pipeline: Pipeline,
     spec: PipelineSpec,
     fault_spec: FaultSpec,
 ) -> str:
-    """What the same fault load does to a run with no checkpoint policy."""
-    platform = platform_factory()
+    """What the same fault load does to a run with no checkpoint policy.
+
+    Always inline and uncached: the interesting outcome is the *exception*,
+    which a cache entry could never replay.
+    """
+    from repro.exec.api import RunRequest
+
+    platform = platform_factory() if platform_factory is not None else None
     try:
-        platform.run(pipeline, spec, faults=fault_spec, checkpoints=None)
+        pipeline.execute(RunRequest(spec=spec, faults=fault_spec), platform=platform)
     except FaultError as exc:
         return f"aborted: {type(exc).__name__}: {exc}"
     return "completed (no crash landed inside its shorter exposure window)"

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro import obs
 from repro.core.metrics import Measurement, PhaseTimeline
@@ -14,6 +15,7 @@ from repro.pipelines.sampling import SamplingPolicy
 from repro.viz.render import ImageSpec
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.api import RunRequest, RunResult
     from repro.pipelines.platform import RealPlatform, SimulatedPlatform
 
 __all__ = ["CHECKPOINT_FILENAME", "PipelineSpec", "Pipeline"]
@@ -85,6 +87,71 @@ class Pipeline(ABC):
     @abstractmethod
     def run_real(self, platform: "RealPlatform", spec: PipelineSpec) -> Measurement:
         """Run the miniature real-mode version; returns its measurement."""
+
+    def request_args(self) -> dict:
+        """Constructor arguments identifying this instance in a RunRequest.
+
+        Subclasses with configuration knobs (e.g. in-transit's staging node
+        count) override this so a request round-trips to an equivalent
+        instance via :func:`repro.exec.api.build_pipeline`.
+        """
+        return {}
+
+    def execute(
+        self,
+        request: Optional["RunRequest"] = None,
+        platform: Optional[object] = None,
+    ) -> "RunResult":
+        """The unified entry point: one request in, one result out.
+
+        Dispatches on ``request.mode``: simulated requests run at campaign
+        scale on a :class:`~repro.pipelines.platform.SimulatedPlatform`
+        (a fresh one per call unless ``platform`` is given — fresh platforms
+        are what make runs pure functions of the request, hence cacheable
+        and pool-safe), real requests run the miniature version in
+        ``request.workdir``.  ``None`` means "this pipeline with every
+        default": ``pipeline.execute()`` is the new spelling of the old
+        ``platform.run(pipeline, PipelineSpec())``.
+        """
+        from repro.exec.api import MODE_REAL, RunRequest, RunResult
+
+        if request is None:
+            request = RunRequest()
+        request = request.bound_to(self)
+        t0 = time.perf_counter()
+        if request.mode == MODE_REAL:
+            from repro.pipelines.platform import RealPlatform
+
+            if platform is None:
+                if request.workdir is None:
+                    raise ConfigurationError(
+                        "real-mode request needs a workdir (or pass a "
+                        "RealPlatform explicitly)"
+                    )
+                platform = RealPlatform(request.workdir)
+            measurement = platform._execute(self, request.spec)
+            fault_summary: Optional[dict] = None
+            recoveries = 0
+        else:
+            from repro.pipelines.platform import SimulatedPlatform
+
+            if platform is None:
+                platform = SimulatedPlatform()
+            measurement = platform._execute(
+                self,
+                request.spec,
+                faults=request.faults,
+                checkpoints=request.checkpoints,
+            )
+            fault_summary = platform.last_fault_summary
+            recoveries = platform.last_recoveries
+        return RunResult(
+            request=request,
+            measurement=measurement,
+            wall_seconds=time.perf_counter() - t0,
+            fault_summary=fault_summary,
+            recoveries=recoveries,
+        )
 
     def maybe_checkpoint(
         self,

@@ -60,6 +60,9 @@ class InTransitPipeline(Pipeline):
             )
         self.n_staging_nodes = n_staging_nodes
 
+    def request_args(self) -> dict:
+        return {"n_staging_nodes": self.n_staging_nodes}
+
     # ------------------------------------------------------------- simulated
 
     def simulated_process(

@@ -145,6 +145,27 @@ class SimulatedPlatform:
         faults: Optional[FaultSpec] = None,
         checkpoints: Optional[CheckpointPolicy] = None,
     ) -> Measurement:
+        """Deprecated legacy entry point — use :meth:`Pipeline.execute`.
+
+        ``platform.run(pipeline, spec, ...)`` became
+        ``pipeline.execute(RunRequest(spec=spec, faults=..., checkpoints=...),
+        platform=platform)`` — see ``docs/MIGRATION.md``.
+        """
+        from repro.exec.api import warn_legacy
+
+        warn_legacy(
+            "SimulatedPlatform.run(pipeline, spec, ...)",
+            "Pipeline.execute(RunRequest(...))",
+        )
+        return self._execute(pipeline, spec, faults=faults, checkpoints=checkpoints)
+
+    def _execute(
+        self,
+        pipeline: Pipeline,
+        spec: PipelineSpec,
+        faults: Optional[FaultSpec] = None,
+        checkpoints: Optional[CheckpointPolicy] = None,
+    ) -> Measurement:
         """Execute ``pipeline`` at campaign scale and meter everything.
 
         With ``faults`` and/or ``checkpoints`` the run goes through the
@@ -156,6 +177,9 @@ class SimulatedPlatform:
         bit-identical to the pre-fault-subsystem behaviour.
         """
         self._run_counter += 1
+        if faults is None and checkpoints is None:
+            self.last_fault_summary = None
+            self.last_recoveries = 0
         run_spec = PipelineSpec(
             ocean=spec.ocean,
             sampling=spec.sampling,
@@ -415,6 +439,21 @@ class RealPlatform:
         return self.scale.steps_between_outputs * driver_dt / HOUR
 
     def run(self, pipeline: Pipeline, spec: Optional[PipelineSpec] = None) -> Measurement:
+        """Deprecated legacy entry point — use :meth:`Pipeline.execute`.
+
+        ``platform.run(pipeline, spec)`` became
+        ``pipeline.execute(RunRequest(mode="real", spec=spec,
+        workdir=...), platform=platform)`` — see ``docs/MIGRATION.md``.
+        """
+        from repro.exec.api import warn_legacy
+
+        warn_legacy(
+            "RealPlatform.run(pipeline, spec)",
+            'Pipeline.execute(RunRequest(mode="real", ...))',
+        )
+        return self._execute(pipeline, spec)
+
+    def _execute(self, pipeline: Pipeline, spec: Optional[PipelineSpec] = None) -> Measurement:
         """Run the miniature real version of ``pipeline``."""
         with obs.span("pipeline.run", pipeline=pipeline.name, mode="real"):
             measurement = pipeline.run_real(self, spec if spec is not None else PipelineSpec())

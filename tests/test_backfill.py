@@ -96,16 +96,16 @@ class TestOnMeasuredRun:
     def test_post_processing_waits_are_harvestable(self):
         """On the measured 8-h post run, backfill recovers a meaningful
         fraction of a second campaign — §VIII's Legion suggestion."""
+        from repro.exec.api import RunRequest
         from repro.pipelines import (
             PipelineSpec,
             PostProcessingPipeline,
             SamplingPolicy,
-            SimulatedPlatform,
         )
 
-        m = SimulatedPlatform().run(
-            PostProcessingPipeline(), PipelineSpec(sampling=SamplingPolicy(8.0))
-        )
+        m = PostProcessingPipeline().execute(
+            RunRequest(spec=PipelineSpec(sampling=SamplingPolicy(8.0)))
+        ).measurement
         scheduler = BackfillScheduler(e5_2670_node(), n_nodes=150)
         report = scheduler.harvest(m.timeline)
         # The 8-h cadence run waits ~1600 s; most of it is in >0.5 s slices.

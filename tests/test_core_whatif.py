@@ -37,7 +37,9 @@ CENTURY = years(paper.WHATIF_YEARS)
 
 class TestSweeps:
     def test_storage_vs_rate_fig9_shape(self, analyzer):
-        rows = analyzer.storage_vs_rate([24.0, 192.0], CENTURY)
+        rows = analyzer.storage_vs_rate(
+            intervals_hours=[24.0, 192.0], duration_seconds=CENTURY
+        )
         # Post-processing at daily cadence for 100 years: 80 GB x ~203
         # (100 calendar years / 6 30-day months) ≈ 16.2 TB.
         (_, insitu_daily, post_daily), (_, _, post_8days) = rows
@@ -58,7 +60,7 @@ class TestSweeps:
         assert s == sorted(s, reverse=True)
 
     def test_sweep_rows_expose_predictions(self, analyzer):
-        rows = analyzer.sweep([24.0], CENTURY)
+        rows = analyzer.sweep(intervals_hours=[24.0], duration_seconds=CENTURY)
         assert len(rows) == 1
         row = rows[0]
         assert row.insitu.pipeline == IN_SITU
@@ -193,7 +195,7 @@ class TestAdvisor:
 class TestFailureAwareSweep:
     def test_expected_times_exceed_fault_free(self, analyzer):
         (row,) = analyzer.failure_aware_sweep(
-            [24.0], CENTURY, mtbf_hours=6.0,
+            intervals_hours=[24.0], duration_seconds=CENTURY, mtbf_hours=6.0,
             checkpoint_write_seconds=60.0, restart_seconds=30.0,
         )
         assert row.insitu_expected_seconds > row.insitu.execution_time
@@ -205,16 +207,16 @@ class TestFailureAwareSweep:
         """Eq. 4's Daly factor multiplies T0, so both pipelines inflate
         by the same ratio — and the energy-savings verdict is unchanged."""
         (row,) = analyzer.failure_aware_sweep(
-            [24.0], CENTURY, mtbf_hours=6.0,
+            intervals_hours=[24.0], duration_seconds=CENTURY, mtbf_hours=6.0,
             checkpoint_write_seconds=60.0, restart_seconds=30.0,
         )
         assert row.insitu_overhead_ratio() == pytest.approx(row.post_overhead_ratio())
-        (base,) = analyzer.sweep([24.0], CENTURY)
+        (base,) = analyzer.sweep(intervals_hours=[24.0], duration_seconds=CENTURY)
         assert row.energy_savings() == pytest.approx(base.energy_savings())
 
     def test_defaults_to_youngs_optimal_interval(self, analyzer):
         (row,) = analyzer.failure_aware_sweep(
-            [24.0], CENTURY, mtbf_hours=6.0,
+            intervals_hours=[24.0], duration_seconds=CENTURY, mtbf_hours=6.0,
             checkpoint_write_seconds=60.0, restart_seconds=30.0,
         )
         assert row.checkpoint_interval_seconds == pytest.approx(
@@ -223,7 +225,7 @@ class TestFailureAwareSweep:
 
     def test_explicit_interval_honoured(self, analyzer):
         (row,) = analyzer.failure_aware_sweep(
-            [24.0], CENTURY, mtbf_hours=6.0,
+            intervals_hours=[24.0], duration_seconds=CENTURY, mtbf_hours=6.0,
             checkpoint_write_seconds=60.0, restart_seconds=30.0,
             checkpoint_interval_seconds=1_800.0,
         )
@@ -232,7 +234,8 @@ class TestFailureAwareSweep:
     def test_tight_mtbf_rejected(self, analyzer):
         with pytest.raises(ModelError):
             analyzer.failure_aware_sweep(
-                [24.0], CENTURY, mtbf_hours=0.01,
+                intervals_hours=[24.0], duration_seconds=CENTURY,
+                mtbf_hours=0.01,
                 checkpoint_write_seconds=60.0, restart_seconds=30.0,
                 checkpoint_interval_seconds=100.0,
             )

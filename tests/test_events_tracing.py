@@ -118,6 +118,10 @@ class TestEventTracer:
             ocean=MPASOceanConfig(duration_seconds=MONTH),
             sampling=SamplingPolicy(72.0),
         )
-        m = platform.run(InSituPipeline(), spec)
+        from repro.exec.api import RunRequest
+
+        m = InSituPipeline().execute(
+            RunRequest(spec=spec), platform=platform
+        ).measurement
         assert tracer.n_processed > 50
         assert m.n_outputs == 10

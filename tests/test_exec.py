@@ -1,0 +1,365 @@
+"""Tests for the execution engine: the RunRequest/RunResult API, the
+content-addressed cache, parallel-vs-serial bit-identity, deprecation
+shims, and the ``repro bench`` runner."""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro import obs, paper
+from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.core.model import DataModel, PerformanceModel, PipelinePredictor
+from repro.core.whatif import (
+    EnergyRateRow,
+    FailureSweepResult,
+    RateSweepResult,
+    StorageRateRow,
+    SweepResult,
+    WhatIfAnalyzer,
+)
+from repro.errors import ConfigurationError
+from repro.exec.api import (
+    MODE_REAL,
+    RunRequest,
+    RunResult,
+    build_pipeline,
+    pipeline_factories,
+    reset_legacy_warnings,
+)
+from repro.exec.bench import compare_to_baseline, run_bench, write_report
+from repro.exec.cache import DiskCache
+from repro.exec.engine import ExecutionEngine, execute_request
+from repro.obs.manifest import SCHEMA_VERSION
+from repro.ocean.driver import MPASOceanConfig
+from repro.pipelines.base import PipelineSpec
+from repro.pipelines.insitu import InSituPipeline
+from repro.pipelines.intransit import InTransitPipeline
+from repro.pipelines.platform import SimulatedPlatform
+from repro.pipelines.postprocessing import PostProcessingPipeline
+from repro.pipelines.sampling import SamplingPolicy
+from repro.units import MONTH, years
+
+
+def tiny_spec(hours: float = 72.0) -> PipelineSpec:
+    """A 1-simulated-month campaign — fast enough to run many times."""
+    return PipelineSpec(
+        ocean=MPASOceanConfig(duration_seconds=MONTH),
+        sampling=SamplingPolicy(hours),
+    )
+
+
+def tiny_requests() -> list:
+    return [
+        RunRequest(pipeline=name, spec=tiny_spec(hours))
+        for hours in (24.0, 72.0)
+        for name in (IN_SITU, POST_PROCESSING)
+    ]
+
+
+class TestRunRequest:
+    def test_defaults(self):
+        request = RunRequest()
+        assert request.spec is not None
+        assert request.mode == "simulated"
+        assert request.cacheable
+
+    def test_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunRequest(mode="imaginary")
+
+    def test_real_mode_rejects_fault_features(self):
+        from repro.faults.spec import FaultSpec
+
+        with pytest.raises(ConfigurationError):
+            RunRequest(mode=MODE_REAL, faults=FaultSpec(seed=0), workdir="/tmp/x")
+
+    def test_simulated_mode_rejects_workdir(self):
+        with pytest.raises(ConfigurationError):
+            RunRequest(workdir="/tmp/x")
+
+    def test_real_mode_not_cacheable(self):
+        assert not RunRequest(mode=MODE_REAL, workdir="/tmp/x").cacheable
+
+    def test_pipeline_args_normalized(self):
+        a = RunRequest(pipeline_args={"b": 2, "a": 1})
+        b = RunRequest(pipeline_args=[("a", 1), ("b", 2)])
+        assert a.pipeline_args == b.pipeline_args == (("a", 1), ("b", 2))
+
+    def test_bound_to_fills_identity(self):
+        request = RunRequest().bound_to(InTransitPipeline(n_staging_nodes=15))
+        assert request.pipeline == "in-transit"
+        assert request.pipeline_args == (("n_staging_nodes", 15),)
+
+    def test_bound_to_rejects_name_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            RunRequest(pipeline=IN_SITU).bound_to(PostProcessingPipeline())
+
+    def test_round_trip_preserves_cache_key(self):
+        request = RunRequest(pipeline=IN_SITU, spec=tiny_spec(), seed=7)
+        clone = RunRequest.from_dict(request.to_dict())
+        assert clone.cache_key("v1") == request.cache_key("v1")
+        assert request.to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_cache_key_sensitivity(self):
+        base = RunRequest(pipeline=IN_SITU, spec=tiny_spec())
+        assert base.cache_key("v1") != base.cache_key("v2")
+        other = RunRequest(pipeline=IN_SITU, spec=tiny_spec(), seed=1)
+        assert base.cache_key("v1") != other.cache_key("v1")
+
+    def test_task_seed_deterministic(self):
+        request = RunRequest(pipeline=IN_SITU, spec=tiny_spec())
+        assert request.task_seed() == request.task_seed()
+        assert 0 <= request.task_seed() < 2**31
+
+    def test_registry_builds_pipelines(self):
+        assert set(pipeline_factories()) == {IN_SITU, POST_PROCESSING, "in-transit"}
+        pipeline = build_pipeline(
+            RunRequest(pipeline="in-transit", pipeline_args={"n_staging_nodes": 5})
+        )
+        assert pipeline.n_staging_nodes == 5
+        with pytest.raises(ConfigurationError):
+            build_pipeline(RunRequest(pipeline="mystery"))
+
+
+class TestDiskCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = DiskCache(str(tmp_path), code_version="v1")
+        cache.put("ab" + "0" * 62, {"x": 1}, meta={"request": {"seed": 0}})
+        key = "ab" + "0" * 62
+        assert key in cache
+        assert cache.get(key) == {"x": 1}
+        assert cache.meta(key)["code_version"] == "v1"
+        assert cache.meta(key)["schema_version"] == SCHEMA_VERSION
+        assert cache.keys() == [key]
+        assert len(cache) == 1
+
+    def test_miss_and_torn_entry(self, tmp_path):
+        cache = DiskCache(str(tmp_path), code_version="v1")
+        key = "cd" + "0" * 62
+        assert cache.get(key) is None
+        # A torn (half-written) payload is a miss, not a crash.
+        shard = tmp_path / key[:2]
+        shard.mkdir()
+        (shard / f"{key}.pkl").write_bytes(b"\x80\x04 not a pickle")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = DiskCache(str(tmp_path), code_version="v1")
+        cache.put("ef" + "0" * 62, [1, 2, 3])
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_empty_directory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskCache("")
+
+
+class TestExecutionEngine:
+    def test_single_run_inline(self):
+        result = ExecutionEngine().run(RunRequest(pipeline=IN_SITU, spec=tiny_spec()))
+        assert result.engine == "inline"
+        assert not result.cache_hit
+        assert result.measurement.pipeline == IN_SITU
+        assert result.wall_seconds > 0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(max_workers=0)
+
+    def test_parallel_bit_identical_to_serial(self):
+        requests = tiny_requests()
+        serial = ExecutionEngine(max_workers=1).map(requests)
+        parallel = ExecutionEngine(max_workers=2).map(requests)
+        assert [r.engine for r in parallel] == ["pool"] * len(requests)
+        for s, p in zip(serial, parallel):
+            assert s.identity_dict() == p.identity_dict()
+
+    def test_cache_replay_bit_identical(self, tmp_path):
+        requests = tiny_requests()
+        engine = ExecutionEngine(cache=DiskCache(str(tmp_path), code_version="v1"))
+        cold = engine.map(requests)
+        warm = engine.map(requests)
+        assert engine.cache_misses == len(requests)
+        assert engine.cache_hits == len(requests)
+        assert [r.engine for r in warm] == ["cache"] * len(requests)
+        assert all(r.cache_hit for r in warm)
+        for c, w in zip(cold, warm):
+            assert c.identity_dict() == w.identity_dict()
+            assert c.cache_key == w.cache_key
+
+    def test_code_version_invalidates_cache(self, tmp_path):
+        request = RunRequest(pipeline=IN_SITU, spec=tiny_spec())
+        old = ExecutionEngine(cache=DiskCache(str(tmp_path), code_version="v1"))
+        old.run(request)
+        new = ExecutionEngine(cache=DiskCache(str(tmp_path), code_version="v2"))
+        new.run(request)
+        assert new.cache_hits == 0 and new.cache_misses == 1
+
+    def test_execute_request_is_deterministic(self):
+        request = RunRequest(pipeline=POST_PROCESSING, spec=tiny_spec())
+        a = execute_request(request)
+        b = execute_request(request)
+        assert a.identity_dict() == b.identity_dict()
+
+    def test_session_config_records_provenance(self, tmp_path):
+        engine = ExecutionEngine(
+            max_workers=1, cache=DiskCache(str(tmp_path), code_version="v1")
+        )
+        with obs.session() as sess:
+            engine.run(RunRequest(pipeline=IN_SITU, spec=tiny_spec()))
+            recorded = sess.config["exec"]
+        assert recorded["workers"] == 1
+        assert recorded["cache"]["code_version"] == "v1"
+        assert recorded["cache_misses"] == 1
+        assert recorded["tasks_executed"] == 1
+
+    def test_faulted_runs_replay_with_summary(self, tmp_path):
+        from repro.faults.resilience import CheckpointPolicy
+        from repro.faults.spec import FaultSpec
+
+        request = RunRequest(
+            pipeline=IN_SITU,
+            spec=tiny_spec(24.0),
+            faults=FaultSpec.campaign(seed=3, horizon_seconds=400.0, mtbf_hours=0.05),
+            checkpoints=CheckpointPolicy(every_n_outputs=2),
+        )
+        engine = ExecutionEngine(cache=DiskCache(str(tmp_path), code_version="v1"))
+        cold = engine.run(request)
+        warm = engine.run(request)
+        assert warm.cache_hit
+        assert warm.fault_summary == cold.fault_summary
+        assert warm.recoveries == cold.recoveries
+
+
+class TestDeprecationShims:
+    def test_simulated_platform_run_warns_once(self):
+        reset_legacy_warnings()
+        spec = tiny_spec()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = SimulatedPlatform().run(InSituPipeline(), spec)  # repro-lint: disable=api-deprecated
+            SimulatedPlatform().run(InSituPipeline(), spec)  # repro-lint: disable=api-deprecated
+        relevant = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(relevant) == 1
+        assert "docs/MIGRATION.md" in str(relevant[0].message)
+        # The shim and the new path produce the identical measurement.
+        modern = InSituPipeline().execute(RunRequest(spec=spec)).measurement
+        assert legacy.to_dict() == modern.to_dict()
+
+    def test_positional_sweep_warns_once_and_matches_keyword(self, analyzer):
+        reset_legacy_warnings()
+        century = years(paper.WHATIF_YEARS)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = analyzer.sweep([24.0], century)  # repro-lint: disable=api-deprecated
+            analyzer.sweep([24.0], century)  # repro-lint: disable=api-deprecated
+        relevant = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(relevant) == 1
+        modern = analyzer.sweep(intervals_hours=[24.0], duration_seconds=century)
+        assert legacy.to_dict() == modern.to_dict()
+
+    def test_missing_keywords_raise_type_error(self, analyzer):
+        with pytest.raises(TypeError, match="intervals_hours"):
+            analyzer.sweep(duration_seconds=1.0)
+        with pytest.raises(TypeError, match="mtbf_hours"):
+            analyzer.failure_aware_sweep(
+                intervals_hours=[24.0], duration_seconds=1.0
+            )
+
+
+@pytest.fixture
+def analyzer() -> WhatIfAnalyzer:
+    model = PerformanceModel(
+        t_sim_ref=paper.EQ5_T_SIM,
+        iter_ref=paper.CAMPAIGN_TIMESTEPS,
+        alpha=paper.EQ5_ALPHA_S_PER_GB,
+        beta=paper.EQ5_BETA_S_PER_IMAGE,
+        power_watts=46_300.0,
+    )
+    insitu = PipelinePredictor(
+        IN_SITU, model, DataModel(24.0, 0.2, 180.0, paper.CAMPAIGN_TIMESTEPS)
+    )
+    post = PipelinePredictor(
+        POST_PROCESSING, model, DataModel(24.0, 80.0, 180.0, paper.CAMPAIGN_TIMESTEPS)
+    )
+    return WhatIfAnalyzer(insitu, post, timestep_seconds=paper.TIMESTEP_SECONDS)
+
+
+class TestTypedSweepResults:
+    def test_sweep_result_schema(self, analyzer):
+        century = years(paper.WHATIF_YEARS)
+        result = analyzer.sweep(intervals_hours=[24.0], duration_seconds=century)
+        assert isinstance(result, SweepResult)
+        data = result.to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["kind"] == "sweep"
+        assert len(data["rows"]) == 1
+
+    def test_rate_rows_unpack_like_tuples(self, analyzer):
+        century = years(paper.WHATIF_YEARS)
+        storage = analyzer.storage_vs_rate(
+            intervals_hours=[24.0], duration_seconds=century
+        )
+        assert isinstance(storage, RateSweepResult)
+        (row,) = storage
+        assert isinstance(row, StorageRateRow)
+        hours, insitu_gb, post_gb = row
+        assert hours == 24.0 and insitu_gb < post_gb
+        energy = analyzer.energy_vs_rate(
+            intervals_hours=[24.0], duration_seconds=century
+        )
+        assert isinstance(energy[0], EnergyRateRow)
+        assert energy.to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_failure_sweep_result_schema(self, analyzer):
+        century = years(paper.WHATIF_YEARS)
+        result = analyzer.failure_aware_sweep(
+            intervals_hours=[24.0], duration_seconds=century, mtbf_hours=6.0,
+            checkpoint_write_seconds=60.0,
+        )
+        assert isinstance(result, FailureSweepResult)
+        data = result.to_dict()
+        assert data["kind"] == "failure-aware-sweep"
+        assert data["mtbf_hours"] == 6.0
+
+
+class TestBench:
+    def test_quick_bench_report(self, tmp_path):
+        out = str(tmp_path / "results")
+        report = run_bench(quick=True, workers=1, output_dir=out)
+        assert report["identical"]["parallel_vs_serial"]
+        assert report["identical"]["cached_vs_serial"]
+        assert report["speedup_cached"] > 1.0
+        assert report["cache"]["hits"] == report["workload"]["n_tasks"]
+        path = write_report(report, out)
+        assert os.path.basename(path) == "BENCH_exec.json"
+        with open(path, encoding="utf-8") as fh:
+            assert json.load(fh)["schema_version"] == SCHEMA_VERSION
+        assert os.path.exists(os.path.join(out, "BENCH_exec.txt"))
+
+    def test_compare_to_baseline_gates(self):
+        report = {
+            "identical": {"parallel_vs_serial": True, "cached_vs_serial": True},
+            "cpus": 8,
+            "speedup_parallel": 3.0,
+            "speedup_cached": 50.0,
+        }
+        baseline = {"min_cpus": 2, "speedup_parallel": 3.0, "speedup_cached": 40.0}
+        assert compare_to_baseline(report, baseline) == []
+        # A >tolerance drop in parallel speedup fails the gate.
+        slow = dict(report, speedup_parallel=1.0)
+        assert any("parallel" in p for p in compare_to_baseline(slow, baseline))
+        # The same drop on a 1-core host is not a regression.
+        laptop = dict(slow, cpus=1)
+        assert compare_to_baseline(laptop, baseline) == []
+        # Bit-identity violations always fail.
+        broken = dict(report, identical={"parallel_vs_serial": False,
+                                         "cached_vs_serial": True})
+        assert any("bit-identity" in p for p in compare_to_baseline(broken, baseline))
+        # Cached-speedup regressions fail regardless of core count.
+        slow_cache = dict(laptop, speedup_cached=10.0)
+        assert any("cached" in p for p in compare_to_baseline(slow_cache, baseline))

@@ -17,6 +17,7 @@ from repro.errors import (
     StorageFullError,
 )
 from repro.events.engine import Simulator
+from repro.exec.api import RunRequest
 from repro.ocean.driver import MPASOceanConfig
 from repro.pipelines.base import PipelineSpec
 from repro.pipelines.insitu import InSituPipeline
@@ -40,21 +41,23 @@ class TestStorageWall:
         platform = small_rack_platform(capacity_gb=5.0)
         spec = PipelineSpec(sampling=SamplingPolicy(8.0))
         with pytest.raises(StorageFullError):
-            platform.run(PostProcessingPipeline(), spec)
+            PostProcessingPipeline().execute(RunRequest(spec=spec), platform=platform)
 
     def test_failure_happens_at_the_predicted_sample(self):
         platform = small_rack_platform(capacity_gb=5.0)
         spec = PipelineSpec(sampling=SamplingPolicy(8.0))
         expected_failures = int(5.0e9 / spec.ocean.bytes_per_sample)
         with pytest.raises(StorageFullError):
-            platform.run(PostProcessingPipeline(), spec)
+            PostProcessingPipeline().execute(RunRequest(spec=spec), platform=platform)
         assert platform.storage.fs.n_files == expected_failures
 
     def test_insitu_fits_where_post_cannot(self):
         """The same tiny rack comfortably holds the image database."""
         platform = small_rack_platform(capacity_gb=5.0)
         spec = PipelineSpec(sampling=SamplingPolicy(8.0))
-        m = platform.run(InSituPipeline(), spec)
+        m = InSituPipeline().execute(
+            RunRequest(spec=spec), platform=platform
+        ).measurement
         assert m.storage_bytes < 1.0 * GB
 
     def test_no_partial_write_on_failure(self):
@@ -66,7 +69,7 @@ class TestStorageWall:
         )
         used_before_failure = None
         try:
-            platform.run(PostProcessingPipeline(), spec)
+            PostProcessingPipeline().execute(RunRequest(spec=spec), platform=platform)
         except StorageFullError:
             used_before_failure = platform.storage.fs.used_bytes
         assert used_before_failure is not None
@@ -92,7 +95,7 @@ class TestEngineFailures:
             sim.run()
 
     def test_exception_inside_pipeline_surfaces_from_platform(self):
-        """Errors in DES pipeline code surface from platform.run()."""
+        """Errors in DES pipeline code surface from Pipeline.execute()."""
 
         class ExplodingPipeline(InSituPipeline):
             def simulated_process(self, platform, spec, timeline, artifacts):
@@ -105,7 +108,7 @@ class TestEngineFailures:
             sampling=SamplingPolicy(72.0),
         )
         with pytest.raises(PipelineError, match="catalyst adaptor"):
-            platform.run(ExplodingPipeline(), spec)
+            ExplodingPipeline().execute(RunRequest(spec=spec), platform=platform)
 
 
 class TestDegenerateRuns:
@@ -121,7 +124,7 @@ class TestDegenerateRuns:
             sampling=SamplingPolicy(72.0),
         )
         with pytest.raises(ConfigurationError, match="no simulated time"):
-            platform.run(NullPipeline(), spec)
+            NullPipeline().execute(RunRequest(spec=spec), platform=platform)
 
     def test_mismatched_simulators_rejected_at_construction(self):
         cluster = caddy(Simulator())

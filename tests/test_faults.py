@@ -22,6 +22,7 @@ from repro.errors import (
     TransientIOError,
 )
 from repro.events.engine import Simulator
+from repro.exec.api import RunRequest
 from repro.faults import (
     CheckpointPolicy,
     FailureModel,
@@ -518,44 +519,45 @@ class TestCheckpointRestart:
     @pytest.mark.parametrize("pipeline_cls", [InSituPipeline, PostProcessingPipeline])
     def test_protected_run_survives_where_unprotected_aborts(self, pipeline_cls):
         spec = tiny_spec()
-        baseline = SimulatedPlatform().run(pipeline_cls(), spec)
+        baseline = pipeline_cls().execute(RunRequest(spec=spec)).measurement
         faults = crash_spec(0.5 * baseline.execution_time)
 
         with pytest.raises(NodeCrashError):
-            SimulatedPlatform().run(pipeline_cls(), spec, faults=faults)
+            pipeline_cls().execute(RunRequest(spec=spec, faults=faults))
 
         policy = CheckpointPolicy(every_n_outputs=2, restart_penalty_seconds=30.0)
-        platform = SimulatedPlatform()
-        protected = platform.run(pipeline_cls(), spec, faults=faults, checkpoints=policy)
+        run = pipeline_cls().execute(
+            RunRequest(spec=spec, faults=faults, checkpoints=policy)
+        )
+        protected = run.measurement
         assert protected.n_outputs == baseline.n_outputs
         assert protected.n_images == baseline.n_images
         assert protected.execution_time > baseline.execution_time
-        assert platform.last_fault_summary["recoveries"] == 1
+        assert run.fault_summary["recoveries"] == 1
         assert "recovery" in protected.timeline.by_phase()
         assert "checkpoint" in protected.timeline.by_phase()
 
     def test_checkpoint_cadence_bounds_rework(self):
         """Denser checkpoints => less lost work for the same crash."""
         spec = tiny_spec()
-        baseline = SimulatedPlatform().run(InSituPipeline(), spec)
+        baseline = InSituPipeline().execute(RunRequest(spec=spec)).measurement
         faults = crash_spec(0.75 * baseline.execution_time)
         times = {}
         for every in (2, 8):
-            platform = SimulatedPlatform()
-            m = platform.run(
-                InSituPipeline(), spec, faults=faults,
-                checkpoints=CheckpointPolicy(every_n_outputs=every,
-                                             restart_penalty_seconds=30.0),
+            policy = CheckpointPolicy(every_n_outputs=every,
+                                      restart_penalty_seconds=30.0)
+            run = InSituPipeline().execute(
+                RunRequest(spec=spec, faults=faults, checkpoints=policy)
             )
-            times[every] = m.execution_time
+            times[every] = run.measurement.execution_time
         assert times[2] < times[8]
 
     def test_empty_fault_spec_matches_legacy_measurement(self):
         spec = tiny_spec()
-        legacy = SimulatedPlatform().run(InSituPipeline(), spec)
-        supervised = SimulatedPlatform().run(
-            InSituPipeline(), spec, faults=FaultSpec(seed=0), checkpoints=None
-        )
+        legacy = InSituPipeline().execute(RunRequest(spec=spec)).measurement
+        supervised = InSituPipeline().execute(
+            RunRequest(spec=spec, faults=FaultSpec(seed=0))
+        ).measurement
         assert json.dumps(legacy.to_dict(), sort_keys=True) == json.dumps(
             supervised.to_dict(), sort_keys=True
         )

@@ -7,6 +7,7 @@ import os
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.exec.api import RunRequest
 from repro.ocean.driver import MPASOceanConfig
 from repro.pipelines.base import PipelineSpec
 from repro.pipelines.insitu import InSituPipeline
@@ -26,7 +27,7 @@ def spec():
 
 class TestSimulatedInTransit:
     def test_measurement_shape(self, spec):
-        m = SimulatedPlatform().run(InTransitPipeline(n_staging_nodes=15), spec)
+        m = InTransitPipeline(n_staging_nodes=15).execute(RunRequest(spec=spec)).measurement
         assert m.pipeline == IN_TRANSIT
         assert m.n_outputs == 30
         assert m.n_images == 30
@@ -34,35 +35,35 @@ class TestSimulatedInTransit:
 
     def test_rendering_off_the_critical_path(self, spec):
         """With enough staging nodes, total time ≈ simulation time."""
-        m = SimulatedPlatform().run(InTransitPipeline(n_staging_nodes=60), spec)
+        m = InTransitPipeline(n_staging_nodes=60).execute(RunRequest(spec=spec)).measurement
         assert m.execution_time == pytest.approx(m.simulation_time, rel=0.05)
 
     def test_starved_staging_causes_stalls(self, spec):
-        m = SimulatedPlatform().run(InTransitPipeline(n_staging_nodes=2), spec)
+        m = InTransitPipeline(n_staging_nodes=2).execute(RunRequest(spec=spec)).measurement
         assert m.timeline.total("stall") > 0.1 * m.execution_time
 
     def test_simulation_slows_with_fewer_sim_nodes(self, spec):
-        small = SimulatedPlatform().run(InTransitPipeline(n_staging_nodes=75), spec)
-        big = SimulatedPlatform().run(InTransitPipeline(n_staging_nodes=15), spec)
+        small = InTransitPipeline(n_staging_nodes=75).execute(RunRequest(spec=spec)).measurement
+        big = InTransitPipeline(n_staging_nodes=15).execute(RunRequest(spec=spec)).measurement
         # 75 sim nodes vs 135 sim nodes: the sim phase is ~1.8x slower.
         assert small.simulation_time == pytest.approx(
             big.simulation_time * 135 / 75, rel=0.01
         )
 
     def test_storage_is_image_only(self, spec):
-        m = SimulatedPlatform().run(InTransitPipeline(n_staging_nodes=15), spec)
+        m = InTransitPipeline(n_staging_nodes=15).execute(RunRequest(spec=spec)).measurement
         raw = spec.n_outputs * spec.ocean.bytes_per_sample
         assert m.storage_bytes < 0.02 * raw
 
     def test_right_sized_staging_beats_insitu(self):
         """The Rodero et al. placement question has a winning answer."""
         full = PipelineSpec(sampling=SamplingPolicy(24.0))
-        insitu = SimulatedPlatform().run(InSituPipeline(), full)
-        intransit = SimulatedPlatform().run(InTransitPipeline(n_staging_nodes=30), full)
+        insitu = InSituPipeline().execute(RunRequest(spec=full)).measurement
+        intransit = InTransitPipeline(n_staging_nodes=30).execute(RunRequest(spec=full)).measurement
         assert intransit.execution_time < insitu.execution_time
 
     def test_all_samples_drain_before_finish(self, spec):
-        m = SimulatedPlatform().run(InTransitPipeline(n_staging_nodes=10), spec)
+        m = InTransitPipeline(n_staging_nodes=10).execute(RunRequest(spec=spec)).measurement
         assert m.n_images == m.n_outputs  # staging finished every sample
 
     def test_staging_validation(self):
@@ -72,7 +73,9 @@ class TestSimulatedInTransit:
     def test_staging_larger_than_cluster_rejected(self, spec):
         platform = SimulatedPlatform()
         with pytest.raises(ConfigurationError):
-            platform.run(InTransitPipeline(n_staging_nodes=150), spec)
+            InTransitPipeline(n_staging_nodes=150).execute(
+                RunRequest(spec=spec), platform=platform
+            )
 
 
 class TestRealInTransit:
@@ -80,7 +83,9 @@ class TestRealInTransit:
         scale = RealScale(nx=32, ny=16, n_steps=8, steps_between_outputs=2,
                           image_width=48, image_height=24, spinup_steps=4)
         platform = RealPlatform(str(tmp_path), scale=scale)
-        m = platform.run(InTransitPipeline())
+        m = InTransitPipeline().execute(
+            RunRequest(mode="real"), platform=platform
+        ).measurement
         assert m.pipeline == IN_TRANSIT
         assert m.n_outputs == 4
         assert m.n_images == 4
@@ -97,7 +102,9 @@ class TestRealInTransit:
         scale = RealScale(nx=64, ny=32, n_steps=12, steps_between_outputs=2,
                           image_width=256, image_height=128, spinup_steps=4)
         platform = RealPlatform(str(tmp_path), scale=scale)
-        m = platform.run(InTransitPipeline())
+        m = InTransitPipeline().execute(
+            RunRequest(mode="real"), platform=platform
+        ).measurement
         phases = m.timeline.by_phase()
         # Rendering happened inside the worker thread, concurrent with the
         # simulation: it never appears as a serial phase, and the serial

@@ -13,22 +13,21 @@ import pytest
 
 from repro.core.calibration import calibrate_least_squares, points_from_measurements
 from repro.core.metrics import IN_SITU, POST_PROCESSING
+from repro.exec.api import RunRequest
 from repro.ocean.driver import MPASOceanConfig
 from repro.pipelines.base import PipelineSpec
 from repro.pipelines.insitu import InSituPipeline
-from repro.pipelines.platform import SimulatedPlatform
 from repro.pipelines.postprocessing import PostProcessingPipeline
 from repro.pipelines.sampling import SamplingPolicy
 from repro.units import MONTH
 
 
 def run_cell(pipeline, hours, months=6.0):
-    platform = SimulatedPlatform()
     spec = PipelineSpec(
         ocean=MPASOceanConfig(duration_seconds=months * MONTH),
         sampling=SamplingPolicy(hours),
     )
-    return platform.run(pipeline, spec)
+    return pipeline.execute(RunRequest(spec=spec)).measurement
 
 
 @pytest.fixture(scope="module")

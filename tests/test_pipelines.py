@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.metrics import IN_SITU, POST_PROCESSING
 from repro.errors import ConfigurationError
+from repro.exec.api import RunRequest
 from repro.ocean.driver import MPASOceanConfig
 from repro.pipelines.base import PipelineSpec
 from repro.pipelines.insitu import InSituPipeline
@@ -15,12 +16,21 @@ from repro.pipelines.platform import (
     ImageSizeModel,
     RealPlatform,
     RealScale,
-    SimulatedPlatform,
 )
 from repro.pipelines.postprocessing import PostProcessingPipeline
 from repro.pipelines.sampling import PAPER_SAMPLING_GRID, SamplingPolicy
 from repro.units import MONTH
 from repro.viz.render import ImageSpec
+
+
+def simulate(pipeline, spec, platform=None):
+    """One simulated run through the unified execute() entry point."""
+    return pipeline.execute(RunRequest(spec=spec), platform=platform).measurement
+
+
+def run_real(pipeline, platform):
+    """One miniature real-mode run through execute()."""
+    return pipeline.execute(RunRequest(mode="real"), platform=platform).measurement
 
 
 class TestSamplingPolicy:
@@ -91,7 +101,7 @@ class TestSimulatedPipelines:
     """Short (1-simulated-month) campaign-scale runs on the DES platform."""
 
     def test_insitu_measurement_shape(self, platform, short_spec):
-        m = platform.run(InSituPipeline(), short_spec)
+        m = simulate(InSituPipeline(), short_spec, platform)
         assert m.pipeline == IN_SITU
         assert m.n_outputs == 10
         assert m.n_images == 10
@@ -100,40 +110,40 @@ class TestSimulatedPipelines:
         assert m.energy == pytest.approx(m.average_power * m.execution_time, rel=1e-6)
 
     def test_post_measurement_shape(self, platform, short_spec):
-        m = platform.run(PostProcessingPipeline(), short_spec)
+        m = simulate(PostProcessingPipeline(), short_spec, platform)
         assert m.pipeline == POST_PROCESSING
         assert m.n_outputs == 10
         assert m.n_images == 10
         assert m.storage_bytes > 10 * 0.9 * short_spec.ocean.bytes_per_sample
 
     def test_insitu_faster_and_leaner(self, short_spec):
-        insitu = SimulatedPlatform().run(InSituPipeline(), short_spec)
-        post = SimulatedPlatform().run(PostProcessingPipeline(), short_spec)
+        insitu = simulate(InSituPipeline(), short_spec)
+        post = simulate(PostProcessingPipeline(), short_spec)
         assert insitu.execution_time < post.execution_time
         assert insitu.storage_bytes < 0.01 * post.storage_bytes
         assert insitu.energy < post.energy
 
     def test_phase_breakdown_covers_run(self, platform, short_spec):
-        m = platform.run(InSituPipeline(), short_spec)
+        m = simulate(InSituPipeline(), short_spec, platform)
         total_phases = sum(m.timeline.by_phase().values())
         assert total_phases == pytest.approx(m.execution_time, rel=0.01)
         assert m.simulation_time > 0 and m.viz_time > 0 and m.io_time > 0
 
     def test_simulation_phase_matches_cost_model(self, platform, short_spec):
-        m = platform.run(InSituPipeline(), short_spec)
+        m = simulate(InSituPipeline(), short_spec, platform)
         expected = platform.ocean_cost.simulation_seconds(
             short_spec.ocean, platform.cluster.n_nodes
         )
         assert m.simulation_time == pytest.approx(expected, rel=1e-6)
 
     def test_post_io_dominated_by_raw_writes(self, platform, short_spec):
-        m = platform.run(PostProcessingPipeline(), short_spec)
+        m = simulate(PostProcessingPipeline(), short_spec, platform)
         raw_write_time = m.n_outputs * short_spec.ocean.bytes_per_sample / 160e6
         assert m.io_time == pytest.approx(raw_write_time, rel=0.2)
 
     def test_back_to_back_runs_use_deltas(self, platform, short_spec):
-        a = platform.run(InSituPipeline(), short_spec)
-        b = platform.run(InSituPipeline(), short_spec)
+        a = simulate(InSituPipeline(), short_spec, platform)
+        b = simulate(InSituPipeline(), short_spec, platform)
         # Same workload: the second measurement matches the first even though
         # storage and the clock accumulated.
         assert b.execution_time == pytest.approx(a.execution_time, rel=1e-6)
@@ -141,7 +151,7 @@ class TestSimulatedPipelines:
         assert b.average_power == pytest.approx(a.average_power, rel=0.02)
 
     def test_power_report_attached(self, platform, short_spec):
-        m = platform.run(InSituPipeline(), short_spec)
+        m = simulate(InSituPipeline(), short_spec, platform)
         assert m.power_report is not None
         assert m.power_report.average_storage_power == pytest.approx(2_273.0, rel=0.01)
         assert m.power_report.average_compute_power > 15_000.0
@@ -153,7 +163,7 @@ class TestSimulatedPipelines:
             sampling=SamplingPolicy(72.0),
             images=ImageSpec(cameras=(Camera(), Camera(zoom=2.0))),
         )
-        m = platform.run(InSituPipeline(), spec)
+        m = simulate(InSituPipeline(), spec, platform)
         assert m.n_images == 2 * m.n_outputs
 
 
@@ -165,7 +175,7 @@ class TestRealPlatform:
 
     def test_real_insitu_run(self, tmp_path, tiny_scale):
         plat = RealPlatform(str(tmp_path), scale=tiny_scale)
-        m = plat.run(InSituPipeline())
+        m = run_real(InSituPipeline(), plat)
         assert m.pipeline == IN_SITU
         assert m.n_outputs == 3
         assert m.n_images == 6  # two cameras
@@ -178,7 +188,7 @@ class TestRealPlatform:
 
     def test_real_post_run(self, tmp_path, tiny_scale):
         plat = RealPlatform(str(tmp_path), scale=tiny_scale)
-        m = plat.run(PostProcessingPipeline())
+        m = run_real(PostProcessingPipeline(), plat)
         assert m.pipeline == POST_PROCESSING
         assert m.n_outputs == 3
         assert m.n_images == 3
@@ -189,8 +199,8 @@ class TestRealPlatform:
     def test_real_storage_reduction(self, tmp_path, tiny_scale):
         """Even at mini scale, images are far smaller than raw fields."""
         plat = RealPlatform(str(tmp_path), scale=tiny_scale)
-        insitu = plat.run(InSituPipeline())
-        post = plat.run(PostProcessingPipeline())
+        insitu = run_real(InSituPipeline(), plat)
+        post = run_real(PostProcessingPipeline(), plat)
         assert insitu.storage_bytes < 0.5 * post.storage_bytes
 
     def test_identical_initial_conditions_across_pipelines(self, tmp_path, tiny_scale):

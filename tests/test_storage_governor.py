@@ -108,5 +108,9 @@ class TestWimpyStorage:
             ocean=MPASOceanConfig(duration_seconds=MONTH),
             sampling=SamplingPolicy(72.0),
         )
-        m = platform.run(InSituPipeline(), spec)
+        from repro.exec.api import RunRequest
+
+        m = InSituPipeline().execute(
+            RunRequest(spec=spec), platform=platform
+        ).measurement
         assert m.power_report.average_storage_power < base.idle_watts
