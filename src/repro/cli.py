@@ -15,7 +15,11 @@ Commands map onto the paper's sections:
 * ``bench``        — run the fig3/fig9/fig10 sweep set through the execution
   engine (serial vs parallel vs cached) and emit ``BENCH_exec.json``.
 * ``lint``         — the project's static-analysis pass (see ``repro.lint``).
-* ``obs``          — inspect telemetry run directories (see ``repro.obs``).
+* ``obs``          — inspect telemetry run directories: ``summarize``,
+  ``dump``, ``diff`` (two manifests or BENCH files, threshold-gated) and
+  ``report`` (self-contained HTML) — see ``repro.obs.cli``.
+* ``profile``      — span-level energy attribution of a recorded run: text
+  tree, ``--flamegraph`` folded stacks, ``--json`` (see ``repro.obs.profile``).
 
 ``characterize``, ``report`` and ``whatif`` accept ``--telemetry PATH`` to
 record the run's spans, metrics and manifest under ``PATH``;
@@ -183,11 +187,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("hypotheses", help="score the paper's three hypotheses")
     p.add_argument("--json", action="store_true", help="machine-readable output")
 
-    p = sub.add_parser("obs", help="inspect telemetry run directories")
-    p.add_argument("action", choices=("summarize", "dump"), help="what to do")
-    p.add_argument("path", help="telemetry directory (or manifest/events file)")
+    p = sub.add_parser(
+        "obs",
+        help="inspect telemetry run directories (summarize/dump/diff/report)",
+        add_help=False,
+    )
     p.add_argument(
-        "--limit", type=int, default=None, help="dump: print at most this many records"
+        "rest", nargs=argparse.REMAINDER,
+        help="arguments for repro.obs.cli (try `repro obs --help`)",
+    )
+
+    p = sub.add_parser(
+        "profile", help="span-level energy attribution of a recorded run"
+    )
+    p.add_argument("path", help="telemetry directory (or its events file)")
+    p.add_argument(
+        "--flamegraph", default=None, metavar="PATH",
+        help="write folded flamegraph stacks (name;name value) to PATH",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--check", action="store_true",
+        help="verify energy conservation; exit 3 on violation",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.01,
+        help="relative tolerance of the conservation check",
     )
 
     p = sub.add_parser("lint", help="run the project static-analysis pass")
@@ -426,10 +451,33 @@ def _cmd_proportionality(_args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.cli import main as obs_main
 
-    argv = [args.action, args.path]
-    if args.limit is not None:
-        argv += ["--limit", str(args.limit)]
-    return obs_main(argv)
+    return obs_main(list(args.rest))
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.profile import profile_directory, render_text, write_flamegraph
+
+    try:
+        result = profile_directory(args.path)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_text(result))
+    if args.flamegraph is not None:
+        write_flamegraph(result, args.flamegraph)
+        print(f"wrote {args.flamegraph}", file=sys.stderr)
+    if args.check:
+        problems = result.conservation_errors(rtol=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"CONSERVATION: {problem}", file=sys.stderr)
+            return 3
+        print("conservation check passed", file=sys.stderr)
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -458,13 +506,21 @@ _COMMANDS = {
     "proportionality": _cmd_proportionality,
     "hypotheses": _cmd_hypotheses,
     "obs": _cmd_obs,
+    "profile": _cmd_profile,
     "lint": _cmd_lint,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    if raw and raw[0] == "obs":
+        # Forward everything verbatim (argparse.REMAINDER drops a leading
+        # option like `obs --help`, so bypass the outer parser entirely).
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(raw[1:])
+    args = build_parser().parse_args(raw)
     handler = _COMMANDS[args.command]
     telemetry = getattr(args, "telemetry", None)
     if telemetry is None:

@@ -27,13 +27,14 @@ from __future__ import annotations
 import hashlib
 import json
 import warnings
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 from repro.errors import ConfigurationError
 from repro.faults.resilience import CheckpointPolicy
 from repro.faults.spec import FaultSpec
 from repro.obs.manifest import SCHEMA_VERSION
+from repro.obs.trace import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.metrics import Measurement
@@ -182,6 +183,10 @@ class RunRequest:
     seed: int = 0
     #: Real mode only: working directory for the miniature run's files.
     workdir: Optional[str] = None
+    #: Telemetry propagation capsule, attached by the engine when a session
+    #: is active.  Like ``workdir`` it is transport, not identity: excluded
+    #: from :meth:`to_dict`, the cache key and request equality.
+    trace: Optional[TraceContext] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.spec is None:
@@ -301,6 +306,10 @@ class RunResult:
     fault_summary: Optional[dict] = None
     #: Crash recoveries performed during the run.
     recoveries: int = 0
+    #: Worker shard payload (events + metric snapshot) carried back across
+    #: the pool boundary; the engine merges and clears it.  Transport, not
+    #: identity — excluded from :meth:`identity_dict` and :meth:`to_dict`.
+    telemetry: Optional[dict] = field(default=None, compare=False)
 
     def identity_dict(self) -> dict:
         """The deterministic payload used for bit-identity comparisons."""

@@ -21,6 +21,7 @@ import os
 import time
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core.characterization import run_characterization
 from repro.core.metrics import IN_SITU, POST_PROCESSING
 from repro.errors import ConfigurationError
@@ -95,15 +96,18 @@ def run_bench(
     t0 = time.perf_counter()
     serial = serial_engine.map(requests)
     serial_seconds = time.perf_counter() - t0
+    obs.observe("repro_exec_bench_seconds", serial_seconds, stage="serial")
 
     parallel_engine = ExecutionEngine(max_workers=n_workers, cache=cache)
     t0 = time.perf_counter()
     parallel = parallel_engine.map(requests)
     parallel_seconds = time.perf_counter() - t0
+    obs.observe("repro_exec_bench_seconds", parallel_seconds, stage="parallel")
 
     t0 = time.perf_counter()
     cached = parallel_engine.map(requests)
     cached_seconds = time.perf_counter() - t0
+    obs.observe("repro_exec_bench_seconds", cached_seconds, stage="cached")
 
     # The paper's derived analyses on top of the (now warm) grid: the fig3
     # characterization study and the fig9/fig10 model sweeps.

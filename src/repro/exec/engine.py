@@ -20,6 +20,7 @@ configuration lands in the active session's manifest config.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -30,6 +31,8 @@ from repro import obs
 from repro.errors import ConfigurationError
 from repro.exec.api import RunRequest, RunResult, build_pipeline
 from repro.exec.cache import DiskCache
+from repro.obs.telemetry import SHARDS_DIRNAME, TelemetrySession
+from repro.obs.trace import TraceContext
 
 __all__ = ["ExecutionEngine", "execute_request"]
 
@@ -102,7 +105,7 @@ class ExecutionEngine:
             hit = self.cache.get(key) if key is not None else None
             if hit is not None:
                 t0 = time.perf_counter()
-                results[index] = RunResult(
+                result = RunResult(
                     request=request,
                     measurement=hit["measurement"],
                     cache_hit=True,
@@ -112,8 +115,20 @@ class ExecutionEngine:
                     fault_summary=hit.get("fault_summary"),
                     recoveries=hit.get("recoveries", 0),
                 )
+                results[index] = result
                 self.cache_hits += 1
                 obs.counter("repro_exec_cache_hits_total")
+                # Replays count as tasks too (labelled), so hit/miss and
+                # task tallies reconcile: tasks_total{cached=*} sums to the
+                # number of requests.
+                obs.counter(
+                    "repro_exec_tasks_total",
+                    pipeline=request.pipeline,
+                    cached="true",
+                )
+                obs.observe(
+                    "repro_exec_task_seconds", result.wall_seconds, cached="true"
+                )
             else:
                 if key is not None:
                     self.cache_misses += 1
@@ -137,21 +152,59 @@ class ExecutionEngine:
 
     def _run_pool(self, pending: list, results: list) -> None:
         workers = min(self.max_workers, len(pending))
+        session = obs.active()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                (index, request, key, pool.submit(execute_request, request))
-                for index, request, key in pending
+                (
+                    index,
+                    request,
+                    key,
+                    pool.submit(
+                        execute_request,
+                        self._with_trace(request, session, task_index),
+                    ),
+                )
+                for task_index, (index, request, key) in enumerate(pending)
             ]
             # Collect in submission order — deterministic regardless of
-            # which worker finishes first.
+            # which worker finishes first.  Shards merge in the same order,
+            # so the parent's event stream is byte-identical to an inline
+            # run of the same batch.
             for index, request, key, future in futures:
                 result = replace(future.result(), engine="pool")
+                if session is not None and result.telemetry is not None:
+                    session.merge_shard(result.telemetry)
+                if result.telemetry is not None:
+                    result = replace(result, telemetry=None)
                 results[index] = self._finish(request, key, result)
+
+    @staticmethod
+    def _with_trace(
+        request: RunRequest,
+        session: Optional[TelemetrySession],
+        task_index: int,
+    ) -> RunRequest:
+        """The request as submitted to a worker: trace attached if tracing."""
+        if session is None:
+            return request
+        shard_dir = None
+        if session.directory is not None:
+            shard_dir = os.path.join(session.directory, SHARDS_DIRNAME)
+        return replace(
+            request,
+            trace=TraceContext(
+                trace_id=session.trace_id,
+                parent_span_id=session.current_span_id,
+                label=session.label,
+                task_index=task_index,
+                shard_dir=shard_dir,
+            ),
+        )
 
     def _finish(self, request: RunRequest, key: Optional[str], result: RunResult) -> RunResult:
         self.tasks_executed += 1
-        obs.counter("repro_exec_tasks_total", pipeline=request.pipeline)
-        obs.observe("repro_exec_task_seconds", result.wall_seconds)
+        obs.counter("repro_exec_tasks_total", pipeline=request.pipeline, cached="false")
+        obs.observe("repro_exec_task_seconds", result.wall_seconds, cached="false")
         if key is not None:
             result = replace(result, cache_key=key)
             self.cache.put(

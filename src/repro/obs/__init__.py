@@ -37,6 +37,7 @@ from repro.obs.registry import (
 )
 from repro.obs.telemetry import (
     PHASE_SECONDS_METRIC,
+    SHARDS_DIRNAME,
     SIM,
     WALL,
     Span,
@@ -49,8 +50,10 @@ from repro.obs.telemetry import (
     observe,
     phase,
     session,
+    shard_session,
     span,
 )
+from repro.obs.trace import TraceContext, derive_trace_id
 
 __all__ = [
     "Counter",
@@ -66,14 +69,17 @@ __all__ = [
     "PHASE_SECONDS_METRIC",
     "PROM_FILENAME",
     "RunManifest",
+    "SHARDS_DIRNAME",
     "SIM",
     "Span",
     "TelemetrySession",
+    "TraceContext",
     "WALL",
     "active",
     "collect_provenance",
     "counter",
     "default_registry",
+    "derive_trace_id",
     "enabled",
     "event",
     "gauge",
@@ -81,6 +87,7 @@ __all__ = [
     "phase",
     "read_jsonl",
     "session",
+    "shard_session",
     "span",
     "to_prometheus",
     "validate_metric_name",

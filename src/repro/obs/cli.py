@@ -4,6 +4,12 @@
   ``events.jsonl`` and print the human summary (phases, spans, metrics,
   provenance).
 * ``repro obs dump PATH`` — stream the raw JSONL records to stdout.
+* ``repro obs diff BASELINE CANDIDATE`` — per-metric relative deltas of two
+  manifests (or any numeric JSON, e.g. BENCH reports); exit 3 beyond
+  ``--threshold`` (see :mod:`repro.obs.diff`).
+* ``repro obs report DIR`` — one self-contained HTML file: phase timeline,
+  per-span energy table, optional diff summary (see
+  :mod:`repro.obs.report`).
 
 ``PATH`` may be the telemetry directory, the manifest file, or the events
 file; the other artifacts are found beside it.
@@ -129,17 +135,112 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro obs", description="inspect telemetry run directories"
     )
-    parser.add_argument(
-        "action", choices=("summarize", "dump"), help="what to do with the run"
-    )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    p = sub.add_parser("summarize", help="print the human run summary")
+    p.add_argument(
         "path", help="telemetry directory (or its manifest/events file)"
     )
-    parser.add_argument(
+
+    p = sub.add_parser("dump", help="stream the raw JSONL records to stdout")
+    p.add_argument(
+        "path", help="telemetry directory (or its manifest/events file)"
+    )
+    p.add_argument(
         "--limit", type=int, default=None,
-        help="dump: print at most this many records",
+        help="print at most this many records",
+    )
+
+    p = sub.add_parser(
+        "diff", help="per-metric relative deltas of two manifests/JSON files"
+    )
+    p.add_argument("baseline", help="baseline manifest/directory/JSON file")
+    p.add_argument("candidate", help="candidate manifest/directory/JSON file")
+    p.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="allowed relative delta before exiting 3 (default 0.2)",
+    )
+    p.add_argument(
+        "--all", action="store_true", dest="show_all",
+        help="list every shared key, not just the offenders",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p = sub.add_parser(
+        "report", help="write a self-contained HTML report of a run"
+    )
+    p.add_argument("path", help="telemetry directory")
+    p.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="output file (default: <dir>/report.html)",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="also embed a regression diff against this manifest/JSON",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="diff threshold for the embedded comparison",
     )
     return parser
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    directory = resolve_directory(args.path)
+    events_path = os.path.join(directory, EVENTS_FILENAME)
+    if not os.path.exists(events_path):
+        raise ConfigurationError(f"no {EVENTS_FILENAME} in {directory!r}")
+    import json
+
+    for i, record in enumerate(read_jsonl(events_path)):
+        if args.limit is not None and i >= args.limit:
+            break
+        print(json.dumps(record, sort_keys=True))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.diff import diff_paths, render_diff
+
+    result = diff_paths(args.baseline, args.candidate)
+    exceeded = result.exceeding(args.threshold)
+    if args.json:
+        print(json.dumps(
+            {
+                "threshold": args.threshold,
+                "max_rel_delta": result.max_rel_delta(),
+                "exceeded": [
+                    {
+                        "key": d.key,
+                        "baseline": d.baseline,
+                        "candidate": d.candidate,
+                        "rel_delta": d.rel_delta,
+                    }
+                    for d in exceeded
+                ],
+                "only_baseline": result.only_baseline,
+                "only_candidate": result.only_candidate,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(render_diff(result, args.threshold, show_all=args.show_all))
+    return 3 if exceeded else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import write_report
+
+    path = write_report(
+        resolve_directory(args.path),
+        output=args.output,
+        baseline=args.baseline,
+        threshold=args.threshold,
+    )
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -148,20 +249,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.action == "summarize":
             print(summarize(args.path))
-        else:
-            directory = resolve_directory(args.path)
-            events_path = os.path.join(directory, EVENTS_FILENAME)
-            if not os.path.exists(events_path):
-                raise ConfigurationError(f"no {EVENTS_FILENAME} in {directory!r}")
-            import json
-
-            for i, record in enumerate(read_jsonl(events_path)):
-                if args.limit is not None and i >= args.limit:
-                    break
-                print(json.dumps(record, sort_keys=True))
+            return 0
+        if args.action == "dump":
+            return _cmd_dump(args)
+        if args.action == "diff":
+            return _cmd_diff(args)
+        return _cmd_report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:  # e.g. `repro obs dump ... | head`
         return 0
-    return 0

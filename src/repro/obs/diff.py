@@ -1,0 +1,205 @@
+"""Regression diffing of telemetry manifests and benchmark reports.
+
+``repro obs diff BASELINE CANDIDATE`` flattens two JSON documents — run
+manifests (``manifest.json`` / a telemetry directory) or any numeric JSON
+such as ``BENCH_exec.json`` — into dotted-path → number maps, then reports
+the per-key relative deltas.  Exit codes are CI-friendly:
+
+* ``0`` — every shared numeric key is within the threshold,
+* ``2`` — a document could not be read or parsed,
+* ``3`` — at least one delta exceeds ``--threshold``.
+
+Manifests are flattened *semantically* rather than structurally: phase
+durations become ``durations.<phase>``, metric series become
+``metrics.<name>{label=value,...}`` (histograms contribute ``.sum`` and
+``.count``), and volatile identity fields (``run_id``, ``created_unix``,
+``argv``, provenance) are excluded so two runs of the same configuration
+diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.manifest import MANIFEST_FILENAME
+
+__all__ = [
+    "DiffResult",
+    "KeyDelta",
+    "diff_documents",
+    "diff_paths",
+    "flatten_document",
+    "flatten_manifest",
+    "load_document",
+    "render_diff",
+]
+
+#: Manifest keys that identify the run rather than describe its behaviour.
+_MANIFEST_VOLATILE = ("run_id", "created_unix", "argv", "provenance", "config")
+
+
+@dataclass(frozen=True)
+class KeyDelta:
+    """One numeric key present in both documents."""
+
+    key: str
+    baseline: float
+    candidate: float
+
+    @property
+    def rel_delta(self) -> float:
+        """Relative change vs the baseline (0/0 → 0, x/0 → inf)."""
+        if self.baseline == self.candidate:
+            return 0.0
+        if self.baseline == 0.0:
+            return float("inf")
+        return (self.candidate - self.baseline) / abs(self.baseline)
+
+
+@dataclass
+class DiffResult:
+    """The flattened comparison of two documents."""
+
+    deltas: List[KeyDelta]
+    only_baseline: List[str]
+    only_candidate: List[str]
+
+    def exceeding(self, threshold: float) -> List[KeyDelta]:
+        """Deltas whose relative magnitude is beyond ``threshold``."""
+        return [d for d in self.deltas if abs(d.rel_delta) > threshold]
+
+    def max_rel_delta(self) -> float:
+        """Largest relative-delta magnitude across shared keys."""
+        return max((abs(d.rel_delta) for d in self.deltas), default=0.0)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def flatten_document(data: Any, prefix: str = "") -> Dict[str, float]:
+    """Every numeric leaf of a JSON document, keyed by dotted path."""
+    out: Dict[str, float] = {}
+    if _is_number(data):
+        out[prefix or "value"] = float(data)
+    elif isinstance(data, dict):
+        for key in sorted(data):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_document(data[key], child))
+    elif isinstance(data, list):
+        for i, item in enumerate(data):
+            out.update(flatten_document(item, f"{prefix}[{i}]"))
+    return out
+
+
+def _series_key(name: str, labels: Dict[str, Any]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+def flatten_manifest(data: Dict[str, Any]) -> Dict[str, float]:
+    """Semantic flattening of a run-manifest dict (volatile keys dropped)."""
+    out: Dict[str, float] = {"n_events": float(data.get("n_events", 0))}
+    for phase, seconds in (data.get("durations") or {}).items():
+        out[f"durations.{phase}"] = float(seconds)
+    for name, family in sorted((data.get("metrics") or {}).items()):
+        kind = family.get("kind")
+        for series in family.get("series", []):
+            key = _series_key(f"metrics.{name}", series.get("labels") or {})
+            if kind == "histogram":
+                out[f"{key}.sum"] = float(series.get("sum", 0.0))
+                out[f"{key}.count"] = float(series.get("count", 0))
+            else:
+                out[key] = float(series.get("value", 0.0))
+    return out
+
+
+def _looks_like_manifest(data: Any) -> bool:
+    return isinstance(data, dict) and "durations" in data and "run_id" in data
+
+
+def load_document(path: str) -> Tuple[Dict[str, float], str]:
+    """Load + flatten ``path``; returns ``(flat_map, kind)``.
+
+    ``path`` may be a telemetry directory, a ``manifest.json``, or any JSON
+    file of numbers (e.g. a BENCH report).
+    """
+    if os.path.isdir(path):
+        path = os.path.join(path, MANIFEST_FILENAME)
+    if not os.path.exists(path):
+        raise ConfigurationError(f"no such document: {path!r}")
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except ValueError as exc:
+            raise ConfigurationError(f"{path!r} is not valid JSON: {exc}") from exc
+    if _looks_like_manifest(data):
+        return flatten_manifest(data), "manifest"
+    if isinstance(data, dict):
+        data = {k: v for k, v in data.items() if k not in _MANIFEST_VOLATILE}
+    return flatten_document(data), "json"
+
+
+def diff_documents(
+    baseline: Dict[str, float], candidate: Dict[str, float]
+) -> DiffResult:
+    """Compare two flattened documents key by key."""
+    shared = sorted(set(baseline) & set(candidate))
+    return DiffResult(
+        deltas=[KeyDelta(k, baseline[k], candidate[k]) for k in shared],
+        only_baseline=sorted(set(baseline) - set(candidate)),
+        only_candidate=sorted(set(candidate) - set(baseline)),
+    )
+
+
+def diff_paths(baseline_path: str, candidate_path: str) -> DiffResult:
+    """Load, flatten and compare two documents on disk."""
+    base, base_kind = load_document(baseline_path)
+    cand, cand_kind = load_document(candidate_path)
+    if base_kind != cand_kind:
+        raise ConfigurationError(
+            f"cannot diff a {base_kind} against a {cand_kind} "
+            f"({baseline_path!r} vs {candidate_path!r})"
+        )
+    return diff_documents(base, cand)
+
+
+def _fmt_rel(rel: float) -> str:
+    if rel == float("inf"):
+        return "   +inf"
+    return f"{100.0 * rel:+6.1f}%"
+
+
+def render_diff(
+    result: DiffResult,
+    threshold: float,
+    show_all: bool = False,
+    limit: Optional[int] = 40,
+) -> str:
+    """Human-readable diff report, worst offenders first."""
+    rows = result.deltas if show_all else result.exceeding(threshold)
+    rows = sorted(rows, key=lambda d: -abs(d.rel_delta))
+    shown = rows if limit is None else rows[:limit]
+    lines = [
+        f"{len(result.deltas)} shared keys, "
+        f"{len(result.exceeding(threshold))} beyond ±{100 * threshold:g}% "
+        f"(max {_fmt_rel(result.max_rel_delta()).strip()})"
+    ]
+    for d in shown:
+        lines.append(
+            f"  {_fmt_rel(d.rel_delta)}  {d.key}  "
+            f"{d.baseline:g} -> {d.candidate:g}"
+        )
+    if limit is not None and len(rows) > limit:
+        lines.append(f"  ... {len(rows) - limit} more")
+    for key in result.only_baseline[:10]:
+        lines.append(f"  only in baseline:  {key}")
+    for key in result.only_candidate[:10]:
+        lines.append(f"  only in candidate: {key}")
+    return "\n".join(lines)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import IO, Dict, Iterator, Optional
 
 from repro.obs.registry import Histogram, MetricsRegistry
@@ -52,18 +53,50 @@ class JsonlWriter:
 
 
 def read_jsonl(path: str) -> Iterator[dict]:
-    """Yield the records of a JSON-lines file, skipping blank lines."""
+    """Yield the records of a JSON-lines file, skipping blank lines.
+
+    A malformed *final* line — the signature of a crash or power loss while
+    a record was mid-write — is tolerated: it is dropped with a warning and
+    a ``repro_obs_truncated_records_total`` count instead of killing the
+    whole read.  Corruption anywhere else still raises, since that means
+    the stream is damaged, not merely cut short.
+    """
+    from repro import obs
+
     with open(path, "r", encoding="utf-8") as fh:
+        pending: Optional[str] = None
         for line in fh:
             line = line.strip()
-            if line:
-                yield json.loads(line)
+            if not line:
+                continue
+            if pending is not None:
+                yield json.loads(pending)
+            pending = line
+        if pending is not None:
+            try:
+                yield json.loads(pending)
+            except ValueError:
+                warnings.warn(
+                    f"dropping truncated final record in {path!r}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                obs.counter("repro_obs_truncated_records_total", file=path)
+
+
+def _escape_label_value(value: str) -> str:
+    # Order matters: escape the escape character first.
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def _render_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    body = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 

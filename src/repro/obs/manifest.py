@@ -91,6 +91,9 @@ class RunManifest:
     n_events: int = 0
     events_file: str = EVENTS_FILENAME
     schema_version: int = SCHEMA_VERSION
+    #: Deterministic trace id shared by every record (and worker shard) of
+    #: the session; ``None`` only for manifests predating tracing.
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """The manifest as a JSON-safe dict."""
@@ -106,6 +109,7 @@ class RunManifest:
             "provenance": dict(self.provenance),
             "n_events": self.n_events,
             "events_file": self.events_file,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -124,6 +128,7 @@ class RunManifest:
                 n_events=int(data.get("n_events", 0)),
                 events_file=data.get("events_file", EVENTS_FILENAME),
                 schema_version=int(data.get("schema_version", SCHEMA_VERSION)),
+                trace_id=data.get("trace_id"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed run manifest: {exc}") from exc

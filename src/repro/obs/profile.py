@@ -1,0 +1,410 @@
+"""Span-level energy attribution: which span burned the joules.
+
+The paper's quantities are power and energy (Eq. 1, E = P·t); the telemetry
+layer records *when* each phase ran and the platform emits the meter windows
+(``power_trace`` events) for every simulated run.  This module joins the
+two: it rebuilds the span tree from an ``events.jsonl`` stream and
+integrates the run's total :class:`~repro.power.trace.PowerTrace` over each
+span's ``[t0, t1]`` window.  Because the trace is piecewise-constant, the
+attribution is exactly additive — children sum to their parent (plus the
+parent's uncovered *self* time) and the root span's joules equal the trace
+energy, within float tolerance.  Written/read bytes from the timestamped
+``storage_write``/``storage_read`` events are apportioned the same way, to
+the deepest span whose window contains the completion time.
+
+Outputs: a text tree (``repro profile PATH``), folded flamegraph stacks
+(``--flamegraph``; one ``frame;frame value`` line per node, values in
+millijoules, collapsible by the standard ``flamegraph.pl`` / speedscope
+tooling), and a JSON document (``--json``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.exporters import read_jsonl
+from repro.obs.manifest import EVENTS_FILENAME
+from repro.power.trace import PowerTrace
+
+__all__ = [
+    "ProfileResult",
+    "RootProfile",
+    "SpanNode",
+    "folded_stacks",
+    "profile_directory",
+    "profile_events",
+    "render_text",
+    "write_flamegraph",
+]
+
+#: Span name the simulated/real platforms give a run's root span.
+ROOT_SPAN_NAME = "pipeline.run"
+
+#: Relative tolerance of the energy-conservation invariant.
+CONSERVATION_RTOL = 0.01
+
+
+@dataclass
+class SpanNode:
+    """One span or phase in the rebuilt trace tree."""
+
+    id: int
+    name: str
+    parent: Optional[int]
+    t0: float
+    t1: float
+    domain: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+    #: Joules integrated over this node's window (None when unmetered).
+    joules: Optional[float] = None
+    #: Bytes written/read during this node's window, including children.
+    bytes_written: float = 0.0
+    bytes_read: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Window length in (domain) seconds."""
+        return self.t1 - self.t0
+
+    def self_joules(self) -> Optional[float]:
+        """Energy of this node's window not covered by any child."""
+        if self.joules is None:
+            return None
+        covered = sum(c.joules or 0.0 for c in self.children)
+        return self.joules - covered
+
+    def walk(self) -> Iterable["SpanNode"]:
+        """This node and every descendant, depth-first in record order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation of the subtree."""
+        return {
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "seconds": self.duration,
+            "domain": self.domain,
+            "attrs": dict(self.attrs),
+            "joules": self.joules,
+            "self_joules": self.self_joules(),
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+@dataclass
+class RootProfile:
+    """One run's root span joined with its meter windows."""
+
+    root: SpanNode
+    #: Sum of the run's compute + storage traces (None for unmetered runs).
+    trace: Optional[PowerTrace] = None
+
+    @property
+    def trace_joules(self) -> Optional[float]:
+        """Total energy the meters recorded over the run."""
+        return None if self.trace is None else self.trace.energy()
+
+    @property
+    def title(self) -> str:
+        """Human/flamegraph frame label, unique across the usual grid."""
+        pipeline = self.root.attrs.get("pipeline", self.root.name)
+        interval = self.root.attrs.get("interval_hours")
+        if interval is None:
+            return str(pipeline)
+        return f"{pipeline}@{interval:g}h"
+
+    def conservation_error(self) -> Optional[float]:
+        """Relative |root − trace| energy mismatch (None when unmetered)."""
+        total = self.trace_joules
+        if total is None or self.root.joules is None:
+            return None
+        if total == 0.0:
+            return abs(self.root.joules)
+        return abs(self.root.joules - total) / total
+
+
+@dataclass
+class ProfileResult:
+    """The attribution profile of one telemetry directory."""
+
+    trace_id: Optional[str]
+    roots: List[RootProfile] = field(default_factory=list)
+
+    def conservation_errors(self, rtol: float = CONSERVATION_RTOL) -> List[str]:
+        """Human-readable invariant violations (empty when all conserve).
+
+        Checks, per metered root: the root's joules match the trace energy
+        within ``rtol``, and no node's children sum to more than the node
+        itself (negative self-energy beyond tolerance).
+        """
+        problems: List[str] = []
+        for rp in self.roots:
+            err = rp.conservation_error()
+            if err is not None and err > rtol:
+                problems.append(
+                    f"{rp.title}: root {rp.root.joules:.1f} J vs trace "
+                    f"{rp.trace_joules:.1f} J ({100 * err:.2f}% off)"
+                )
+            if rp.root.joules is None:
+                continue
+            for node in rp.root.walk():
+                self_j = node.self_joules()
+                if self_j is not None and node.joules and \
+                        self_j < -rtol * abs(node.joules):
+                    problems.append(
+                        f"{rp.title}: children of {node.name!r} sum to "
+                        f"{node.joules - self_j:.1f} J, exceeding the node's "
+                        f"{node.joules:.1f} J"
+                    )
+        return problems
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (``repro profile --json``)."""
+        return {
+            "trace_id": self.trace_id,
+            "roots": [
+                {
+                    "title": rp.title,
+                    "trace_joules": rp.trace_joules,
+                    "conservation_error": rp.conservation_error(),
+                    "tree": rp.root.to_dict(),
+                }
+                for rp in self.roots
+            ],
+        }
+
+
+# --------------------------------------------------------------- construction
+
+
+def _node_from_record(record: dict) -> SpanNode:
+    return SpanNode(
+        id=int(record["id"]),
+        name=str(record["name"]),
+        parent=None if record.get("parent") is None else int(record["parent"]),
+        t0=float(record["t0"]),
+        t1=float(record["t1"]),
+        domain=str(record.get("domain", "wall")),
+        attrs=dict(record.get("attrs") or {}),
+    )
+
+
+def _deepest_at(node: SpanNode, t: float) -> SpanNode:
+    """The deepest descendant of ``node`` whose window contains ``t``."""
+    for child in node.children:
+        if child.t0 <= t <= child.t1:
+            return _deepest_at(child, t)
+    return node
+
+
+def profile_events(records: Iterable[dict]) -> ProfileResult:
+    """Build the attribution profile from an event stream.
+
+    Single pass for pairing (every ``power_trace`` event follows its run's
+    root span record), then per-root integration.  Streams from crashed or
+    unmetered runs degrade gracefully: spans without a trace simply carry
+    ``joules=None``.
+    """
+    nodes: Dict[int, SpanNode] = {}
+    order: List[SpanNode] = []
+    io_events: List[dict] = []
+    traces: Dict[int, PowerTrace] = {}
+    trace_id: Optional[str] = None
+    last_root: Optional[SpanNode] = None
+
+    for record in records:
+        trace_id = record.get("trace", trace_id)
+        kind = record.get("type")
+        if kind in ("span", "phase"):
+            node = _node_from_record(record)
+            nodes[node.id] = node
+            order.append(node)
+            if node.parent is None and node.name == ROOT_SPAN_NAME:
+                last_root = node
+        elif kind == "event":
+            name = record.get("name")
+            fields = record.get("fields") or {}
+            if name == "power_trace":
+                if last_root is None:
+                    raise ConfigurationError(
+                        "power_trace event with no preceding root span"
+                    )
+                total = PowerTrace.from_dict(fields["compute"]) + \
+                    PowerTrace.from_dict(fields["storage"])
+                traces[last_root.id] = total
+            elif name in ("storage_write", "storage_read"):
+                io_events.append(record)
+
+    # Link children in record order; orphans (parent never closed, e.g. a
+    # killed run) become roots of their own partial trees.
+    roots: List[SpanNode] = []
+    for node in order:
+        parent = nodes.get(node.parent) if node.parent is not None else None
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+
+    # Bytes: each timestamped I/O completion goes to the deepest span whose
+    # window contains it, then aggregates up the ancestry.
+    for record in io_events:
+        fields = record.get("fields") or {}
+        anchor = nodes.get(record.get("parent"))
+        if anchor is None:
+            continue
+        node = _deepest_at(anchor, float(fields.get("t", anchor.t0)))
+        nbytes = float(fields.get("bytes", 0.0))
+        key = "bytes_written" if record["name"] == "storage_write" else "bytes_read"
+        while node is not None:
+            setattr(node, key, getattr(node, key) + nbytes)
+            node = nodes.get(node.parent) if node.parent is not None else None
+
+    # Energy: integrate the run's total trace over every window in the tree.
+    result = ProfileResult(trace_id=trace_id)
+    for root in roots:
+        trace = traces.get(root.id)
+        if trace is not None:
+            for node in root.walk():
+                node.joules = trace.energy_between(node.t0, node.t1)
+        result.roots.append(RootProfile(root=root, trace=trace))
+
+    obs.counter("repro_profile_roots_total", len(result.roots))
+    obs.counter("repro_profile_spans_total", len(order))
+    unattributed = sum(
+        rp.root.self_joules() or 0.0 for rp in result.roots
+    )
+    if unattributed:
+        obs.counter("repro_profile_unattributed_joules", max(unattributed, 0.0))
+    return result
+
+
+def profile_directory(path: str) -> ProfileResult:
+    """Profile a telemetry directory (or its events file)."""
+    from repro.obs.cli import resolve_directory
+
+    directory = resolve_directory(path)
+    events_path = os.path.join(directory, EVENTS_FILENAME)
+    if not os.path.exists(events_path):
+        raise ConfigurationError(f"no {EVENTS_FILENAME} in {directory!r}")
+    return profile_events(read_jsonl(events_path))
+
+
+# ------------------------------------------------------------------ rendering
+
+
+def _fmt_energy(joules: Optional[float]) -> str:
+    if joules is None:
+        return "      n/a"
+    if abs(joules) >= 1e6:
+        return f"{joules / 1e6:8.2f} MJ"
+    if abs(joules) >= 1e3:
+        return f"{joules / 1e3:8.2f} kJ"
+    return f"{joules:8.1f} J"
+
+
+def _fmt_bytes(nbytes: float) -> str:
+    if nbytes >= 1e9:
+        return f"{nbytes / 1e9:7.2f} GB"
+    if nbytes >= 1e6:
+        return f"{nbytes / 1e6:7.2f} MB"
+    return f"{nbytes:7.0f} B"
+
+
+def _tree_lines(node: SpanNode, root_joules: Optional[float], depth: int) -> List[str]:
+    share = ""
+    if root_joules and node.joules is not None:
+        share = f"{100 * node.joules / root_joules:5.1f}%"
+    line = (
+        f"{'  ' * depth}{node.name:<{max(24 - 2 * depth, 8)}s} "
+        f"{node.duration:12.1f} s  {share:>6s}  {_fmt_energy(node.joules)}  "
+        f"{_fmt_bytes(node.bytes_written)}"
+    )
+    lines = [line]
+    for child in node.children:
+        lines.extend(_tree_lines(child, root_joules, depth + 1))
+    if node.children:
+        self_j = node.self_joules()
+        self_share = ""
+        if root_joules and self_j is not None:
+            self_share = f"{100 * self_j / root_joules:5.1f}%"
+        lines.append(
+            f"{'  ' * (depth + 1)}{'(self)':<{max(24 - 2 * (depth + 1), 8)}s} "
+            f"{'':>12s}    {self_share:>6s}  {_fmt_energy(self_j)}  "
+            f"{_fmt_bytes(0.0)}"
+        )
+    return lines
+
+
+def render_text(result: ProfileResult) -> str:
+    """The human-readable per-span energy profile."""
+    total = sum(rp.trace_joules or 0.0 for rp in result.roots)
+    lines = [
+        f"trace {result.trace_id or 'n/a'} · {len(result.roots)} run(s) · "
+        f"{_fmt_energy(total).strip()} metered total"
+    ]
+    for rp in result.roots:
+        err = rp.conservation_error()
+        err_note = f", conservation {100 * (err or 0.0):.3f}% off" if err is not None else ""
+        lines.append("")
+        lines.append(
+            f"{rp.title} — {rp.root.duration:.1f} s, "
+            f"{_fmt_energy(rp.root.joules).strip()}, "
+            f"{_fmt_bytes(rp.root.bytes_written).strip()} written"
+            f"{err_note}"
+        )
+        lines.extend(_tree_lines(rp.root, rp.root.joules, 1))
+    return "\n".join(lines)
+
+
+def folded_stacks(result: ProfileResult) -> str:
+    """Folded flamegraph stacks, one ``frame;frame value`` line per node.
+
+    Values are the node's *self* contribution in integer millijoules (or
+    milliseconds for unmetered runs), the format ``flamegraph.pl`` and
+    speedscope consume directly.
+    """
+    lines: List[str] = []
+
+    def emit(node: SpanNode, stack: str, metered: bool) -> None:
+        frame = f"{stack};{node.name}" if stack else node.name
+        value = node.self_joules() if metered else (
+            node.duration - sum(c.duration for c in node.children)
+        )
+        count = int(round(1000.0 * max(value or 0.0, 0.0)))
+        if count > 0:
+            lines.append(f"{frame} {count}")
+        for child in node.children:
+            emit(child, frame, metered)
+
+    for rp in result.roots:
+        metered = rp.root.joules is not None
+        base = rp.title
+        value = rp.root.self_joules() if metered else (
+            rp.root.duration - sum(c.duration for c in rp.root.children)
+        )
+        count = int(round(1000.0 * max(value or 0.0, 0.0)))
+        if count > 0:
+            lines.append(f"{base} {count}")
+        for child in rp.root.children:
+            emit(child, base, metered)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_flamegraph(result: ProfileResult, path: str) -> str:
+    """Write the folded stacks to ``path``; returns the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(folded_stacks(result))
+    return path

@@ -233,6 +233,57 @@ class MetricsRegistry:
             out[family.name] = {"kind": family.kind, "series": series}
         return out
 
+    def merge(self, snapshot: Dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters and histogram contents add; gauges take the incoming value
+        (last write wins, matching in-order shard merging).  Families are
+        created on demand; kind or bucket-bound mismatches raise, since a
+        shard disagreeing with its parent about a metric's shape is a bug.
+        """
+        for name in sorted(snapshot):
+            data = snapshot[name]
+            kind = str(data.get("kind", ""))
+            if kind not in _KINDS:
+                raise ConfigurationError(
+                    f"cannot merge metric {name!r} of unknown kind {kind!r}"
+                )
+            for series in data.get("series", []):
+                labels = {
+                    str(k): str(v) for k, v in (series.get("labels") or {}).items()
+                }
+                if kind == "counter":
+                    self._family(name, kind, "").child(labels).inc(
+                        float(series.get("value", 0.0))
+                    )
+                elif kind == "gauge":
+                    self._family(name, kind, "").child(labels).set(
+                        float(series.get("value", 0.0))
+                    )
+                else:
+                    buckets = series.get("buckets") or []
+                    bounds = tuple(
+                        float(le) for le, _ in buckets if le != "+Inf"
+                    )
+                    family = self._family(name, kind, "", bounds=bounds or None)
+                    hist = family.child(labels)
+                    if bounds and bounds != hist.bounds:
+                        raise ConfigurationError(
+                            f"metric {name!r} bucket bounds {bounds} do not "
+                            f"match existing {hist.bounds}"
+                        )
+                    if len(buckets) != len(hist.bucket_counts):
+                        raise ConfigurationError(
+                            f"metric {name!r} has {len(buckets)} buckets in the "
+                            f"snapshot but {len(hist.bucket_counts)} here"
+                        )
+                    previous = 0
+                    for i, (_, cumulative) in enumerate(buckets):
+                        hist.bucket_counts[i] += int(cumulative) - previous
+                        previous = int(cumulative)
+                    hist.sum += float(series.get("sum", 0.0))
+                    hist.count += int(series.get("count", 0))
+
     def reset(self) -> None:
         """Drop every family — tests start from a clean registry."""
         self._families.clear()

@@ -1,0 +1,224 @@
+"""Self-contained HTML report for a telemetry run.
+
+``repro obs report DIR`` renders one static HTML file (inline CSS, inline
+SVG, zero external assets — safe to attach as a CI artifact) with:
+
+* the run header (label, trace id, provenance),
+* a phase timeline per profiled run — an SVG bar lane showing when each
+  simulation/viz/io phase occupied the run window,
+* the per-span energy table from :mod:`repro.obs.profile` (joules, share,
+  bytes written), aggregated by span name,
+* an optional regression-diff summary against ``--baseline``.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+from typing import Dict, List, Optional
+
+from repro.obs.manifest import RunManifest
+from repro.obs.profile import ProfileResult, RootProfile, profile_directory
+
+__all__ = ["render_html", "write_report"]
+
+DEFAULT_REPORT_FILENAME = "report.html"
+
+_PALETTE = ("#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2")
+
+_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 62rem;
+       color: #1a1a2e; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #ddd; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.meta { color: #555; } .bad { color: #c0392b; } .ok { color: #27ae60; }
+svg { display: block; margin: .4rem 0 1rem; }
+.legend span { display: inline-block; margin-right: 1rem; }
+.legend i { display: inline-block; width: .8rem; height: .8rem;
+            margin-right: .3rem; border-radius: 2px; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _fmt_j(joules: Optional[float]) -> str:
+    if joules is None:
+        return "n/a"
+    if abs(joules) >= 1e6:
+        return f"{joules / 1e6:.2f} MJ"
+    if abs(joules) >= 1e3:
+        return f"{joules / 1e3:.2f} kJ"
+    return f"{joules:.1f} J"
+
+
+def _fmt_b(nbytes: float) -> str:
+    if nbytes >= 1e9:
+        return f"{nbytes / 1e9:.2f} GB"
+    if nbytes >= 1e6:
+        return f"{nbytes / 1e6:.2f} MB"
+    return f"{nbytes:.0f} B"
+
+
+def _phase_colors(rp: RootProfile) -> Dict[str, str]:
+    names: List[str] = []
+    for child in rp.root.children:
+        if child.name not in names:
+            names.append(child.name)
+    return {n: _PALETTE[i % len(_PALETTE)] for i, n in enumerate(names)}
+
+
+def _timeline_svg(rp: RootProfile, width: int = 920, height: int = 42) -> str:
+    """One SVG lane: each direct child drawn over the run window."""
+    span = rp.root.duration or 1.0
+    colors = _phase_colors(rp)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" height="{height}" '
+        f'role="img" aria-label="phase timeline {_esc(rp.title)}">',
+        f'<rect x="0" y="12" width="{width}" height="22" fill="#eee"/>',
+    ]
+    for child in rp.root.children:
+        x = width * (child.t0 - rp.root.t0) / span
+        w = max(width * child.duration / span, 0.5)
+        color = colors.get(child.name, "#888")
+        title = (
+            f"{child.name}: {child.duration:.2f} s, {_fmt_j(child.joules)}"
+        )
+        parts.append(
+            f'<rect x="{x:.2f}" y="12" width="{w:.2f}" height="22" '
+            f'fill="{color}"><title>{_esc(title)}</title></rect>'
+        )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span><i style="background:{color}"></i>{_esc(name)}</span>'
+        for name, color in colors.items()
+    )
+    return "".join(parts) + f'<div class="legend">{legend}</div>'
+
+
+def _span_table(rp: RootProfile) -> str:
+    """Direct children aggregated by name: count, seconds, joules, bytes."""
+    rows: Dict[str, List[float]] = {}
+    for child in rp.root.children:
+        entry = rows.setdefault(child.name, [0, 0.0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += child.duration
+        entry[2] += child.joules or 0.0
+        entry[3] += child.bytes_written
+    self_j = rp.root.self_joules()
+    total = rp.root.joules
+    out = [
+        "<table><tr><th>span</th><th class=num>count</th>"
+        "<th class=num>seconds</th><th class=num>energy</th>"
+        "<th class=num>share</th><th class=num>written</th></tr>"
+    ]
+    for name, (count, secs, joules, written) in sorted(
+        rows.items(), key=lambda kv: -kv[1][2]
+    ):
+        share = f"{100 * joules / total:.1f}%" if total else "—"
+        out.append(
+            f"<tr><td>{_esc(name)}</td><td class=num>{int(count)}</td>"
+            f"<td class=num>{secs:.1f}</td><td class=num>{_fmt_j(joules)}</td>"
+            f"<td class=num>{share}</td><td class=num>{_fmt_b(written)}</td></tr>"
+        )
+    if total is not None and self_j is not None:
+        share = f"{100 * self_j / total:.1f}%" if total else "—"
+        out.append(
+            f"<tr><td class=meta>(self)</td><td class=num></td>"
+            f"<td class=num></td><td class=num>{_fmt_j(self_j)}</td>"
+            f"<td class=num>{share}</td><td class=num></td></tr>"
+        )
+    out.append("</table>")
+    return "".join(out)
+
+
+def _diff_section(directory: str, baseline: str, threshold: float) -> str:
+    from repro.obs.diff import diff_paths, render_diff
+
+    result = diff_paths(baseline, directory)
+    bad = result.exceeding(threshold)
+    verdict = (
+        f'<p class=bad>{len(bad)} metric(s) moved beyond '
+        f"&plusmn;{100 * threshold:g}% vs the baseline.</p>"
+        if bad
+        else f'<p class=ok>All shared metrics within '
+        f"&plusmn;{100 * threshold:g}% of the baseline.</p>"
+    )
+    return (
+        f"<h2>Diff vs {_esc(os.path.basename(baseline) or baseline)}</h2>"
+        + verdict
+        + f"<pre>{_esc(render_diff(result, threshold, show_all=not bad))}</pre>"
+    )
+
+
+def render_html(
+    directory: str,
+    baseline: Optional[str] = None,
+    threshold: float = 0.2,
+    profile: Optional[ProfileResult] = None,
+) -> str:
+    """The full HTML document for one telemetry directory."""
+    manifest = RunManifest.load(directory)
+    if profile is None:
+        profile = profile_directory(directory)
+
+    body = [
+        f"<h1>repro run {_esc(manifest.label)}</h1>",
+        f'<p class=meta>run {_esc(manifest.run_id)} · trace '
+        f"{_esc(manifest.trace_id or profile.trace_id or 'n/a')} · "
+        f"{manifest.n_events} events · repro "
+        f"{_esc(manifest.provenance.get('repro_version', '?'))}</p>",
+    ]
+    problems = profile.conservation_errors()
+    if problems:
+        body.append(
+            '<p class=bad>energy conservation violated:<br>'
+            + "<br>".join(_esc(p) for p in problems)
+            + "</p>"
+        )
+    for rp in profile.roots:
+        body.append(
+            f"<h2>{_esc(rp.title)} — {rp.root.duration:.1f} s, "
+            f"{_fmt_j(rp.root.joules)}</h2>"
+        )
+        body.append(_timeline_svg(rp))
+        body.append(_span_table(rp))
+    if manifest.durations:
+        body.append("<h2>Phase totals</h2><table>"
+                    "<tr><th>phase</th><th class=num>seconds</th></tr>")
+        for name, seconds in sorted(
+            manifest.durations.items(), key=lambda kv: -kv[1]
+        ):
+            body.append(
+                f"<tr><td>{_esc(name)}</td><td class=num>{seconds:.2f}</td></tr>"
+            )
+        body.append("</table>")
+    if baseline is not None:
+        body.append(_diff_section(directory, baseline, threshold))
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>repro run {_esc(manifest.label)}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        + "".join(body)
+        + "</body></html>\n"
+    )
+
+
+def write_report(
+    directory: str,
+    output: Optional[str] = None,
+    baseline: Optional[str] = None,
+    threshold: float = 0.2,
+) -> str:
+    """Render and write the report; returns the output path."""
+    path = output or os.path.join(directory, DEFAULT_REPORT_FILENAME)
+    doc = render_html(directory, baseline=baseline, threshold=threshold)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(doc)
+    return path

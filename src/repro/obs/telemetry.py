@@ -40,9 +40,11 @@ from repro.obs.manifest import (
     collect_provenance,
 )
 from repro.obs.registry import MetricsRegistry, default_registry
+from repro.obs.trace import TraceContext, derive_trace_id
 
 __all__ = [
     "PHASE_SECONDS_METRIC",
+    "SHARDS_DIRNAME",
     "SIM",
     "Span",
     "TelemetrySession",
@@ -55,6 +57,7 @@ __all__ = [
     "observe",
     "phase",
     "session",
+    "shard_session",
     "span",
 ]
 
@@ -68,6 +71,9 @@ PHASE_SECONDS_METRIC = "repro_pipeline_phase_seconds"
 #: In-memory tail of recent records kept by every session (for tests and
 #: directory-less sessions).
 RECENT_CAPACITY = 512
+
+#: Subdirectory of a session's telemetry directory holding worker shards.
+SHARDS_DIRNAME = "shards"
 
 
 class TelemetrySession:
@@ -85,6 +91,8 @@ class TelemetrySession:
         registry: Optional[MetricsRegistry] = None,
         argv: Optional[List[str]] = None,
         config: Optional[Dict[str, Any]] = None,
+        trace: Optional[TraceContext] = None,
+        keep_records: bool = False,
     ) -> None:
         self.directory = directory
         self.label = label
@@ -92,9 +100,22 @@ class TelemetrySession:
         self.argv = list(argv) if argv is not None else []
         self.config = dict(config) if config is not None else {}
         self.created_unix = time.time()
-        self.run_id = f"{label}-{os.getpid()}-{int(self.created_unix)}"
+        #: Owning process.  Forked pool workers inherit ``_ACTIVE`` (and its
+        #: open file handle); the helpers treat a session from another pid
+        #: as absent, so workers fall through to their own shard sessions
+        #: instead of corrupting the parent's stream.
+        self.pid = os.getpid()
+        self.run_id = f"{label}-{self.pid}-{int(self.created_unix)}"
+        #: The trace this session belongs to.  Root sessions derive a
+        #: deterministic id from their label; shard sessions join the
+        #: parent's trace via the propagated :class:`TraceContext`.
+        self.trace = trace
+        self.trace_id = trace.trace_id if trace is not None else derive_trace_id(label)
         self.phase_totals: Dict[str, float] = {}
         self.recent: Deque[dict] = deque(maxlen=RECENT_CAPACITY)
+        #: Full record retention (shard sessions keep everything so the
+        #: parent can merge them; root sessions keep only ``recent``).
+        self.records: Optional[List[dict]] = [] if keep_records else None
         self.closed = False
         self._writer: Optional[JsonlWriter] = None
         if directory is not None:
@@ -111,10 +132,18 @@ class TelemetrySession:
         """Records emitted so far."""
         return self._seq
 
+    @property
+    def current_span_id(self) -> Optional[int]:
+        """Id of the innermost open span, or None at top level."""
+        return self._stack[-1] if self._stack else None
+
     def _emit(self, record: dict) -> None:
         self._seq += 1
         record["seq"] = self._seq
+        record["trace"] = self.trace_id
         self.recent.append(record)
+        if self.records is not None:
+            self.records.append(record)
         if self._writer is not None:
             self._writer.write(record)
 
@@ -175,11 +204,68 @@ class TelemetrySession:
         self._emit(record)
 
     def event(self, name: str, **fields: Any) -> None:
-        """Record one point event."""
+        """Record one point event (parented to the innermost open span)."""
         record: dict = {"type": "event", "name": name}
+        if self._stack:
+            record["parent"] = self._stack[-1]
         if fields:
             record["fields"] = fields
         self._emit(record)
+
+    # --------------------------------------------------------------- sharding
+
+    def shard_payload(self) -> dict:
+        """This shard session's full state, ready to cross a process boundary.
+
+        Returned inside :class:`~repro.exec.api.RunResult` by pool workers;
+        the parent folds it back in with :meth:`merge_shard`.  Requires a
+        ``keep_records=True`` session.
+        """
+        if self.records is None:
+            raise ConfigurationError(
+                "shard_payload() needs a keep_records=True session"
+            )
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": (
+                self.trace.parent_span_id if self.trace is not None else None
+            ),
+            "events": list(self.records),
+            "metrics": self.registry.snapshot(),
+            "n_spans": self._n_spans,
+            "phase_totals": dict(self.phase_totals),
+        }
+
+    def merge_shard(self, payload: dict) -> None:
+        """Fold one worker shard into this session, loss-free.
+
+        Worker-local span ids are remapped by a base offset (this session's
+        current span count), worker root spans are re-parented under the
+        span that was open at submission time, and every record is
+        re-emitted here — so merging shards *in submission order* yields a
+        stream byte-identical to the same tasks run inline.  Metrics merge
+        additively into this session's registry; phase totals accumulate.
+        """
+        trace_id = payload.get("trace_id")
+        if trace_id is not None and trace_id != self.trace_id:
+            raise ConfigurationError(
+                f"shard belongs to trace {trace_id!r}, not {self.trace_id!r}"
+            )
+        parent_id = payload.get("parent_span_id")
+        base = self._n_spans
+        for rec in payload.get("events", ()):
+            rec = dict(rec)
+            if rec.get("id") is not None:
+                rec["id"] = int(rec["id"]) + base
+            if rec.get("parent") is not None:
+                rec["parent"] = int(rec["parent"]) + base
+            elif parent_id is not None:
+                rec["parent"] = parent_id
+            self._emit(rec)
+        self._n_spans = base + int(payload.get("n_spans", 0))
+        for name, seconds in (payload.get("phase_totals") or {}).items():
+            self.phase_totals[name] = self.phase_totals.get(name, 0.0) + float(seconds)
+        self.registry.merge(payload.get("metrics") or {})
 
     # --------------------------------------------------------------- closing
 
@@ -195,6 +281,7 @@ class TelemetrySession:
             metrics=self.registry.snapshot(),
             provenance=collect_provenance(self.config),
             n_events=self._seq,
+            trace_id=self.trace_id,
         )
 
     def close(self) -> Optional[str]:
@@ -214,18 +301,22 @@ class TelemetrySession:
         return self.manifest().write(self.directory)
 
 
-#: The active session, if any.  Single-threaded by design.
+#: The active session, if any.  Single-threaded by design; process-local
+#: (a forked worker sees its parent's session here but must not use it).
 _ACTIVE: Optional[TelemetrySession] = None
 
 
 def active() -> Optional[TelemetrySession]:
-    """The active session, or None."""
-    return _ACTIVE
+    """The active session owned by *this* process, or None."""
+    sess = _ACTIVE
+    if sess is not None and sess.pid != os.getpid():
+        return None
+    return sess
 
 
 def enabled() -> bool:
-    """True while a telemetry session is active."""
-    return _ACTIVE is not None
+    """True while this process owns an active telemetry session."""
+    return active() is not None
 
 
 @contextmanager
@@ -235,15 +326,18 @@ def session(
     registry: Optional[MetricsRegistry] = None,
     argv: Optional[List[str]] = None,
     config: Optional[Dict[str, Any]] = None,
+    trace: Optional[TraceContext] = None,
+    keep_records: bool = False,
 ) -> Iterator[TelemetrySession]:
     """Activate telemetry for the dynamic extent of the block."""
     global _ACTIVE
-    if _ACTIVE is not None:
+    if active() is not None:
         raise ConfigurationError(
             f"telemetry session {_ACTIVE.run_id!r} is already active"
         )
     sess = TelemetrySession(
-        directory=directory, label=label, registry=registry, argv=argv, config=config
+        directory=directory, label=label, registry=registry, argv=argv,
+        config=config, trace=trace, keep_records=keep_records,
     )
     _ACTIVE = sess
     try:
@@ -251,6 +345,30 @@ def session(
     finally:
         _ACTIVE = None
         sess.close()
+
+
+@contextmanager
+def shard_session(trace: TraceContext) -> Iterator[TelemetrySession]:
+    """Activate a worker-side shard session joined to ``trace``.
+
+    The shard uses a *private* registry (the parent merges the snapshot, so
+    sharing the process default would double-count when workers are reused)
+    and retains every record for :meth:`TelemetrySession.shard_payload`.
+    With a ``shard_dir`` in the context it also streams its own
+    ``events.jsonl``/manifest under ``shard_dir/task-NNNNN`` for post-mortem
+    inspection of killed runs.
+    """
+    directory = None
+    if trace.shard_dir is not None:
+        directory = os.path.join(trace.shard_dir, f"task-{trace.task_index:05d}")
+    with session(
+        directory=directory,
+        label=f"{trace.label}-task{trace.task_index:05d}",
+        registry=MetricsRegistry(),
+        trace=trace,
+        keep_records=True,
+    ) as sess:
+        yield sess
 
 
 ClockLike = Union[Callable[[], float], Any]
@@ -289,7 +407,7 @@ class Span:
         return float(self.clock.now)
 
     def __enter__(self) -> "Span":
-        sess = _ACTIVE
+        sess = active()
         self._session = sess
         if sess is None:
             return self
@@ -332,34 +450,34 @@ def span(
 
 def phase(name: str, t0: float, t1: float, domain: str = SIM, **attrs: Any) -> None:
     """Record an explicit-times phase segment (no-op when disabled)."""
-    sess = _ACTIVE
+    sess = active()
     if sess is not None:
         sess.phase(name, t0, t1, domain, **attrs)
 
 
 def event(name: str, **fields: Any) -> None:
     """Record a point event (no-op when disabled)."""
-    sess = _ACTIVE
+    sess = active()
     if sess is not None:
         sess.event(name, **fields)
 
 
 def counter(name: str, value: float = 1.0, **labels: str) -> None:
     """Increment a counter in the session registry (no-op when disabled)."""
-    sess = _ACTIVE
+    sess = active()
     if sess is not None:
         sess.registry.counter(name, **labels).inc(value)
 
 
 def gauge(name: str, value: float, **labels: str) -> None:
     """Set a gauge in the session registry (no-op when disabled)."""
-    sess = _ACTIVE
+    sess = active()
     if sess is not None:
         sess.registry.gauge(name, **labels).set(value)
 
 
 def observe(name: str, value: float, **labels: str) -> None:
     """Observe into a histogram in the session registry (no-op when disabled)."""
-    sess = _ACTIVE
+    sess = active()
     if sess is not None:
         sess.registry.histogram(name, **labels).observe(value)

@@ -113,11 +113,30 @@ class Pipeline(ABC):
         default": ``pipeline.execute()`` is the new spelling of the old
         ``platform.run(pipeline, PipelineSpec())``.
         """
-        from repro.exec.api import MODE_REAL, RunRequest, RunResult
+        from repro.exec.api import RunRequest
 
         if request is None:
             request = RunRequest()
         request = request.bound_to(self)
+        if request.trace is not None and not obs.enabled():
+            # A pool worker (or any fresh process) handed a TraceContext:
+            # record this run into a shard session and carry the shard back
+            # in the result for the parent to merge.
+            from dataclasses import replace
+
+            with obs.shard_session(request.trace) as shard:
+                result = self._execute_bound(request, platform)
+            return replace(result, telemetry=shard.shard_payload())
+        return self._execute_bound(request, platform)
+
+    def _execute_bound(
+        self,
+        request: "RunRequest",
+        platform: Optional[object] = None,
+    ) -> "RunResult":
+        """Execute an already-bound request (see :meth:`execute`)."""
+        from repro.exec.api import MODE_REAL, RunResult
+
         t0 = time.perf_counter()
         if request.mode == MODE_REAL:
             from repro.pipelines.platform import RealPlatform

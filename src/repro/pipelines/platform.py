@@ -248,6 +248,20 @@ class SimulatedPlatform:
             storage_bytes=measured_storage,
             average_power=report.average_power,
         )
+        # The meter windows for this run, verbatim — what lets the span
+        # profiler apportion joules to the phases recorded above.  Follows
+        # the run's root span in the stream, so the profiler pairs each
+        # trace with the nearest preceding "pipeline.run" record.
+        obs.event(
+            "power_trace",
+            pipeline=pipeline.name,
+            label=run_spec.output_prefix,
+            interval_hours=run_spec.sampling.interval_hours,
+            t0=t_start,
+            t1=t_end,
+            compute=compute_trace.to_dict(),
+            storage=storage_trace.to_dict(),
+        )
         return Measurement(
             pipeline=pipeline.name,
             sample_interval_hours=run_spec.sampling.interval_hours,

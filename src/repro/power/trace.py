@@ -117,6 +117,23 @@ class PowerTrace:
         """Total energy in joules (exact, including the partial tail)."""
         return float(np.dot(self.watts, self.widths))
 
+    def energy_between(self, t0: float, t1: float) -> float:
+        """Energy in joules over ``[t0, t1]`` (exact piecewise integral).
+
+        The window is clipped to the trace extent.  Because the trace is
+        piecewise-constant, the integral is additive: windows that partition
+        the trace sum exactly to :meth:`energy` — the invariant the span
+        profiler's conservation check leans on.
+        """
+        if t1 < t0:
+            raise ConfigurationError(f"empty attribution window [{t0}, {t1}]")
+        if self.n_samples == 0:
+            return 0.0
+        lefts = self.start + self.dt * np.arange(self.n_samples)
+        rights = lefts + self.widths
+        overlap = np.clip(np.minimum(rights, t1) - np.maximum(lefts, t0), 0.0, None)
+        return float(np.dot(self.watts, overlap))
+
     def average_power(self) -> float:
         """Duration-weighted mean power in watts."""
         if self.n_samples == 0:
@@ -128,6 +145,31 @@ class PowerTrace:
         if self.n_samples == 0:
             raise MeterError("peak of an empty trace")
         return float(self.watts.max())
+
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (telemetry ``power_trace`` events)."""
+        return {
+            "start": self.start,
+            "dt": self.dt,
+            "final_dt": self.final_dt,
+            "watts": [float(w) for w in self.watts],
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PowerTrace":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            start=float(data["start"]),
+            dt=float(data["dt"]),
+            watts=data.get("watts", ()),
+            name=str(data.get("name", "")),
+            final_dt=(
+                None if data.get("final_dt") is None else float(data["final_dt"])
+            ),
+        )
 
     # ------------------------------------------------------------- transforms
 

@@ -256,6 +256,9 @@ class LustreFileSystem:
         record.n_writes += 1
         obs.counter("repro_storage_writes_total")
         obs.counter("repro_storage_written_bytes", nbytes)
+        # Timestamped (sim-clock) completion event so the span profiler can
+        # attribute written bytes to the enclosing span/phase window.
+        obs.event("storage_write", t=self.sim.now, path=path, bytes=float(nbytes))
         return record
 
     def read(self, path: str, nbytes: Optional[float] = None) -> Generator[object, object, float]:
@@ -298,6 +301,7 @@ class LustreFileSystem:
         record.n_reads += 1
         obs.counter("repro_storage_reads_total")
         obs.counter("repro_storage_read_bytes", size)
+        obs.event("storage_read", t=self.sim.now, path=path, bytes=float(size))
         return size
 
     def delete(self, path: str) -> Generator:
