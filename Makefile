@@ -1,10 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test check
+.PHONY: lint lint-flow lint-sarif baseline test check
 
 lint:
-	$(PYTHON) -m repro.lint src/ tests/ benchmarks/
+	$(PYTHON) -m repro.lint src/ tests/ benchmarks/ examples/
+
+# Flow-sensitive dimensional + determinism rules only (fast feedback).
+lint-flow:
+	$(PYTHON) -m repro.lint --select dim-mix,dim-arg,dim-return,det-seed,det-clock,det-iter,det-env \
+		src/ tests/ benchmarks/ examples/
+
+lint-sarif:
+	$(PYTHON) -m repro.lint --format sarif src/ tests/ benchmarks/ examples/ > repro-lint.sarif || true
+
+baseline:
+	$(PYTHON) -m repro.lint --baseline write src/ tests/ benchmarks/ examples/
 
 test:
 	$(PYTHON) -m pytest -x -q

@@ -36,10 +36,12 @@ def _savings_at(bandwidth_mb_s: float) -> float:
     for pipeline in (InSituPipeline(), PostProcessingPipeline()):
         sim = Simulator()
         cluster = caddy(sim)
+        write_bw = bandwidth_mb_s * MB  # repro-unit: bytes_per_s
+        read_bw = max(1_000 * MB, 2 * write_bw)  # repro-unit: bytes_per_s
         fs = LustreFileSystem(
             sim,
-            write_bandwidth=bandwidth_mb_s * MB,
-            read_bandwidth=max(1_000 * MB, 2 * bandwidth_mb_s * MB),
+            write_bandwidth=write_bw,
+            read_bandwidth=read_bw,
         )
         storage = StorageCluster(sim, filesystem=fs)
         platform = SimulatedPlatform(cluster=cluster, storage=storage)

@@ -217,9 +217,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("lint", help="run the project static-analysis pass")
     p.add_argument("paths", nargs="*", default=["src"], help="files/directories")
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     p.add_argument("--select", default=None, help="comma-separated rule ids")
     p.add_argument("--disable", default=None, help="comma-separated rule ids")
+    p.add_argument(
+        "--baseline", choices=("write", "check"), default=None,
+        help="known-debt baseline: snapshot findings or check against them",
+    )
+    p.add_argument(
+        "--baseline-file", default=None, metavar="PATH",
+        help="baseline location (default: .repro-lint-baseline.json)",
+    )
     p.add_argument("--list-rules", action="store_true")
     return parser
 
@@ -489,6 +497,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--select", args.select]
     if args.disable:
         argv += ["--disable", args.disable]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.baseline_file:
+        argv += ["--baseline-file", args.baseline_file]
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)

@@ -46,13 +46,14 @@ class PhaseTimeline:
     domain: str = obs.SIM
 
     def add(self, phase: str, t0: float, t1: float) -> None:
+        # repro-unit: t0=seconds, t1=seconds
         """Record that ``phase`` ran over ``[t0, t1]``."""
         if t1 < t0:
             raise ConfigurationError(f"phase {phase!r} ends before it starts: {t0}..{t1}")
         self.records.append((phase, t0, t1))
         obs.phase(phase, t0, t1, domain=self.domain)
 
-    def total(self, phase: str) -> float:
+    def total(self, phase: str) -> float:  # repro-unit: seconds
         """Total seconds spent in ``phase`` (across all its segments)."""
         return sum(t1 - t0 for p, t0, t1 in self.records if p == phase)
 

@@ -64,19 +64,21 @@ class PerformanceModel:
         if self.power_watts is not None and self.power_watts <= 0:
             raise ConfigurationError(f"power must be positive: {self.power_watts}")
 
-    def simulation_time(self, iterations: float) -> float:
+    def simulation_time(self, iterations: float) -> float:  # repro-unit: seconds
         """The first term of Eq. (4): ``(iter_any/iter_ref) · t_sim.ref``."""
         if iterations < 0:
             raise ModelError(f"negative iteration count: {iterations}")
         return iterations / self.iter_ref * self.t_sim_ref
 
     def execution_time(self, iterations: float, s_io_gb: float, n_viz: float) -> float:
+        # repro-unit: seconds
         """Equation (4)."""
         if s_io_gb < 0 or n_viz < 0:
             raise ModelError(f"negative workload: S_io={s_io_gb}, N_viz={n_viz}")
         return self.simulation_time(iterations) + self.alpha * s_io_gb + self.beta * n_viz
 
     def energy(self, iterations: float, s_io_gb: float, n_viz: float) -> float:
+        # repro-unit: joules
         """Equation (1): ``E = P · t`` in joules."""
         if self.power_watts is None:
             raise ModelError("energy() requires power_watts")

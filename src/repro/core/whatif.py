@@ -231,7 +231,7 @@ class WhatIfAnalyzer:
         self.post = post
         self.timestep_seconds = float(timestep_seconds)
 
-    def iterations_for(self, duration_seconds: float) -> float:
+    def iterations_for(self, duration_seconds: float) -> float:  # repro-unit: count
         """Timesteps of a campaign of ``duration_seconds`` simulated time."""
         if duration_seconds <= 0:
             raise ModelError(f"duration must be positive: {duration_seconds}")

@@ -105,7 +105,9 @@ class ExecutionEngine:
             hit = self.cache.get(key) if key is not None else None
             if hit is not None:
                 t0 = time.perf_counter()
-                result = RunResult(
+                # wall_seconds is a diagnostic only: excluded from cache
+                # keys and from bit-identity replay comparisons.
+                result = RunResult(  # repro-lint: disable=det-clock
                     request=request,
                     measurement=hit["measurement"],
                     cache_hit=True,

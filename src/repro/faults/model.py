@@ -50,7 +50,7 @@ class FailureModel:
         if self.restart_seconds < 0:
             raise ConfigurationError(f"negative restart cost: {self.restart_seconds}")
 
-    def expected_time(self, base_seconds: float, interval_seconds: float) -> float:
+    def expected_time(self, base_seconds: float, interval_seconds: float) -> float:  # repro-unit: seconds
         """Expected runtime for fault-free time ``base_seconds`` at cadence
         ``interval_seconds`` (Daly's first-order formula)."""
         if base_seconds < 0:
@@ -67,7 +67,7 @@ class FailureModel:
         overhead = 1.0 + self.checkpoint_write_seconds / interval_seconds
         return base_seconds * overhead / (1.0 - loss)
 
-    def optimal_interval(self) -> float:
+    def optimal_interval(self) -> float:  # repro-unit: seconds
         """Young's optimum checkpoint cadence :math:`\\sqrt{2\\delta M}`."""
         if self.checkpoint_write_seconds == 0.0:
             raise ModelError("optimal interval undefined for zero checkpoint cost")
@@ -79,7 +79,7 @@ class FailureModel:
 
     def expected_energy(
         self, base_seconds: float, interval_seconds: float, average_power_watts: float
-    ) -> float:
+    ) -> float:  # repro-unit: joules
         """Eq. 1 applied to the failure-inflated runtime: ``E = P * T``."""
         if average_power_watts < 0:
             raise ModelError(f"negative power: {average_power_watts}")

@@ -74,7 +74,7 @@ class RetryPolicy:
                 f"op timeout must be positive: {self.op_timeout_seconds}"
             )
 
-    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:  # repro-unit: seconds
         """Delay before retry number ``attempt`` (0-based), jittered.
 
         Always consumes exactly one draw from ``rng`` when jitter is enabled,

@@ -1,0 +1,99 @@
+"""Known-debt baselines: land a new rule family without a big-bang sweep.
+
+A baseline is a committed JSON file recording the findings a tree is
+*allowed* to have.  ``repro lint --baseline write`` snapshots the current
+findings; ``--baseline check`` subtracts the snapshot from a fresh run
+and only fails on findings *not* in it.
+
+Entries are matched by ``(path, rule, message)`` with a count — line
+numbers are deliberately excluded so unrelated edits above a baselined
+finding don't break CI.  Two extra guarantees keep baselines honest:
+
+* matching is count-bounded: a baseline entry with ``count: 1`` absorbs
+  one finding, not every future duplicate;
+* entries that no longer match anything are reported (exit code stays
+  0) so the file can be shrunk as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import Finding
+
+__all__ = [
+    "BaselineCheck",
+    "DEFAULT_BASELINE_FILE",
+    "check_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: The committed baseline location used by the CLI default.
+DEFAULT_BASELINE_FILE = ".repro-lint-baseline.json"
+
+#: Format marker so future shape changes can migrate old files.
+_SCHEMA_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+def _key(path: str, rule: str, message: str) -> _Key:
+    return (Path(path).as_posix(), rule, message)
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> int:
+    """Snapshot ``findings`` into ``path``; returns the entry count."""
+    counts: Dict[_Key, int] = {}
+    for finding in sorted(findings):
+        counts[_key(finding.path, finding.rule, finding.message)] = (
+            counts.get(_key(finding.path, finding.rule, finding.message), 0) + 1
+        )
+    entries = [
+        {"path": p, "rule": r, "message": m, "count": n}
+        for (p, r, m), n in sorted(counts.items())
+    ]
+    document = {"schema_version": _SCHEMA_VERSION, "entries": entries}
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: Path) -> Dict[_Key, int]:
+    """Read a baseline file into its ``(path, rule, message) → count`` map."""
+    document = json.loads(path.read_text(encoding="utf-8"))
+    entries = document.get("entries", [])
+    out: Dict[_Key, int] = {}
+    for entry in entries:
+        key = _key(entry["path"], entry["rule"], entry["message"])
+        out[key] = out.get(key, 0) + int(entry.get("count", 1))
+    return out
+
+
+@dataclass
+class BaselineCheck:
+    """Outcome of subtracting a baseline from a findings list."""
+
+    #: Findings not absorbed by the baseline — these should fail CI.
+    new: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing (debt already paid).
+    stale: List[_Key] = field(default_factory=list)
+    #: How many findings the baseline absorbed.
+    suppressed: int = 0
+
+
+def check_baseline(findings: Sequence[Finding], path: Path) -> BaselineCheck:
+    """Split ``findings`` into new-vs-baselined against the file at ``path``."""
+    remaining = load_baseline(path)
+    result = BaselineCheck()
+    for finding in sorted(findings):
+        key = _key(finding.path, finding.rule, finding.message)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            result.suppressed += 1
+        else:
+            result.new.append(finding)
+    result.stale = sorted(k for k, n in remaining.items() if n > 0)
+    return result

@@ -1,16 +1,23 @@
 """Command-line front end: ``python -m repro.lint [paths...]``.
 
-Exit codes: 0 = clean, 1 = findings, 2 = bad invocation.
+Exit codes: 0 = clean (or all findings baselined), 1 = findings,
+2 = bad invocation.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_FILE,
+    check_baseline,
+    write_baseline,
+)
 from repro.lint.engine import LintRunner, registered_rules
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 
 __all__ = ["build_parser", "main"]
 
@@ -20,14 +27,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Project-specific static analysis: units discipline, "
-        "paper provenance, solver hygiene, API hygiene.",
+        "flow-sensitive dimensional/determinism checks, paper provenance, "
+        "solver hygiene, API hygiene.",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -37,6 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--disable", metavar="IDS", default=None,
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline", choices=("write", "check"), default=None,
+        help="write: snapshot current findings as known debt; "
+        "check: fail only on findings not in the snapshot",
+    )
+    parser.add_argument(
+        "--baseline-file", metavar="PATH", default=DEFAULT_BASELINE_FILE,
+        help=f"baseline location (default: {DEFAULT_BASELINE_FILE})",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -51,12 +68,20 @@ def _split(ids: Optional[str]) -> Optional[Sequence[str]]:
     return [part.strip() for part in ids.split(",") if part.strip()]
 
 
+def _render(findings, fmt: str) -> str:
+    if fmt == "json":
+        return render_json(findings)
+    if fmt == "sarif":
+        return render_sarif(findings)
+    return render_text(findings)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.list_rules:
         for rule_id, rule in sorted(registered_rules().items()):
-            print(f"{rule_id:16s} {rule.summary}")
+            print(f"{rule_id:20s} {rule.summary}")
         return 0
     try:
         runner = LintRunner(select=_split(args.select), disable=_split(args.disable))
@@ -64,8 +89,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
     findings = runner.run(args.paths)
-    if args.format == "json":
-        print(render_json(findings))
-    else:
-        print(render_text(findings))
+
+    if args.baseline == "write":
+        count = write_baseline(findings, Path(args.baseline_file))
+        print(
+            f"repro-lint: baselined {len(findings)} finding(s) "
+            f"({count} distinct) into {args.baseline_file}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline == "check":
+        baseline_path = Path(args.baseline_file)
+        if not baseline_path.exists():
+            print(
+                f"repro-lint: baseline file {args.baseline_file} not found; "
+                "run --baseline write first",
+                file=sys.stderr,
+            )
+            return 2
+        result = check_baseline(findings, baseline_path)
+        print(_render(result.new, args.format))
+        if result.suppressed:
+            print(
+                f"repro-lint: {result.suppressed} finding(s) matched the "
+                "baseline and were suppressed",
+                file=sys.stderr,
+            )
+        for path, rule, message in result.stale:
+            print(
+                f"repro-lint: stale baseline entry {path}: {rule}: {message}",
+                file=sys.stderr,
+            )
+        return 1 if result.new else 0
+
+    print(_render(findings, args.format))
     return 1 if findings else 0

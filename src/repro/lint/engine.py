@@ -19,7 +19,9 @@ Rules register themselves with the :func:`register` decorator; importing
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Type
@@ -43,6 +45,9 @@ ALL_RULES = "all"
 
 #: Rule id used for files that fail to parse.
 PARSE_ERROR = "parse-error"
+
+#: Rule id for suppression comments that matched no finding.
+UNUSED_SUPPRESSION = "unused-suppression"
 
 
 @dataclass(frozen=True, order=True)
@@ -70,25 +75,64 @@ class FileContext:
         self.tree = tree
         self.file_suppressions: set = set()
         self.line_suppressions: Dict[int, set] = {}
+        #: Every suppression comment: (lineno, ids, is_file_level).
+        self.suppression_comments: List[tuple] = []
+        #: Rule ids that actually suppressed a finding, per scope.
+        self.used_file_suppressions: set = set()
+        self.used_line_suppressions: Dict[int, set] = {}
         self._scan_suppressions()
 
     def _scan_suppressions(self) -> None:
-        for lineno, text in enumerate(self.lines, start=1):
+        for lineno, text in self._comment_lines():
             match = _SUPPRESS_RE.search(text)
             if match is None:
                 continue
             ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
-            if text.lstrip().startswith("#"):
+            file_level = text.lstrip().startswith("#")
+            self.suppression_comments.append((lineno, frozenset(ids), file_level))
+            if file_level:
                 self.file_suppressions |= ids
             else:
                 self.line_suppressions.setdefault(lineno, set()).update(ids)
 
+    def _comment_lines(self) -> Iterator[tuple]:
+        """``(lineno, line-text)`` for lines holding a *real* comment.
+
+        Tokenizing (rather than regex over raw lines) keeps suppression
+        directives embedded in string literals — lint-test fixtures,
+        docs — from being honoured or judged as stale.
+        """
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # Fall back to the raw-line scan; the file parsed as AST, so
+            # this is about tokenizer quirks, not broken source.
+            for lineno, text in enumerate(self.lines, start=1):
+                yield (lineno, text)
+            return
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                lineno = token.start[0]
+                if 1 <= lineno <= len(self.lines):
+                    yield (lineno, self.lines[lineno - 1])
+
     def suppressed(self, rule_id: str, line: int) -> bool:
-        """True if ``rule_id`` is disabled file-wide or on ``line``."""
+        """True if ``rule_id`` is disabled file-wide or on ``line``.
+
+        A match is recorded so :class:`LintRunner` can report suppression
+        comments that never matched anything (``unused-suppression``).
+        """
+        hit = False
         if rule_id in self.file_suppressions or ALL_RULES in self.file_suppressions:
-            return True
+            self.used_file_suppressions.add(rule_id)
+            hit = True
         at_line = self.line_suppressions.get(line, ())
-        return rule_id in at_line or ALL_RULES in at_line
+        if rule_id in at_line or ALL_RULES in at_line:
+            self.used_line_suppressions.setdefault(line, set()).add(rule_id)
+            hit = True
+        return hit
 
     def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
         """Build a :class:`Finding` anchored at ``node``."""
@@ -188,6 +232,9 @@ class LintRunner:
             dropped = set(disable)
             pool = [r for r in pool if r.id not in dropped]
         self.rules = pool
+        #: The unused-suppression check is engine-driven (it needs the
+        #: post-run hit record), but obeys select/disable like any rule.
+        self._judge_unused = any(r.id == UNUSED_SUPPRESSION for r in pool)
 
     def check_file(self, path: Path) -> List[Finding]:
         """Lint one file; a syntax error yields a single parse-error finding."""
@@ -212,7 +259,45 @@ class LintRunner:
             for finding in rule.check(ctx):
                 if not ctx.suppressed(finding.rule, finding.line):
                     findings.append(finding)
+        if self._judge_unused:
+            for finding in self._unused_suppressions(ctx):
+                if not ctx.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
         return findings
+
+    def _unused_suppressions(self, ctx: FileContext) -> List[Finding]:
+        """``unused-suppression`` findings for comments that matched nothing.
+
+        Only rule ids the current run actually executed are judged — a
+        ``--select`` that excludes a rule cannot prove its suppressions
+        stale.  ``disable=all`` counts as used when *any* finding was
+        suppressed in its scope.
+        """
+        active = {rule.id for rule in self.rules} | {PARSE_ERROR}
+        out: List[Finding] = []
+        for lineno, ids, file_level in ctx.suppression_comments:
+            if file_level:
+                used = ctx.used_file_suppressions
+            else:
+                used = ctx.used_line_suppressions.get(lineno, set())
+            for rule_id in sorted(ids):
+                if rule_id == ALL_RULES:
+                    if used:
+                        continue
+                elif rule_id not in active:
+                    continue
+                elif rule_id in used:
+                    continue
+                scope = "file-level" if file_level else "line"
+                out.append(
+                    Finding(
+                        path=str(ctx.path), line=lineno, col=1,
+                        rule=UNUSED_SUPPRESSION,
+                        message=f"{scope} suppression of `{rule_id}` matched "
+                        "no finding; remove the stale comment",
+                    )
+                )
+        return out
 
     def run(self, paths: Sequence[str]) -> List[Finding]:
         """Lint every python file reachable from ``paths``."""

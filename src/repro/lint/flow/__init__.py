@@ -1,0 +1,54 @@
+"""Flow-sensitive dimensional and determinism analysis (``repro.lint.flow``).
+
+This package layers a small abstract interpreter on top of the per-file
+lint engine:
+
+* :mod:`repro.lint.flow.dims` — the dimension algebra.  A :class:`Unit`
+  carries base-dimension exponents over seconds / bytes / joules plus an
+  optional scale (gigabytes are ``bytes`` scaled by 1e9), so the analyzer
+  can both reject ``watts + joules`` and notice that W · s = J.
+* :mod:`repro.lint.flow.summaries` — whole-package function summaries.
+  Every module reachable from the linted file's package root is parsed
+  once (mtime-cached) into parameter/return units derived from unit
+  suffixes (``_j``, ``_w``, ``_s``, ``_bytes``, ``_gb``, ...), compound
+  ``_per_`` names and ``# repro-unit:`` annotations; call sites resolve
+  through imports, ``self`` and module aliases, which is what makes the
+  dimensional rules inter-procedural.
+* :mod:`repro.lint.flow.dataflow` — the per-function dataflow that
+  propagates units through assignments, arithmetic, returns and calls
+  and emits the ``dim-*`` findings.
+* :mod:`repro.lint.flow.determinism` — taint-style checks for the
+  hazards that break bit-identical replay (the ``det-*`` findings).
+* :mod:`repro.lint.flow.rules` — the :class:`repro.lint.engine.Rule`
+  subclasses that expose both families to the engine.
+"""
+
+from __future__ import annotations
+
+from repro.lint.flow.dataflow import flow_findings
+from repro.lint.flow.dims import (
+    DIMENSIONLESS,
+    Unit,
+    parse_unit_spec,
+    scan_unit_annotations,
+    unit_of_name,
+)
+from repro.lint.flow.summaries import (
+    FunctionSummary,
+    ModuleSummary,
+    PackageIndex,
+    index_for,
+)
+
+__all__ = [
+    "DIMENSIONLESS",
+    "FunctionSummary",
+    "ModuleSummary",
+    "PackageIndex",
+    "Unit",
+    "flow_findings",
+    "index_for",
+    "parse_unit_spec",
+    "scan_unit_annotations",
+    "unit_of_name",
+]

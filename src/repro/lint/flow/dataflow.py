@@ -1,0 +1,709 @@
+"""Per-function dimension dataflow — the ``dim-*`` findings.
+
+For every function in a file the analyzer runs a forward pass over the
+statement list, tracking each local variable's inferred :class:`Unit`
+(and, separately, its class type where it can be proven from a
+constructor call or annotation).  Units enter the environment from
+parameter names/annotations, flow through assignments and arithmetic
+via the algebra in :mod:`repro.lint.flow.dims`, and cross call
+boundaries through the :class:`~repro.lint.flow.summaries.PackageIndex`
+summaries — resolved via ``from``-imports, module aliases, ``self`` and
+locally constructed instances.
+
+Three findings come out of the pass:
+
+* ``dim-mix`` — ``+``/``-``/``+=``/comparison/assignment whose two sides
+  carry *different dimensions* (seconds vs bytes), or the same dimension
+  at two *certain but different scales* (hours vs seconds).
+* ``dim-arg`` — a call argument whose inferred unit clashes with the
+  callee parameter's declared unit.
+* ``dim-return`` — a function whose name (or annotation) promises one
+  unit while a ``return`` expression carries another.
+
+The pass is deliberately conservative: a finding requires *both* sides
+to be known and dimensioned, numeric literals are transparent, and any
+merge conflict (a variable assigned different units on two branches)
+degrades to "unknown" rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.flow.dims import (
+    LITERAL,
+    Unit,
+    annotations_for_span,
+    multiply,
+    divide,
+    power_of,
+    scan_unit_annotations,
+    unit_of_name,
+)
+from repro.lint.flow.summaries import (
+    FunctionSummary,
+    ModuleSummary,
+    PackageIndex,
+    index_for,
+    summarize_function,
+    summarize_module,
+)
+
+__all__ = ["FlowAnalysis", "flow_findings"]
+
+#: Builtins that return their argument's unit unchanged.
+_PASSTHROUGH = {"abs", "float", "int", "round", "min", "max", "sum", "sorted"}
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string for Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Imports:
+    """The file's import table: aliases to modules and names."""
+
+    def __init__(self, tree: ast.Module, module_name: Optional[str]) -> None:
+        #: local alias → dotted module name
+        self.modules: Dict[str, str] = {}
+        #: local name → (dotted module, remote name)
+        self.names: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    self.modules[local] = target
+                    if alias.asname is None and "." in alias.name:
+                        # ``import repro.units`` binds ``repro`` but makes
+                        # the full dotted path resolvable too.
+                        self.modules.setdefault(alias.name, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level and module_name:
+                    parts = module_name.split(".")
+                    # level=1 strips the module's own name, deeper levels
+                    # strip enclosing packages.
+                    anchor = parts[: len(parts) - node.level]
+                    base = ".".join(anchor + ([node.module] if node.module else []))
+                elif node.level:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.names[alias.asname or alias.name] = (base, alias.name)
+
+    def resolve_module(self, dotted: str) -> Optional[str]:
+        """Map a source-level dotted prefix to a real module name."""
+        if dotted in self.modules:
+            return self.modules[dotted]
+        head, _, tail = dotted.partition(".")
+        if head in self.names:
+            mod, name = self.names[head]
+            sub = f"{mod}.{name}"
+            return f"{sub}.{tail}" if tail else sub
+        if head in self.modules:
+            return f"{self.modules[head]}.{tail}" if tail else self.modules[head]
+        return None
+
+
+class FlowAnalysis:
+    """One file's flow pass; collects ``dim-*`` findings."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        self.annotations = scan_unit_annotations(ctx.lines)
+        self.index, self.module_name = index_for(ctx.path)
+        self.imports = _Imports(ctx.tree, self.module_name)
+        # The file's own summary: local functions/classes resolve even
+        # when the file sits outside any package (test fixtures).
+        self.local = summarize_module(ctx.path, self.module_name or "<local>", tree=ctx.tree)
+
+    # -- summary resolution ------------------------------------------------
+
+    def _module_summary(self, dotted: str) -> Optional[ModuleSummary]:
+        if dotted == self.module_name:
+            return self.local
+        if self.index is not None:
+            return self.index.module(dotted)
+        return None
+
+    def _callee_summary(
+        self, func: ast.AST, env: Dict[str, Unit], types: Dict[str, str], cls: Optional[str]
+    ) -> Optional[FunctionSummary]:
+        """Resolve a call expression to a function summary, if provable."""
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.imports.names:
+                mod, remote = self.imports.names[name]
+                summary = None
+                module = self._module_summary(mod)
+                if module is not None:
+                    summary = module.functions.get(remote)
+                    if summary is None and remote in module.classes:
+                        return module.classes[remote].get("__init__")
+                return summary
+            if name in self.local.functions:
+                return self.local.functions[name]
+            if name in self.local.classes:
+                return self.local.classes[name].get("__init__")
+            return None
+        if isinstance(func, ast.Attribute):
+            # self.method(...)
+            if isinstance(func.value, ast.Name) and func.value.id == "self" and cls:
+                method = self.local.method(cls, func.attr)
+                if method is not None:
+                    return method
+            # instance.method(...) where the instance's class is known
+            if isinstance(func.value, ast.Name) and func.value.id in types:
+                methods = self._class_methods(types[func.value.id])
+                if methods is not None:
+                    return methods.get(func.attr)
+            # module.func(...) / package.module.func(...)
+            dotted = _dotted_name(func.value)
+            if dotted is not None:
+                resolved = self.imports.resolve_module(dotted)
+                if resolved is not None:
+                    module = self._module_summary(resolved)
+                    if module is not None:
+                        summary = module.functions.get(func.attr)
+                        if summary is None and func.attr in module.classes:
+                            return module.classes[func.attr].get("__init__")
+                        return summary
+        return None
+
+    def _class_methods(self, cls: str) -> Optional[Dict[str, FunctionSummary]]:
+        if cls in self.local.classes:
+            return self.local.classes[cls]
+        if "." in cls:
+            mod, _, base = cls.rpartition(".")
+            module = self._module_summary(mod)
+            if module is not None:
+                return module.classes.get(base)
+        if self.index is not None:
+            return self.index.find_class(cls)
+        return None
+
+    def _constructed_class(self, value: ast.AST) -> Optional[str]:
+        """The class name a ``Name(...)`` call constructs, if resolvable."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.local.classes:
+                return name
+            if name in self.imports.names:
+                mod, remote = self.imports.names[name]
+                module = self._module_summary(mod)
+                if module is not None and remote in module.classes:
+                    return f"{mod}.{remote}"
+            return None
+        dotted = _dotted_name(func)
+        if dotted is not None and "." in dotted:
+            prefix, _, base = dotted.rpartition(".")
+            resolved = self.imports.resolve_module(prefix)
+            if resolved is not None:
+                module = self._module_summary(resolved)
+                if module is not None and base in module.classes:
+                    return f"{resolved}.{base}"
+        return None
+
+    # -- findings ----------------------------------------------------------
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(self.ctx.finding(rule, node, message))
+
+    def _check_combine(
+        self, node: ast.AST, verb: str,
+        left: Optional[Unit], right: Optional[Unit],
+        left_desc: str, right_desc: str,
+    ) -> None:
+        """Emit dim-mix when two combined operands clash."""
+        if left is None or right is None:
+            return
+        if left.literal or right.literal:
+            return
+        if not (left.dimensioned and right.dimensioned):
+            return
+        if not left.same_dims(right):
+            self._report(
+                "dim-mix", node,
+                f"{verb} mixes {left_desc} [{left.describe()}] with "
+                f"{right_desc} [{right.describe()}]; convert through "
+                "repro.units first",
+            )
+        elif not left.same_scale(right):
+            self._report(
+                "dim-mix", node,
+                f"{verb} mixes two {_base_of(left)} quantities at different "
+                f"scales ({left_desc} in {left.describe()}, {right_desc} in "
+                f"{right.describe()}); convert to the canonical unit first",
+            )
+
+    # -- expression evaluation ---------------------------------------------
+
+    def eval(
+        self, node: ast.AST, env: Dict[str, Unit],
+        types: Dict[str, str], cls: Optional[str],
+    ) -> Optional[Unit]:
+        """Infer the unit of an expression; None means unknown."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(node.value, (int, float)):
+                return None
+            return LITERAL
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            unit = self._named_constant(node.id)
+            if unit is not None:
+                return unit
+            return unit_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            key = _dotted_name(node)
+            if key is not None and key in env:
+                return env[key]
+            if key is not None and "." in key:
+                prefix, _, base = key.rpartition(".")
+                resolved = self.imports.resolve_module(prefix)
+                if resolved is not None:
+                    module = self._module_summary(resolved)
+                    if module is not None:
+                        return module.constants.get(base)
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            return self.eval(node.operand, env, types, cls)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env, types, cls)
+        if isinstance(node, ast.Compare):
+            left = self.eval(node.left, env, types, cls)
+            left_desc = _describe_node(node.left)
+            for comparator in node.comparators:
+                right = self.eval(comparator, env, types, cls)
+                self._check_combine(
+                    node, "comparison", left, right, left_desc, _describe_node(comparator)
+                )
+                left, left_desc = right, _describe_node(comparator)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.eval(value, env, types, cls)
+            return None
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env, types, cls)
+            a = self.eval(node.body, env, types, cls)
+            b = self.eval(node.orelse, env, types, cls)
+            return a if _units_equal(a, b) else None
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            units = [self.eval(el, env, types, cls) for el in node.elts]
+            if units and all(_units_equal(units[0], u) for u in units[1:]):
+                return units[0]
+            return None
+        if isinstance(node, ast.Subscript):
+            # A container named for its element unit indexes to that unit.
+            return self.eval(node.value, env, types, cls)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, env, types, cls)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, types, cls)
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            # Comprehension elements: evaluate with iteration vars unknown.
+            inner = dict(env)
+            for gen in node.generators:
+                for name in _target_names(gen.target):
+                    inner.pop(name, None)
+            return self.eval(node.elt, inner, types, cls)
+        return None
+
+    def _named_constant(self, name: str) -> Optional[Unit]:
+        if name in self.local.constants:
+            return self.local.constants[name]
+        if name in self.imports.names:
+            mod, remote = self.imports.names[name]
+            module = self._module_summary(mod)
+            if module is not None:
+                return module.constants.get(remote)
+        return None
+
+    def _eval_binop(
+        self, node: ast.BinOp, env: Dict[str, Unit],
+        types: Dict[str, str], cls: Optional[str],
+    ) -> Optional[Unit]:
+        left = self.eval(node.left, env, types, cls)
+        right = self.eval(node.right, env, types, cls)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_combine(
+                node, "addition" if isinstance(node.op, ast.Add) else "subtraction",
+                left, right, _describe_node(node.left), _describe_node(node.right),
+            )
+            if left is not None and not left.literal:
+                return left
+            if right is not None and not right.literal:
+                return right
+            return left if left is not None else right
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Mult):
+            return multiply(left, right)
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            return divide(left, right)
+        if isinstance(node.op, ast.Mod):
+            return left
+        if isinstance(node.op, ast.Pow):
+            if isinstance(node.right, ast.Constant) and isinstance(node.right.value, int):
+                return power_of(left, node.right.value)
+        return None
+
+    def _eval_call(
+        self, node: ast.Call, env: Dict[str, Unit],
+        types: Dict[str, str], cls: Optional[str],
+    ) -> Optional[Unit]:
+        for arg in node.args:
+            if isinstance(arg, (ast.Call, ast.BinOp, ast.Compare)):
+                self.eval(arg, env, types, cls)
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _PASSTHROUGH and func.id not in env:
+            units = [
+                self.eval(arg, env, types, cls)
+                for arg in node.args
+                if not isinstance(arg, ast.Starred)
+            ]
+            units = [u for u in units if u is not None]
+            if units and all(_units_equal(units[0], u) for u in units[1:]):
+                return units[0]
+            return None
+        summary = self._callee_summary(func, env, types, cls)
+        if summary is None:
+            return None
+        self._check_call_args(node, summary, env, types, cls)
+        return summary.return_unit
+
+    def _check_call_args(
+        self, node: ast.Call, summary: FunctionSummary,
+        env: Dict[str, Unit], types: Dict[str, str], cls: Optional[str],
+    ) -> None:
+        """dim-arg: inferred argument units vs declared parameter units."""
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                break
+            expected = summary.param_unit_at(index)
+            if expected is None:
+                continue
+            self._check_one_arg(node, summary, expected, arg, env, types, cls)
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            unit = summary.param_units.get(keyword.arg)
+            if unit is None:
+                continue
+            self._check_one_arg(
+                node, summary, (keyword.arg, unit), keyword.value, env, types, cls
+            )
+
+    def _check_one_arg(
+        self, node: ast.Call, summary: FunctionSummary,
+        expected: Tuple[str, Unit], arg: ast.AST,
+        env: Dict[str, Unit], types: Dict[str, str], cls: Optional[str],
+    ) -> None:
+        param, want = expected
+        got = self.eval(arg, env, types, cls)
+        if got is None or got.literal or not got.dimensioned:
+            return
+        if not want.same_dims(got):
+            self._report(
+                "dim-arg", node,
+                f"argument `{_describe_node(arg)}` [{got.describe()}] passed to "
+                f"`{summary.qualname}` parameter `{param}` which expects "
+                f"{want.describe()}",
+            )
+        elif not want.same_scale(got):
+            self._report(
+                "dim-arg", node,
+                f"argument `{_describe_node(arg)}` is in {got.describe()} but "
+                f"`{summary.qualname}` parameter `{param}` expects "
+                f"{want.describe()}; convert through repro.units",
+            )
+
+    # -- statement walking -------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        """Analyze every function in the file; returns the findings."""
+        self._walk_defs(self.ctx.tree.body, cls=None)
+        return self.findings
+
+    def _walk_defs(self, body: Sequence[ast.stmt], cls: Optional[str]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._analyze_function(node, cls)
+                self._walk_defs(node.body, cls=None)
+            elif isinstance(node, ast.ClassDef):
+                self._walk_defs(node.body, cls=node.name)
+            elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+                for sub in ast.iter_child_nodes(node):
+                    if isinstance(sub, (ast.FunctionDef, ast.ClassDef)):
+                        self._walk_defs([sub], cls)
+
+    def _analyze_function(
+        self, node: ast.FunctionDef, cls: Optional[str]
+    ) -> None:
+        summary = summarize_function(
+            node, self.annotations, qualprefix=f"{cls}." if cls else ""
+        )
+        env: Dict[str, Unit] = dict(summary.param_units)
+        types: Dict[str, str] = {}
+        for arg in node.args.posonlyargs + node.args.args + node.args.kwonlyargs:
+            annotation = arg.annotation
+            if annotation is not None:
+                dotted = _dotted_name(annotation)
+                if dotted is not None:
+                    types[arg.arg] = dotted
+        self._exec_block(node.body, env, types, cls, summary)
+
+    def _exec_block(
+        self, body: Sequence[ast.stmt], env: Dict[str, Unit],
+        types: Dict[str, str], cls: Optional[str], summary: FunctionSummary,
+    ) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env, types, cls, summary)
+
+    def _exec_stmt(
+        self, stmt: ast.stmt, env: Dict[str, Unit],
+        types: Dict[str, str], cls: Optional[str], summary: FunctionSummary,
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt.targets, stmt.value, stmt, env, types, cls)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._exec_assign([stmt.target], stmt.value, stmt, env, types, cls)
+            dotted = _dotted_name(stmt.annotation) if stmt.annotation else None
+            if dotted is not None and isinstance(stmt.target, ast.Name):
+                types[stmt.target.id] = dotted
+        elif isinstance(stmt, ast.AugAssign):
+            target_unit = self._target_unit(stmt.target, env)
+            value_unit = self.eval(stmt.value, env, types, cls)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                self._check_combine(
+                    stmt, "augmented assignment", target_unit, value_unit,
+                    _describe_node(stmt.target), _describe_node(stmt.value),
+                )
+            elif isinstance(stmt.op, ast.Mult) and target_unit and value_unit:
+                self._bind(stmt.target, multiply(target_unit, value_unit), env)
+            elif isinstance(stmt.op, ast.Div) and target_unit and value_unit:
+                self._bind(stmt.target, divide(target_unit, value_unit), env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                got = self.eval(stmt.value, env, types, cls)
+                self._check_return(stmt, got, summary)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env, types, cls)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env, types, cls)
+            self._exec_branches(
+                [stmt.body, stmt.orelse], env, types, cls, summary
+            )
+        elif isinstance(stmt, (ast.While,)):
+            self.eval(stmt.test, env, types, cls)
+            self._exec_branches([stmt.body, stmt.orelse], env, types, cls, summary)
+        elif isinstance(stmt, ast.For):
+            iter_unit = self.eval(stmt.iter, env, types, cls)
+            for name in _target_names(stmt.target):
+                if iter_unit is not None and not iter_unit.literal:
+                    env[name] = iter_unit
+                else:
+                    env.pop(name, None)
+            self._exec_branches([stmt.body, stmt.orelse], env, types, cls, summary)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(item.context_expr, env, types, cls)
+            self._exec_block(stmt.body, env, types, cls, summary)
+        elif isinstance(stmt, ast.Try):
+            blocks = [stmt.body, stmt.orelse, stmt.finalbody]
+            blocks += [h.body for h in stmt.handlers]
+            self._exec_branches(blocks, env, types, cls, summary)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # handled by _walk_defs
+        elif isinstance(stmt, (ast.Assert,)):
+            self.eval(stmt.test, env, types, cls)
+        elif isinstance(stmt, ast.Raise) and stmt.exc is not None:
+            self.eval(stmt.exc, env, types, cls)
+
+    def _exec_branches(
+        self, blocks: Sequence[Sequence[ast.stmt]], env: Dict[str, Unit],
+        types: Dict[str, str], cls: Optional[str], summary: FunctionSummary,
+    ) -> None:
+        """Run each block on a copy of env, then merge conservatively."""
+        snapshots: List[Dict[str, Unit]] = []
+        for block in blocks:
+            if not block:
+                continue
+            branch_env = dict(env)
+            self._exec_block(block, branch_env, types, cls, summary)
+            snapshots.append(branch_env)
+        if not snapshots:
+            return
+        keys = set()
+        for snap in snapshots:
+            keys |= set(snap)
+        for key in keys:
+            units = [snap.get(key, env.get(key)) for snap in snapshots]
+            first = units[0]
+            if all(_units_equal(first, u) for u in units[1:]) and first is not None:
+                env[key] = first
+            else:
+                env.pop(key, None)
+
+    def _exec_assign(
+        self, targets: Sequence[ast.AST], value: ast.AST, stmt: ast.stmt,
+        env: Dict[str, Unit], types: Dict[str, str], cls: Optional[str],
+    ) -> None:
+        unit = self.eval(value, env, types, cls)
+        annotated = self.annotations.get(stmt.lineno, {}).get("")
+        if annotated is not None:
+            unit = annotated
+        constructed = self._constructed_class(value)
+        for target in targets:
+            if isinstance(target, ast.Tuple) and isinstance(value, ast.Tuple):
+                for sub, subvalue in zip(target.elts, value.elts):
+                    self._exec_assign([sub], subvalue, stmt, env, types, cls)
+                continue
+            if isinstance(target, ast.Tuple):
+                for name in _target_names(target):
+                    env.pop(name, None)
+                continue
+            if annotated is None:
+                self._check_assign_target(target, unit, stmt, env)
+            self._bind(target, unit, env)
+            if constructed is not None and isinstance(target, ast.Name):
+                types[target.id] = constructed
+            elif isinstance(target, ast.Name):
+                types.pop(target.id, None)
+
+    def _check_assign_target(
+        self, target: ast.AST, unit: Optional[Unit], stmt: ast.stmt,
+        env: Dict[str, Unit],
+    ) -> None:
+        if unit is None or unit.literal or not unit.dimensioned:
+            return
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name is None:
+            return
+        declared = unit_of_name(name)
+        if declared is None or not declared.dimensioned:
+            return
+        self._check_combine(
+            stmt, "assignment", declared, unit,
+            f"`{name}`", _describe_node(stmt.value if hasattr(stmt, "value") else target),
+        )
+
+    def _check_return(
+        self, stmt: ast.Return, got: Optional[Unit], summary: FunctionSummary
+    ) -> None:
+        want = summary.return_unit
+        if want is None or got is None:
+            return
+        if got.literal or not got.dimensioned or not want.dimensioned:
+            return
+        if not want.same_dims(got):
+            self._report(
+                "dim-return", stmt,
+                f"`{summary.qualname}` promises {want.describe()} but this "
+                f"return is [{got.describe()}]",
+            )
+        elif not want.same_scale(got):
+            self._report(
+                "dim-return", stmt,
+                f"`{summary.qualname}` promises {want.describe()} but this "
+                f"return is in {got.describe()}; convert before returning",
+            )
+
+    def _target_unit(self, target: ast.AST, env: Dict[str, Unit]) -> Optional[Unit]:
+        if isinstance(target, ast.Name):
+            if target.id in env:
+                return env[target.id]
+            return unit_of_name(target.id)
+        if isinstance(target, ast.Attribute):
+            key = _dotted_name(target)
+            if key is not None and key in env:
+                return env[key]
+            return unit_of_name(target.attr)
+        return None
+
+    def _bind(self, target: ast.AST, unit: Optional[Unit], env: Dict[str, Unit]) -> None:
+        if isinstance(target, ast.Name):
+            if unit is None or unit.literal:
+                env.pop(target.id, None)
+            else:
+                env[target.id] = unit
+        elif isinstance(target, ast.Attribute):
+            key = _dotted_name(target)
+            if key is None:
+                return
+            if unit is None or unit.literal:
+                env.pop(key, None)
+            else:
+                env[key] = unit
+
+
+def _units_equal(a: Optional[Unit], b: Optional[Unit]) -> bool:
+    if a is None or b is None:
+        return a is b
+    return a.dims == b.dims and a.scale == b.scale and a.literal == b.literal
+
+
+def _base_of(unit: Unit) -> str:
+    names = {"s": "time", "B": "data", "J": "energy"}
+    if len(unit.dims) == 1:
+        return names.get(unit.dims[0][0], "mixed")
+    if unit.dims == (("J", 1), ("s", -1)):
+        return "power"
+    return "mixed"
+
+
+def _target_names(target: ast.AST) -> List[str]:
+    out: List[str] = []
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            out.append(node.id)
+    return out
+
+
+def _describe_node(node: ast.AST) -> str:
+    name = _dotted_name(node)
+    if name is not None:
+        return name
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+def flow_findings(ctx: FileContext) -> List[Finding]:
+    """All ``dim-*``/``det-*`` findings for one file, computed once.
+
+    The result is cached on the :class:`FileContext` so each of the
+    seven flow rules can filter it without re-running the pass.
+    """
+    cached = getattr(ctx, "_flow_findings", None)
+    if cached is not None:
+        return cached
+    from repro.lint.flow.determinism import determinism_findings
+
+    findings = FlowAnalysis(ctx).run()
+    findings.extend(determinism_findings(ctx))
+    ctx._flow_findings = findings
+    return findings

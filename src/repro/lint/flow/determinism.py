@@ -1,0 +1,503 @@
+"""Taint-style determinism checks — the ``det-*`` findings.
+
+The repo's hardest invariant is that serial, parallel, cached and
+fault-replayed runs are bit-identical (PRs 3-5).  Four rule families
+catch the classic ways code silently breaks that:
+
+* ``det-seed`` — use of the *module-level* RNG APIs (``random.random()``,
+  ``np.random.rand()``): global RNG state cannot be replayed across
+  worker processes; a seeded generator object can.
+* ``det-clock`` — a wall-clock reading (``time.time()``,
+  ``datetime.now()``...) flowing into simulation state, an RNG seed, an
+  event-scheduling call or a cache key.  Telemetry timestamps are fine —
+  they never reach those sinks.
+* ``det-iter`` — iterating a ``set`` (or ``os.listdir``) into an
+  order-sensitive sink: float accumulation, ``list.append``, heap pushes
+  or event scheduling.  Hash order varies across processes under
+  ``PYTHONHASHSEED``; ``sorted(...)`` washes the taint.
+* ``det-env`` — process-identity values (``os.getpid()``, ``os.environ``,
+  ``uuid.uuid4()``, hostnames) reaching a ``RunRequest``/``RunResult``
+  payload, a seed, or a cache key.
+
+Taint propagates forward through assignments and expressions within a
+function (module level included); a value is tainted if any of its
+sub-expressions is.  Branches are not split — union-taint is the
+conservative right answer for "may this ever flow there".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import FileContext, Finding
+
+__all__ = ["determinism_findings"]
+
+#: Module-level RNG sampler names worth flagging on ``random.<name>``.
+_RANDOM_SAMPLERS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "lognormvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "getrandbits", "binomialvariate",
+}
+
+#: Ditto for ``np.random.<name>`` (legacy global-state API).
+_NP_SAMPLERS = {
+    "random", "rand", "randn", "randint", "random_sample", "ranf",
+    "sample", "uniform", "normal", "standard_normal", "choice",
+    "shuffle", "permutation", "exponential", "poisson", "binomial",
+    "beta", "gamma", "lognormal", "laplace", "random_integers",
+}
+
+#: ``(module, attr)`` wall-clock sources.
+_CLOCK_SOURCES = {
+    ("time", "time"), ("time", "time_ns"), ("time", "monotonic"),
+    ("time", "monotonic_ns"), ("time", "perf_counter"),
+    ("time", "perf_counter_ns"), ("time", "process_time"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: ``(module, attr)`` process-identity sources.
+_ENV_SOURCES = {
+    ("os", "getpid"), ("os", "getppid"), ("os", "urandom"),
+    ("uuid", "uuid1"), ("uuid", "uuid4"),
+    ("socket", "gethostname"), ("platform", "node"),
+}
+
+#: Constructors whose argument is an RNG seed.
+_SEED_CALLS = {"seed", "default_rng", "Random", "RandomState", "SeedSequence"}
+
+#: Callee name fragments that mean "this schedules a simulation event".
+_SCHEDULE_FRAGMENTS = ("schedule", "heappush")
+
+#: Payload classes of the execution API.
+_PAYLOAD_CLASSES = {"RunRequest", "RunResult"}
+
+#: Builtin calls that erase iteration-order sensitivity.
+_ORDER_WASHERS = {"sorted", "len", "sum", "min", "max", "frozenset", "set"}
+
+
+class _Taint:
+    """One tainted value: which family and which source expression."""
+
+    __slots__ = ("kind", "source")
+
+    def __init__(self, kind: str, source: str) -> None:
+        self.kind = kind  # "clock" | "env"
+        self.source = source
+
+
+class _Scope:
+    """Forward taint pass over one function (or the module body)."""
+
+    def __init__(self, analysis: "DeterminismAnalysis") -> None:
+        self.a = analysis
+        self.tainted: Dict[str, _Taint] = {}
+        self.set_vars: Set[str] = set()
+
+    # -- sources -----------------------------------------------------------
+
+    def _call_source(self, node: ast.Call) -> Optional[_Taint]:
+        """The taint a bare call introduces, if it is a known source."""
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            attr = func.attr
+            base_name = _tail_name(base)
+            if base_name is not None:
+                if (base_name, attr) in _CLOCK_SOURCES:
+                    return _Taint("clock", f"{base_name}.{attr}()")
+                if (base_name, attr) in _ENV_SOURCES:
+                    return _Taint("env", f"{base_name}.{attr}()")
+                if base_name in ("environ",) or (
+                    base_name == "os" and attr in ("getenv",)
+                ):
+                    return _Taint("env", f"os.{attr}()")
+                if base_name == "environ" and attr == "get":
+                    return _Taint("env", "os.environ.get()")
+        return None
+
+    def _expr_taint(self, node: ast.AST) -> Optional[_Taint]:
+        """Taint of an expression: any tainted sub-expression taints it."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in self.tainted:
+                return self.tainted[sub.id]
+            if isinstance(sub, ast.Call):
+                taint = self._call_source(sub)
+                if taint is not None:
+                    return taint
+            if isinstance(sub, ast.Subscript):
+                name = _dotted(sub.value)
+                if name in ("os.environ",):
+                    return _Taint("env", "os.environ[...]")
+            if isinstance(sub, ast.Attribute):
+                dotted = _dotted(sub)
+                if dotted in ("sys.argv",):
+                    return _Taint("env", dotted)
+        return None
+
+    # -- set tracking for det-iter ----------------------------------------
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_vars
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in ("set", "frozenset"):
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union", "intersection", "difference", "symmetric_difference",
+            ):
+                return self._is_set_expr(node.func.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def _unordered_iter(self, node: ast.AST) -> Optional[str]:
+        """Why iterating ``node`` is order-unstable, or None."""
+        if self._is_set_expr(node):
+            return "set"
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in ("os.listdir", "os.scandir", "glob.glob", "glob.iglob"):
+                return dotted
+        return None
+
+    # -- sinks -------------------------------------------------------------
+
+    def _check_call_sinks(self, node: ast.Call) -> None:
+        callee = _call_name(node) or ""
+        dotted_callee = _dotted(node.func) or callee
+        all_args: List[Tuple[Optional[str], ast.AST]] = [
+            (None, a) for a in node.args if not isinstance(a, ast.Starred)
+        ] + [(k.arg, k.value) for k in node.keywords if k.arg is not None]
+
+        is_seed_call = callee in _SEED_CALLS
+        is_schedule = any(f in callee.lower() for f in _SCHEDULE_FRAGMENTS)
+        is_payload = callee in _PAYLOAD_CLASSES
+        is_cache = "cache" in callee.lower() or callee.lower().endswith("key")
+
+        for kw, arg in all_args:
+            taint = self._expr_taint(arg)
+            if taint is None:
+                if kw == "seed":
+                    continue
+                continue
+            if kw == "seed" or is_seed_call:
+                self.a.report(
+                    f"det-{taint.kind}", node,
+                    f"{taint.source} flows into RNG seed "
+                    f"`{dotted_callee}(...)`; a replay would draw a "
+                    "different stream — derive seeds from the run config",
+                )
+            elif is_schedule and taint.kind == "clock":
+                self.a.report(
+                    "det-clock", node,
+                    f"{taint.source} flows into event scheduling "
+                    f"`{dotted_callee}(...)`; simulation time must come "
+                    "from the simulator clock, not the wall clock",
+                )
+            elif is_payload:
+                self.a.report(
+                    f"det-{taint.kind}", node,
+                    f"{taint.source} flows into `{callee}(...)`; "
+                    "payloads must be reproducible for cache keys and "
+                    "bit-identical replay",
+                )
+            elif is_cache:
+                self.a.report(
+                    f"det-{taint.kind}", node,
+                    f"{taint.source} flows into cache-key computation "
+                    f"`{dotted_callee}(...)`; cached and fresh runs would "
+                    "diverge",
+                )
+
+    def _check_seed_rule(self, node: ast.Call) -> None:
+        """det-seed: module-level RNG sampler calls."""
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            dotted = _dotted(func)
+            if dotted is None:
+                return
+            parts = dotted.split(".")
+            if len(parts) == 2 and parts[0] in self.a.random_aliases:
+                if parts[1] in _RANDOM_SAMPLERS:
+                    self.a.report(
+                        "det-seed", node,
+                        f"module-level `{dotted}()` uses global RNG state; "
+                        "use a seeded `random.Random(seed)` instance so "
+                        "parallel/replayed runs draw identical streams",
+                    )
+            elif (
+                len(parts) >= 2
+                and parts[-2] == "random"
+                and (parts[0] in self.a.numpy_aliases or parts[0] == "numpy")
+                and parts[-1] in _NP_SAMPLERS
+            ):
+                self.a.report(
+                    "det-seed", node,
+                    f"legacy global-state `{dotted}()`; use "
+                    "`np.random.default_rng(seed)` so parallel/replayed "
+                    "runs draw identical streams",
+                )
+        elif isinstance(func, ast.Name):
+            if func.id in self.a.random_from_imports:
+                self.a.report(
+                    "det-seed", node,
+                    f"module-level `{func.id}()` (from random import ...) uses "
+                    "global RNG state; use a seeded `random.Random(seed)` "
+                    "instance",
+                )
+
+    def _check_assign_sinks(self, target: ast.AST, taint: _Taint, node: ast.AST) -> None:
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        elif isinstance(target, ast.Subscript):
+            container = _tail_name(target.value)
+            if container is not None and "payload" in container.lower():
+                self.a.report(
+                    f"det-{taint.kind}", node,
+                    f"{taint.source} stored into `{container}[...]`; "
+                    "payload contents must be reproducible",
+                )
+            return
+        if name is None:
+            return
+        lowered = name.lower()
+        if lowered == "seed" or lowered.endswith("_seed"):
+            self.a.report(
+                f"det-{taint.kind}", node,
+                f"{taint.source} assigned to `{name}`; seeds must come "
+                "from the run configuration to replay bit-identically",
+            )
+        elif "key" in lowered and ("cache" in lowered or lowered.endswith("key")):
+            self.a.report(
+                f"det-{taint.kind}", node,
+                f"{taint.source} assigned to `{name}`; cache keys must not "
+                "depend on wall clock or process identity",
+            )
+        elif lowered.startswith("sim_") or lowered == "sim":
+            if taint.kind == "clock":
+                self.a.report(
+                    "det-clock", node,
+                    f"{taint.source} assigned to simulation state `{name}`; "
+                    "simulated time must advance from the event engine only",
+                )
+
+    # -- statement walk ----------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes get their own pass
+        if isinstance(stmt, ast.Assign):
+            self._visit_expr(stmt.value)
+            taint = self._expr_taint(stmt.value)
+            is_set = self._is_set_expr(stmt.value)
+            for target in stmt.targets:
+                if taint is not None:
+                    self._check_assign_sinks(target, taint, stmt)
+                for name in _target_names(target):
+                    if taint is not None:
+                        self.tainted[name] = taint
+                    else:
+                        self.tainted.pop(name, None)
+                    if is_set:
+                        self.set_vars.add(name)
+                    else:
+                        self.set_vars.discard(name)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._visit_expr(stmt.value)
+            taint = self._expr_taint(stmt.value)
+            if taint is not None:
+                self._check_assign_sinks(stmt.target, taint, stmt)
+                for name in _target_names(stmt.target):
+                    self.tainted[name] = taint
+            if self._is_set_expr(stmt.value) and isinstance(stmt.target, ast.Name):
+                self.set_vars.add(stmt.target.id)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._visit_expr(stmt.value)
+            taint = self._expr_taint(stmt.value)
+            if taint is not None:
+                for name in _target_names(stmt.target):
+                    self.tainted[name] = taint
+            return
+        if isinstance(stmt, ast.For):
+            self._visit_expr(stmt.iter)
+            reason = self._unordered_iter(stmt.iter)
+            if reason is not None:
+                sink = _order_sensitive_sink(stmt.body)
+                if sink is not None:
+                    self.a.report(
+                        "det-iter", stmt,
+                        f"iterating {reason} feeds {sink}; hash order varies "
+                        "across processes — iterate `sorted(...)` instead",
+                    )
+            for block in (stmt.body, stmt.orelse):
+                self.run(block)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._visit_expr(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._visit_expr(item.context_expr)
+            self.run(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for handler in stmt.handlers:
+                self.run(handler.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._visit_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._visit_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Assert):
+            self._visit_expr(stmt.test)
+            return
+
+    def _visit_expr(self, node: ast.AST) -> None:
+        """Check every call in an expression tree for sink violations."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._check_seed_rule(sub)
+                self._check_call_sinks(sub)
+            elif isinstance(sub, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                for gen in sub.generators:
+                    reason = self._unordered_iter(gen.iter)
+                    if reason is not None and _is_float_reduction(node, sub):
+                        self.a.report(
+                            "det-iter", sub,
+                            f"reducing over {reason} iteration; hash order "
+                            "varies across processes — iterate "
+                            "`sorted(...)` instead",
+                        )
+
+
+class DeterminismAnalysis:
+    """File-level driver: alias tables + one :class:`_Scope` per function."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        self.random_aliases: Set[str] = set()
+        self.numpy_aliases: Set[str] = set()
+        self.random_from_imports: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if alias.name == "random":
+                        self.random_aliases.add(local)
+                    elif alias.name == "numpy":
+                        self.numpy_aliases.add(local.split(".", 1)[0]
+                                               if alias.asname is None else local)
+                    elif alias.name == "numpy.random":
+                        self.numpy_aliases.add("numpy")
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in _RANDOM_SAMPLERS:
+                        self.random_from_imports.add(alias.asname or alias.name)
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(self.ctx.finding(rule, node, message))
+
+    def run(self) -> List[Finding]:
+        module_scope = _Scope(self)
+        module_scope.run(self.ctx.tree.body)
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = _Scope(self)
+                scope.run(node.body)
+        return self.findings
+
+
+def _tail_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _target_names(target: ast.AST) -> List[str]:
+    out: List[str] = []
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            out.append(node.id)
+    return out
+
+
+def _order_sensitive_sink(body: Sequence[ast.stmt]) -> Optional[str]:
+    """The first order-sensitive operation in a loop body, described."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                return f"`{_describe_target(node.target)} +=` accumulation"
+            if isinstance(node, ast.Call):
+                name = _call_name(node) or ""
+                if any(f in name.lower() for f in _SCHEDULE_FRAGMENTS):
+                    return f"event scheduling (`{name}`)"
+                if name == "append" and isinstance(node.func, ast.Attribute):
+                    return f"`{_dotted(node.func)}(...)` ordering"
+    return None
+
+
+def _describe_target(node: ast.AST) -> str:
+    dotted = _dotted(node)
+    return dotted if dotted is not None else "<target>"
+
+
+def _is_float_reduction(outer: ast.AST, comp: ast.AST) -> bool:
+    """True when the comprehension feeds ``sum``/``fsum`` directly."""
+    for node in ast.walk(outer):
+        if isinstance(node, ast.Call) and node.args and node.args[0] is comp:
+            name = _call_name(node)
+            if name in ("sum", "fsum"):
+                return True
+    return False
+
+
+def determinism_findings(ctx: FileContext) -> List[Finding]:
+    """All ``det-*`` findings for one file."""
+    return DeterminismAnalysis(ctx).run()

@@ -1,0 +1,327 @@
+"""The dimension algebra behind the ``dim-*`` rules.
+
+A :class:`Unit` is a vector of integer exponents over three base
+dimensions — time (``s``), data (``B``) and energy (``J``) — plus an
+optional *scale* giving the multiplier to the canonical unit of that
+dimension vector.  Gigabytes are ``(B,)`` scaled by 1e9; watts are
+``(J, s^-1)`` scaled by 1; kilowatt-hours are ``(J,)`` scaled by 3.6e6.
+Power is deliberately derived (J/s) so the algebra knows W · s = J and
+J / s = W without special cases.
+
+Three judgement calls keep the analysis precise on real code:
+
+* Numeric literals are *transparent* (``literal=True``): they combine
+  with anything under ``+``/``-``/comparison without a finding, and a
+  literal factor preserves the other operand's dimensions while
+  *erasing its scale* — so ``t_hours * 3600`` is still time, but no
+  longer claims to be hours, and adding it to seconds is clean.
+* Conversion constants (``repro.units.HOUR``, ``GB``, ...) are marked
+  with ``conv_family``.  Multiplied against a value that already
+  carries their family (``months * MONTH``) they behave like a literal
+  (a unit conversion); against anything else (``watts * DAY``) they
+  behave like the canonical quantity (a day of seconds), which is how
+  W × day correctly lands on energy.
+* A scale of ``None`` means "dimension known, unit unknown"; scale
+  mismatches are only reported when both sides are certain.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DIMENSIONLESS",
+    "LITERAL",
+    "Unit",
+    "parse_unit_spec",
+    "scan_unit_annotations",
+    "unit_of_name",
+]
+
+#: Base dimension symbols: seconds, bytes, joules.
+TIME = (("s", 1),)
+DATA = (("B", 1),)
+ENERGY = (("J", 1),)
+POWER = (("J", 1), ("s", -1))
+
+Dims = Tuple[Tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One inferred physical unit: dimension exponents plus optional scale."""
+
+    dims: Dims = ()
+    #: Multiplier to the canonical unit (seconds/bytes/joules); None = unknown.
+    scale: Optional[float] = None
+    #: Human-readable name used in findings, e.g. ``"hours"``.
+    label: str = ""
+    #: True for bare numeric literals (transparent in the algebra).
+    literal: bool = False
+    #: Base symbol ("s"/"B") when this is a conversion constant like HOUR.
+    conv_family: Optional[str] = None
+
+    @property
+    def dimensioned(self) -> bool:
+        """True when this unit carries at least one base dimension."""
+        return bool(self.dims)
+
+    def describe(self) -> str:
+        """The label if known, else the exponent vector (``B·s^-1``)."""
+        if self.label:
+            return self.label
+        if not self.dims:
+            return "dimensionless"
+        parts = []
+        for base, exp in self.dims:
+            parts.append(base if exp == 1 else f"{base}^{exp}")
+        return "·".join(parts)
+
+    def same_dims(self, other: "Unit") -> bool:
+        """True when both units share the same dimension vector."""
+        return self.dims == other.dims
+
+    def same_scale(self, other: "Unit") -> bool:
+        """True unless both scales are known and clearly different."""
+        if self.scale is None or other.scale is None:
+            return True
+        a, b = self.scale, other.scale
+        return abs(a - b) <= 1e-9 * max(abs(a), abs(b))
+
+
+#: The transparent unit of a numeric literal.
+LITERAL = Unit(literal=True, label="")
+
+#: A genuinely dimensionless quantity (counts, ratios).
+DIMENSIONLESS = Unit(dims=(), scale=1.0, label="dimensionless")
+
+
+def _merge_dims(a: Dims, b: Dims, sign: int) -> Dims:
+    out: Dict[str, int] = dict(a)
+    for base, exp in b:
+        out[base] = out.get(base, 0) + sign * exp
+    return tuple(sorted((k, v) for k, v in out.items() if v != 0))
+
+
+def _pow_dims(a: Dims, n: int) -> Dims:
+    return tuple(sorted((k, v * n) for k, v in a if v * n != 0))
+
+
+def multiply(a: Unit, b: Unit) -> Optional[Unit]:
+    """``a * b`` in the algebra; ``None`` means "unknown"."""
+    a2, b2 = _resolve_conversions(a, b)
+    if a2.literal and b2.literal:
+        return LITERAL
+    if a2.literal:
+        return replace(b2, scale=None, label="", literal=False, conv_family=None)
+    if b2.literal:
+        return replace(a2, scale=None, label="", literal=False, conv_family=None)
+    scale = None
+    if a2.scale is not None and b2.scale is not None:
+        scale = a2.scale * b2.scale
+    return Unit(dims=_merge_dims(a2.dims, b2.dims, +1), scale=scale)
+
+
+def divide(a: Unit, b: Unit) -> Optional[Unit]:
+    """``a / b`` in the algebra; ``None`` means "unknown"."""
+    a2, b2 = _resolve_conversions(a, b)
+    if a2.literal and b2.literal:
+        return LITERAL
+    if b2.literal:
+        return replace(a2, scale=None, label="", literal=False, conv_family=None)
+    if a2.literal:
+        scale = None
+        return Unit(dims=_merge_dims((), b2.dims, -1), scale=scale)
+    scale = None
+    if a2.scale is not None and b2.scale is not None and b2.scale != 0:
+        scale = a2.scale / b2.scale
+    return Unit(dims=_merge_dims(a2.dims, b2.dims, -1), scale=scale)
+
+
+def power_of(a: Unit, n: int) -> Optional[Unit]:
+    """``a ** n`` for a literal integer exponent."""
+    if a.literal:
+        return LITERAL
+    scale = a.scale ** n if a.scale is not None else None
+    return Unit(dims=_pow_dims(a.dims, n), scale=scale)
+
+
+def _resolve_conversions(a: Unit, b: Unit) -> Tuple[Unit, Unit]:
+    """Decide each conversion constant's role from the *other* operand.
+
+    ``months * MONTH`` re-expresses a time value (transparent literal);
+    ``watts * DAY`` multiplies by a duration (canonical quantity).
+    """
+    return (_resolve_one(a, b), _resolve_one(b, a))
+
+
+def _resolve_one(unit: Unit, other: Unit) -> Unit:
+    if unit.conv_family is None:
+        return unit
+    other_bases = {base for base, _ in other.dims}
+    if unit.conv_family in other_bases:
+        return LITERAL
+    return Unit(dims=unit.dims, scale=1.0, label=unit.label)
+
+
+# --------------------------------------------------------------------------
+# Unit vocabulary: suffix words and ``_per_`` compounds.
+
+def _u(dims: Dims, scale: float, label: str) -> Unit:
+    return Unit(dims=dims, scale=scale, label=label)
+
+
+#: 30-day months, matching the paper's convention in repro.units.
+_MONTH_S = 30 * 86_400.0
+
+_WORDS: Dict[str, Unit] = {
+    # time
+    "ms": _u(TIME, 1e-3, "milliseconds"),
+    "s": _u(TIME, 1.0, "seconds"),
+    "sec": _u(TIME, 1.0, "seconds"),
+    "secs": _u(TIME, 1.0, "seconds"),
+    "second": _u(TIME, 1.0, "seconds"),
+    "seconds": _u(TIME, 1.0, "seconds"),
+    "min": _u(TIME, 60.0, "minutes"),
+    "minute": _u(TIME, 60.0, "minutes"),
+    "minutes": _u(TIME, 60.0, "minutes"),
+    "hour": _u(TIME, 3_600.0, "hours"),
+    "hours": _u(TIME, 3_600.0, "hours"),
+    "day": _u(TIME, 86_400.0, "days"),
+    "days": _u(TIME, 86_400.0, "days"),
+    "month": _u(TIME, _MONTH_S, "months"),
+    "months": _u(TIME, _MONTH_S, "months"),
+    "year": _u(TIME, 365 * 86_400.0, "years"),
+    "years": _u(TIME, 365 * 86_400.0, "years"),
+    # data (decimal prefixes, matching repro.units)
+    "byte": _u(DATA, 1.0, "bytes"),
+    "bytes": _u(DATA, 1.0, "bytes"),
+    "kb": _u(DATA, 1e3, "kilobytes"),
+    "mb": _u(DATA, 1e6, "megabytes"),
+    "gb": _u(DATA, 1e9, "gigabytes"),
+    "tb": _u(DATA, 1e12, "terabytes"),
+    # power
+    "w": _u(POWER, 1.0, "watts"),
+    "watt": _u(POWER, 1.0, "watts"),
+    "watts": _u(POWER, 1.0, "watts"),
+    "kw": _u(POWER, 1e3, "kilowatts"),
+    "mw": _u(POWER, 1e6, "megawatts"),
+    # energy
+    "j": _u(ENERGY, 1.0, "joules"),
+    "joule": _u(ENERGY, 1.0, "joules"),
+    "joules": _u(ENERGY, 1.0, "joules"),
+    "kj": _u(ENERGY, 1e3, "kilojoules"),
+    "wh": _u(ENERGY, 3_600.0, "watt-hours"),
+    "kwh": _u(ENERGY, 3.6e6, "kilowatt-hours"),
+    "mwh": _u(ENERGY, 3.6e9, "megawatt-hours"),
+}
+
+#: Single-letter unit words are only honoured as a real ``_x`` suffix
+#: (``step_s``, ``self_j``) — a bare ``s``/``j``/``w`` is a loop index.
+_NEEDS_UNDERSCORE = {"s", "j", "w"}
+
+
+def _word_unit(word: str) -> Optional[Unit]:
+    return _WORDS.get(word)
+
+
+def unit_of_name(name: str) -> Optional[Unit]:
+    """The unit implied by an identifier, or ``None``.
+
+    ``duration_seconds`` → seconds; ``cap_w`` → watts; compound rate
+    names parse through their last ``_per_``: ``bw_bytes_per_s`` →
+    bytes·s^-1, ``alpha_seconds_per_gb`` → seconds·gigabyte^-1.
+    """
+    lowered = name.lower()
+    if "_per_" in lowered:
+        head, _, tail = lowered.rpartition("_per_")
+        num = unit_of_name(head)
+        den = _word_unit(tail)
+        if num is None or den is None or num.literal or den.literal:
+            return None
+        out = divide(num, den)
+        if out is None or not out.dims:
+            return None
+        return replace(out, label=f"{num.describe()}/{den.describe()}")
+    if "_" in lowered:
+        tokens = lowered.split("_")
+        unit = _word_unit(tokens[-1])
+        if unit is not None and len(tokens) >= 2:
+            prev = _word_unit(tokens[-2])
+            if prev is not None and not prev.literal:
+                # Two adjacent unit tokens (``bandwidth_mb_s``) usually mean
+                # "mb per s"; without an explicit ``_per_`` we don't guess.
+                return None
+        return unit
+    if lowered in _NEEDS_UNDERSCORE:
+        return None
+    return _word_unit(lowered)
+
+
+def conversion_constant(family: str, label: str) -> Unit:
+    """A conversion-factor unit (HOUR, GB, ...) for ``family`` ("s"/"B")."""
+    dims = TIME if family == "s" else DATA
+    return Unit(dims=dims, scale=1.0, label=label, conv_family=family)
+
+
+# --------------------------------------------------------------------------
+# ``# repro-unit:`` annotations.
+
+_ANNOTATION_RE = re.compile(r"#\s*repro-unit:\s*([A-Za-z0-9_=,\s\-]+)")
+
+
+def parse_unit_spec(spec: str) -> Optional[Unit]:
+    """Parse one annotation unit string (``joules``, ``seconds_per_gb``)."""
+    spec = spec.strip().lower()
+    if not spec:
+        return None
+    if spec in ("dimensionless", "count", "ratio", "none"):
+        return DIMENSIONLESS
+    if "_per_" in spec:
+        return unit_of_name(spec)
+    return _word_unit(spec)
+
+
+def scan_unit_annotations(
+    lines: Sequence[str],
+) -> Dict[int, Dict[str, Unit]]:
+    """Per-line ``# repro-unit:`` annotations.
+
+    Returns ``{lineno: {name: unit}}``; the empty-string key holds a bare
+    unit spec (``# repro-unit: joules``) that applies to the assignment
+    target (or the function's return value) on that line.
+    """
+    out: Dict[int, Dict[str, Unit]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _ANNOTATION_RE.search(text)
+        if match is None:
+            continue
+        entry: Dict[str, Unit] = {}
+        for token in match.group(1).split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" in token:
+                name, _, spec = token.partition("=")
+                unit = parse_unit_spec(spec)
+                if unit is not None:
+                    entry[name.strip()] = unit
+            else:
+                unit = parse_unit_spec(token)
+                if unit is not None:
+                    entry[""] = unit
+        if entry:
+            out[lineno] = entry
+    return out
+
+
+def annotations_for_span(
+    annotations: Dict[int, Dict[str, Unit]], start: int, end: int
+) -> Dict[str, Unit]:
+    """Merge the annotations found on lines ``start``..``end`` inclusive."""
+    merged: Dict[str, Unit] = {}
+    for lineno in range(start, end + 1):
+        merged.update(annotations.get(lineno, {}))
+    return merged

@@ -1,0 +1,113 @@
+"""Engine bindings: one :class:`~repro.lint.engine.Rule` per flow family.
+
+All seven rules share a single analysis pass per file (cached on the
+:class:`~repro.lint.engine.FileContext` by
+:func:`~repro.lint.flow.dataflow.flow_findings`); each rule simply
+filters the cached findings down to its own id, so ``--select``,
+``--disable`` and suppression comments work per-family exactly like
+they do for the pattern rules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+from repro.lint.flow.dataflow import flow_findings
+
+__all__ = [
+    "DetClockRule",
+    "DetEnvRule",
+    "DetIterRule",
+    "DetSeedRule",
+    "DimArgRule",
+    "DimMixRule",
+    "DimReturnRule",
+]
+
+
+class _FlowRule(Rule):
+    """Shared filter over the per-file flow analysis."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield this family's findings from the shared flow pass."""
+        for finding in flow_findings(ctx):
+            if finding.rule == self.id:
+                yield finding
+
+
+@register
+class DimMixRule(_FlowRule):
+    """Dimension-mixing additive arithmetic, comparisons and assignments."""
+
+    id = "dim-mix"
+    summary = (
+        "flow-inferred dimensions clash across +/-/comparison/assignment "
+        "(e.g. seconds combined with bytes, or hours with seconds)"
+    )
+
+
+@register
+class DimArgRule(_FlowRule):
+    """Wrong-dimension argument at a resolved call boundary."""
+
+    id = "dim-arg"
+    summary = (
+        "call argument's inferred unit clashes with the callee parameter's "
+        "declared unit (inter-procedural, via function summaries)"
+    )
+
+
+@register
+class DimReturnRule(_FlowRule):
+    """Function name promises one unit, dataflow returns another."""
+
+    id = "dim-return"
+    summary = (
+        "function whose name/annotation promises one unit returns a value "
+        "whose inferred unit differs"
+    )
+
+
+@register
+class DetSeedRule(_FlowRule):
+    """Module-level (global-state) RNG use."""
+
+    id = "det-seed"
+    summary = (
+        "module-level random/np.random sampler uses global RNG state that "
+        "cannot be replayed; use a seeded generator instance"
+    )
+
+
+@register
+class DetClockRule(_FlowRule):
+    """Wall clock flowing into simulation state, seeds or cache keys."""
+
+    id = "det-clock"
+    summary = (
+        "wall-clock reading flows into simulation state, an RNG seed, "
+        "event scheduling or a cache key"
+    )
+
+
+@register
+class DetIterRule(_FlowRule):
+    """Unordered iteration feeding order-sensitive accumulation."""
+
+    id = "det-iter"
+    summary = (
+        "set/listdir iteration feeds float accumulation, list building or "
+        "event scheduling; hash order varies across processes"
+    )
+
+
+@register
+class DetEnvRule(_FlowRule):
+    """Process identity reaching payloads, seeds or cache keys."""
+
+    id = "det-env"
+    summary = (
+        "pid/env/uuid/hostname value reaches a RunRequest/RunResult "
+        "payload, an RNG seed or a cache key"
+    )

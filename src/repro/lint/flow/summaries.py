@@ -1,0 +1,328 @@
+"""Whole-package function summaries for inter-procedural dimension checks.
+
+The flow analyzer never executes code, so the only way a call boundary
+can carry dimension information is through *summaries*: a per-function
+record of what unit each parameter expects and what unit the return
+value carries.  Summaries come from three sources, in increasing order
+of precedence:
+
+1. the parameter / function *name* (``duration_s``, ``total_joules``,
+   ``gb_to_bytes``) via :func:`repro.lint.flow.dims.unit_of_name` —
+   function names only count when they contain an underscore, so a
+   converter named plainly ``hours`` (which *returns seconds*) is not
+   misread as returning hours;
+2. module-level conversion constants (``HOUR = 3_600.0``) — ALL-CAPS
+   single-dimension names become :func:`conversion constants
+   <repro.lint.flow.dims.conversion_constant>`;
+3. an explicit ``# repro-unit:`` comment on the ``def`` line (or the
+   line of a module constant), which always wins:
+   ``def hours(h):  # repro-unit: seconds, h=hours``.
+
+:func:`index_for` locates the package root of a file (walking up while
+``__init__.py`` is present), parses every module under it exactly once
+(mtime-cached across runs in the same process) and returns a
+:class:`PackageIndex` that resolves dotted module names, top-level
+functions, classes and methods.  Modules outside the root that belong
+to the ``repro`` package itself are resolved lazily through
+``importlib.util.find_spec`` so that ``tests/`` code calling into
+``src/repro`` still gets summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.flow.dims import (
+    Unit,
+    annotations_for_span,
+    conversion_constant,
+    scan_unit_annotations,
+    unit_of_name,
+)
+
+__all__ = [
+    "FunctionSummary",
+    "ModuleSummary",
+    "PackageIndex",
+    "index_for",
+    "summarize_module",
+]
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Units at one function boundary: per-parameter and return."""
+
+    name: str
+    qualname: str
+    #: Positional parameter names, ``self``/``cls`` excluded.
+    params: Tuple[str, ...] = ()
+    #: Parameter name → expected unit (only parameters with a known unit).
+    param_units: Dict[str, Unit] = field(default_factory=dict)
+    #: Unit of the return value, or None when unknown.
+    return_unit: Optional[Unit] = None
+
+    def param_unit_at(self, index: int) -> Optional[Tuple[str, Unit]]:
+        """``(name, unit)`` of the positional parameter ``index``."""
+        if 0 <= index < len(self.params):
+            name = self.params[index]
+            unit = self.param_units.get(name)
+            if unit is not None:
+                return (name, unit)
+        return None
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the analyzer knows about one parsed module."""
+
+    name: str
+    path: str
+    #: Top-level function name → summary.
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: Class name → method name → summary (``__init__`` included).
+    classes: Dict[str, Dict[str, FunctionSummary]] = field(default_factory=dict)
+    #: Module-level constant name → unit.
+    constants: Dict[str, Unit] = field(default_factory=dict)
+
+    def method(self, cls: str, name: str) -> Optional[FunctionSummary]:
+        """The summary of ``cls.name`` or None."""
+        return self.classes.get(cls, {}).get(name)
+
+
+def _positional_params(args: ast.arguments) -> List[ast.arg]:
+    params = list(args.posonlyargs) + list(args.args)
+    if params and params[0].arg in ("self", "cls"):
+        params = params[1:]
+    return params
+
+
+def summarize_function(
+    node: ast.AST,
+    annotations: Dict[int, Dict[str, Unit]],
+    qualprefix: str = "",
+) -> FunctionSummary:
+    """Build the :class:`FunctionSummary` of one ``def``."""
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    body_start = node.body[0].lineno if node.body else node.lineno
+    sig_span = annotations_for_span(annotations, node.lineno, max(node.lineno, body_start - 1))
+
+    params = _positional_params(node.args)
+    kwonly = list(node.args.kwonlyargs)
+    param_units: Dict[str, Unit] = {}
+    for arg in params + kwonly:
+        unit = sig_span.get(arg.arg)
+        if unit is None:
+            unit = unit_of_name(arg.arg)
+        if unit is not None and unit.dimensioned:
+            param_units[arg.arg] = unit
+
+    return_unit = sig_span.get("")
+    if return_unit is None and "_" in node.name:
+        return_unit = unit_of_name(node.name)
+    if return_unit is not None and not return_unit.dimensioned:
+        return_unit = None
+
+    return FunctionSummary(
+        name=node.name,
+        qualname=f"{qualprefix}{node.name}",
+        params=tuple(arg.arg for arg in params),
+        param_units=param_units,
+        return_unit=return_unit,
+    )
+
+
+def _constant_unit(name: str, node: ast.AST, annotated: Optional[Unit]) -> Optional[Unit]:
+    if annotated is not None:
+        return annotated if annotated.dimensioned else None
+    unit = unit_of_name(name)
+    if unit is None or not unit.dimensioned:
+        return None
+    # ALL-CAPS single-base constants (HOUR, GB, ...) are conversion
+    # factors: context decides whether they convert or quantify.
+    if name.isupper() and "_" not in name and len(unit.dims) == 1 and unit.dims[0][1] == 1:
+        return conversion_constant(unit.dims[0][0], unit.label or name.lower())
+    return unit
+
+
+def summarize_module(path: Path, name: str, tree: Optional[ast.Module] = None) -> ModuleSummary:
+    """Parse (if needed) and summarize one module file."""
+    if tree is None:
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except (OSError, UnicodeDecodeError, SyntaxError):
+            return ModuleSummary(name=name, path=str(path))
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError):
+        lines = []
+    annotations = scan_unit_annotations(lines)
+
+    summary = ModuleSummary(name=name, path=str(path))
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.functions[node.name] = summarize_function(node, annotations)
+        elif isinstance(node, ast.ClassDef):
+            methods: Dict[str, FunctionSummary] = {}
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods[item.name] = summarize_function(
+                        item, annotations, qualprefix=f"{node.name}."
+                    )
+            summary.classes[node.name] = methods
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            annotated = annotations.get(node.lineno, {}).get("")
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                unit = _constant_unit(target.id, node, annotated)
+                if unit is not None:
+                    summary.constants[target.id] = unit
+    return summary
+
+
+class PackageIndex:
+    """Summaries for every module under one package root.
+
+    ``root`` is the directory of the *top-level* package (the highest
+    ancestor directory still holding ``__init__.py``).  Dotted module
+    names are relative to ``root.parent``.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = root.resolve()
+        self.package = self.root.name
+        self._modules: Dict[str, ModuleSummary] = {}
+        self._mtimes: Dict[str, float] = {}
+        self._missing: set = set()
+        self.refresh()
+
+    def _module_name(self, path: Path) -> str:
+        rel = path.resolve().relative_to(self.root.parent)
+        parts = list(rel.with_suffix("").parts)
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def refresh(self) -> None:
+        """(Re)parse modules whose mtime changed; drop deleted ones."""
+        seen = set()
+        for path in sorted(self.root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            name = self._module_name(path)
+            seen.add(name)
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            if self._mtimes.get(name) == mtime:
+                continue
+            self._modules[name] = summarize_module(path, name)
+            self._mtimes[name] = mtime
+        for name in list(self._modules):
+            if name not in seen and not self._modules[name].path.startswith("<"):
+                if Path(self._modules[name].path).exists():
+                    continue
+                del self._modules[name]
+                self._mtimes.pop(name, None)
+
+    def module(self, dotted: str) -> Optional[ModuleSummary]:
+        """Resolve a dotted module name, falling back to ``find_spec``.
+
+        The fallback only fires for the local ``repro`` package (or the
+        index's own top-level package), never for third-party imports —
+        parsing numpy would be pointless and slow.
+        """
+        if dotted in self._modules:
+            return self._modules[dotted]
+        top = dotted.split(".", 1)[0]
+        if top not in ("repro", self.package) or dotted in self._missing:
+            return None
+        try:
+            spec = importlib.util.find_spec(dotted)
+        except (ImportError, ValueError, AttributeError):
+            spec = None
+        origin = getattr(spec, "origin", None)
+        if origin is None or not origin.endswith(".py"):
+            self._missing.add(dotted)
+            return None
+        summary = summarize_module(Path(origin), dotted)
+        self._modules[dotted] = summary
+        return summary
+
+    def function(self, dotted_module: str, name: str) -> Optional[FunctionSummary]:
+        """The summary of ``dotted_module.name`` (function) or None."""
+        mod = self.module(dotted_module)
+        if mod is None:
+            return None
+        return mod.functions.get(name)
+
+    def constant(self, dotted_module: str, name: str) -> Optional[Unit]:
+        """The unit of module constant ``dotted_module.name`` or None."""
+        mod = self.module(dotted_module)
+        if mod is None:
+            return None
+        return mod.constants.get(name)
+
+    def class_methods(self, dotted_module: str, cls: str) -> Optional[Dict[str, FunctionSummary]]:
+        """Method summaries of ``dotted_module.cls`` or None."""
+        mod = self.module(dotted_module)
+        if mod is None:
+            return None
+        return mod.classes.get(cls)
+
+    def find_class(self, cls: str) -> Optional[Dict[str, FunctionSummary]]:
+        """Methods of the unique class named ``cls`` across the index.
+
+        Returns None when the name is absent *or ambiguous* — a wrong
+        guess would produce false findings, so ambiguity means silence.
+        """
+        hits = [m.classes[cls] for m in self._modules.values() if cls in m.classes]
+        if len(hits) == 1:
+            return hits[0]
+        return None
+
+
+_INDEX_CACHE: Dict[str, PackageIndex] = {}
+
+
+def package_root(path: Path) -> Optional[Path]:
+    """The top-most ancestor package directory of ``path``, or None."""
+    current = path.resolve().parent
+    root = None
+    while (current / "__init__.py").exists():
+        root = current
+        if current.parent == current:
+            break
+        current = current.parent
+    return root
+
+
+def index_for(path: Path) -> Tuple[Optional[PackageIndex], Optional[str]]:
+    """``(index, dotted-module-name)`` for the file at ``path``.
+
+    Files outside any package get ``(None, None)`` — the dataflow then
+    runs with local-only summaries, which is what makes single-file test
+    fixtures work.
+    """
+    root = package_root(path)
+    if root is None:
+        return (None, None)
+    key = str(root)
+    index = _INDEX_CACHE.get(key)
+    if index is None:
+        index = PackageIndex(root)
+        _INDEX_CACHE[key] = index
+    else:
+        index.refresh()
+    try:
+        name = index._module_name(path)
+    except ValueError:
+        name = None
+    return (index, name)

@@ -1,19 +1,32 @@
-"""Finding reporters: plain text (one finding per line) and JSON."""
+"""Finding reporters: plain text, JSON and SARIF 2.1.0.
+
+Every reporter sorts its input by ``(path, line, col, rule, message)``
+before rendering, so two runs over the same tree produce byte-identical
+reports regardless of rule execution order — CI diffs and committed
+snapshots stay reproducible.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.lint.engine import Finding
+from repro.lint.engine import Finding, registered_rules
 
-__all__ = ["render_json", "render_text", "summary_line"]
+__all__ = ["render_json", "render_sarif", "render_text", "summary_line"]
+
+
+def _ordered(findings: Iterable[Finding]) -> List[Finding]:
+    """The canonical (path, line, col, rule, message) report order."""
+    return sorted(findings)
 
 
 def render_text(findings: Sequence[Finding]) -> str:
     """``path:line:col: rule: message`` lines plus a count footer."""
-    lines = [str(f) for f in findings]
-    lines.append(summary_line(findings))
+    ordered = _ordered(findings)
+    lines = [str(f) for f in ordered]
+    lines.append(summary_line(ordered))
     return "\n".join(lines)
 
 
@@ -39,6 +52,82 @@ def render_json(findings: Iterable[Finding]) -> str:
             "rule": f.rule,
             "message": f.message,
         }
-        for f in findings
+        for f in _ordered(findings)
     ]
     return json.dumps({"findings": rows, "count": len(rows)}, indent=2)
+
+
+def _relative_uri(path: str, root: Optional[Path]) -> str:
+    """``path`` relative to ``root`` when possible — SARIF wants repo URIs."""
+    candidate = Path(path)
+    if root is not None:
+        try:
+            return candidate.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return candidate.as_posix()
+
+
+def render_sarif(findings: Iterable[Finding], root: Optional[Path] = None) -> str:
+    """A SARIF 2.1.0 log, consumable by ``github/codeql-action/upload-sarif``.
+
+    ``root`` (default: the current working directory) is stripped from
+    finding paths so GitHub can anchor annotations to repo files.
+    """
+    if root is None:
+        root = Path.cwd()
+    ordered = _ordered(findings)
+    catalog = registered_rules()
+    seen_rules = sorted({f.rule for f in ordered})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": catalog[rule_id].summary
+                if rule_id in catalog
+                else rule_id
+            },
+        }
+        for rule_id in seen_rules
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(seen_rules)}
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error" if f.rule == "parse-error" else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(f.path, root),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": max(f.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in ordered
+    ]
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

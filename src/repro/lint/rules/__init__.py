@@ -2,6 +2,18 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import api, faults, obs, provenance, solver, units
+from repro.lint.flow import rules as flow
+from repro.lint.rules import (
+    api,
+    faults,
+    obs,
+    provenance,
+    solver,
+    suppressions,
+    units,
+)
 
-__all__ = ["api", "faults", "obs", "provenance", "solver", "units"]
+__all__ = [
+    "api", "faults", "flow", "obs", "provenance", "solver",
+    "suppressions", "units",
+]

@@ -1,0 +1,31 @@
+"""The ``unused-suppression`` rule.
+
+The detection itself lives in :class:`repro.lint.engine.LintRunner` —
+whether a ``# repro-lint: disable=...`` comment matched anything is only
+knowable after every other rule has run.  This class exists so the check
+has a catalog entry and participates in ``--select``/``--disable`` and
+suppression like any ordinary rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+
+__all__ = ["UnusedSuppressionRule"]
+
+
+@register
+class UnusedSuppressionRule(Rule):
+    """Suppression comments that no longer match any finding."""
+
+    id = "unused-suppression"
+    summary = (
+        "a `# repro-lint: disable=...` comment matched no finding of the "
+        "named rule; stale suppressions hide future regressions"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Engine-driven; the runner emits the findings after all rules ran."""
+        return iter(())

@@ -164,7 +164,9 @@ class Pipeline(ABC):
             )
             fault_summary = platform.last_fault_summary
             recoveries = platform.last_recoveries
-        return RunResult(
+        # wall_seconds is a diagnostic only: excluded from cache keys and
+        # from the bit-identity comparison in replay/telemetry tests.
+        return RunResult(  # repro-lint: disable=det-clock
             request=request,
             measurement=measurement,
             wall_seconds=time.perf_counter() - t0,

@@ -61,11 +61,11 @@ class ImageSizeModel:
                 f"compression ratio outside (0, 1]: {self.compression_ratio}"
             )
 
-    def bytes_per_image(self, spec: ImageSpec) -> float:
+    def bytes_per_image(self, spec: ImageSpec) -> float:  # repro-unit: bytes
         """Encoded bytes of one frame."""
         return spec.pixels * 3.0 * self.compression_ratio
 
-    def bytes_per_sample(self, spec: ImageSpec) -> float:
+    def bytes_per_sample(self, spec: ImageSpec) -> float:  # repro-unit: bytes
         """Encoded bytes of one output timestep's full image set."""
         return self.bytes_per_image(spec) * spec.images_per_sample
 
@@ -121,17 +121,17 @@ class SimulatedPlatform:
 
     # ------------------------------------------------------------ cost hooks
 
-    def simulation_seconds_per_step(self, spec: PipelineSpec) -> float:
+    def simulation_seconds_per_step(self, spec: PipelineSpec) -> float:  # repro-unit: seconds
         """Wall seconds per ocean timestep on this cluster."""
         return self.ocean_cost.seconds_per_step(spec.ocean, self.cluster.n_nodes)
 
-    def render_seconds_per_sample(self, spec: PipelineSpec) -> float:
+    def render_seconds_per_sample(self, spec: PipelineSpec) -> float:  # repro-unit: seconds
         """Wall seconds to render one output timestep's image set."""
         return self.render_cost.seconds_per_sample(
             spec.ocean.n_cells, spec.images, self.cluster.n_nodes, self.cluster.interconnect
         )
 
-    def adaptor_seconds_per_sample(self, spec: PipelineSpec) -> float:
+    def adaptor_seconds_per_sample(self, spec: PipelineSpec) -> float:  # repro-unit: seconds
         """Wall seconds of the Catalyst deep copy for one sample."""
         per_node_bytes = spec.ocean.bytes_per_sample / self.cluster.n_nodes
         return per_node_bytes / self.ADAPTOR_COPY_BANDWIDTH
@@ -447,7 +447,7 @@ class RealPlatform:
         """Wall-clock timestamp (monotonic)."""
         return time.perf_counter()
 
-    def sample_interval_hours(self) -> float:
+    def sample_interval_hours(self) -> float:  # repro-unit: hours
         """The mini run's cadence expressed in simulated hours."""
         driver_dt = TIMESTEP_SECONDS  # MiniOceanDriver default timestep
         return self.scale.steps_between_outputs * driver_dt / HOUR

@@ -31,7 +31,7 @@ class SamplingPolicy:
             )
 
     @property
-    def interval_seconds(self) -> float:
+    def interval_seconds(self) -> float:  # repro-unit: seconds
         """Sampling interval in simulated seconds."""
         return self.interval_hours * HOUR
 

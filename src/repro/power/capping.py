@@ -32,7 +32,7 @@ class CappedPrediction:
     """A model prediction adjusted for a machine power cap."""
 
     base: Prediction
-    cap_watts: float
+    cap_watts: float  # repro-unit: execution_time=seconds, energy=joules
     frequency_ratio: float
     execution_time: float
     energy: float
@@ -67,14 +67,14 @@ class PowerCapEnforcer:
         self.compute_utilization = compute_utilization
         self.overhead_watts = overhead_watts
 
-    def uncapped_watts(self) -> float:
+    def uncapped_watts(self) -> float:  # repro-unit: watts
         """Machine draw (compute + overhead) with no cap."""
         return (
             self.n_nodes * self.node_model.power(self.compute_utilization)
             + self.overhead_watts
         )
 
-    def floor_watts(self) -> float:
+    def floor_watts(self) -> float:  # repro-unit: watts
         """The lowest enforceable draw (slowest P-state, busy)."""
         f_min = self.node_model.cpu.slowest_pstate().frequency_ghz
         return (
@@ -112,7 +112,7 @@ class PowerCapEnforcer:
     def apply(
         self,
         predictor: PipelinePredictor,
-        interval_hours: float,
+        interval_hours: float,  # repro-unit: interval_hours=hours, cap_watts=watts
         cap_watts: float,
         iterations: float | None = None,
     ) -> CappedPrediction:

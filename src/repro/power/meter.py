@@ -45,7 +45,7 @@ class PowerMeter:
     def __init__(
         self,
         name: str,
-        interval: float = MINUTE,
+        interval: float = MINUTE,  # repro-unit: interval=seconds
         loss_factor: float = 1.0,
     ) -> None:
         if interval <= 0:
@@ -74,6 +74,7 @@ class PowerMeter:
         return len(self._signals)
 
     def read(self, t0: float, t1: float, interval: Optional[float] = None) -> PowerTrace:
+        # repro-unit: t0=seconds, t1=seconds, interval=seconds
         """Produce the meter's trace for the window ``[t0, t1]``."""
         if not self._signals:
             raise MeterError(f"meter {self.name!r} has no attached signals")
@@ -91,7 +92,7 @@ class PowerMeter:
         )
         return trace
 
-    def instantaneous(self, time: float) -> float:
+    def instantaneous(self, time: float) -> float:  # repro-unit: watts, time=seconds
         """True total power behind the inlet at ``time`` (watts)."""
         if not self._signals:
             raise MeterError(f"meter {self.name!r} has no attached signals")

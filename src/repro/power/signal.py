@@ -26,6 +26,7 @@ class PowerSignal:
     """An append-only piecewise-constant function of time (seconds → watts)."""
 
     def __init__(self, initial_watts: float = 0.0, start_time: float = 0.0, name: str = "") -> None:
+        # repro-unit: initial_watts=watts, start_time=seconds
         if initial_watts < 0:
             raise ConfigurationError(f"negative power: {initial_watts}")
         self.name = name
@@ -35,6 +36,7 @@ class PowerSignal:
     # ------------------------------------------------------------- recording
 
     def set(self, time: float, watts: float) -> None:
+        # repro-unit: time=seconds, watts=watts
         """Record that the component draws ``watts`` from ``time`` onwards.
 
         ``time`` must be >= the last recorded breakpoint (simulated time only
@@ -75,7 +77,7 @@ class PowerSignal:
         """A copy of the ``(time, watts)`` breakpoint list."""
         return list(zip(self._times, self._watts))
 
-    def value_at(self, time: float) -> float:
+    def value_at(self, time: float) -> float:  # repro-unit: watts, time=seconds
         """Instantaneous power at ``time`` (right-continuous)."""
         if time < self._times[0]:
             raise MeterError(f"query at {time} precedes signal start {self._times[0]}")
@@ -83,6 +85,7 @@ class PowerSignal:
         return self._watts[idx]
 
     def integrate(self, t0: float, t1: float) -> float:
+        # repro-unit: joules, t0=seconds, t1=seconds
         """Energy in joules over the window ``[t0, t1]``.
 
         The last breakpoint's power is extrapolated forward (a component
@@ -105,12 +108,14 @@ class PowerSignal:
         return float(np.sum((hi - lo) * watts))
 
     def mean(self, t0: float, t1: float) -> float:
+        # repro-unit: watts, t0=seconds, t1=seconds
         """Time-averaged power over ``[t0, t1]`` in watts."""
         if t1 <= t0:
             raise MeterError(f"degenerate averaging window [{t0}, {t1}]")
         return self.integrate(t0, t1) / (t1 - t0)
 
     def max_over(self, t0: float, t1: float) -> float:
+        # repro-unit: watts, t0=seconds, t1=seconds
         """Peak instantaneous power over ``[t0, t1]``."""
         if t1 < t0:
             raise MeterError(f"reversed window [{t0}, {t1}]")

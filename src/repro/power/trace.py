@@ -32,7 +32,7 @@ class PowerTrace:
 
     def __init__(
         self,
-        start: float,
+        start: float,  # repro-unit: start=seconds, dt=seconds, final_dt=seconds
         dt: float,
         watts: Sequence[float],
         name: str = "",
@@ -61,6 +61,7 @@ class PowerTrace:
     @classmethod
     def from_signal(
         cls, signal: "PowerSignal", t0: float, t1: float, dt: float, name: str = ""
+        # repro-unit: t0=seconds, t1=seconds, dt=seconds
     ) -> "PowerTrace":
         """Sample ``signal`` over ``[t0, t1]`` with averaging windows of ``dt``.
 
@@ -113,11 +114,12 @@ class PowerTrace:
         lefts = self.start + self.dt * np.arange(self.n_samples)
         return lefts + self.widths / 2.0
 
-    def energy(self) -> float:
+    def energy(self) -> float:  # repro-unit: joules
         """Total energy in joules (exact, including the partial tail)."""
         return float(np.dot(self.watts, self.widths))
 
     def energy_between(self, t0: float, t1: float) -> float:
+        # repro-unit: joules, t0=seconds, t1=seconds
         """Energy in joules over ``[t0, t1]`` (exact piecewise integral).
 
         The window is clipped to the trace extent.  Because the trace is
@@ -134,13 +136,13 @@ class PowerTrace:
         overlap = np.clip(np.minimum(rights, t1) - np.maximum(lefts, t0), 0.0, None)
         return float(np.dot(self.watts, overlap))
 
-    def average_power(self) -> float:
+    def average_power(self) -> float:  # repro-unit: watts
         """Duration-weighted mean power in watts."""
         if self.n_samples == 0:
             raise MeterError("average of an empty trace")
         return self.energy() / self.duration
 
-    def peak_power(self) -> float:
+    def peak_power(self) -> float:  # repro-unit: watts
         """Largest interval-average sample in watts."""
         if self.n_samples == 0:
             raise MeterError("peak of an empty trace")
@@ -173,7 +175,7 @@ class PowerTrace:
 
     # ------------------------------------------------------------- transforms
 
-    def resample(self, dt: float) -> "PowerTrace":
+    def resample(self, dt: float) -> "PowerTrace":  # repro-unit: dt=seconds
         """Re-average onto a coarser or finer uniform grid of width ``dt``.
 
         ``dt`` must tile the trace's *uniform* portion; the trailing partial
@@ -201,7 +203,7 @@ class PowerTrace:
             final_dt=float(new_edges[-1] - new_edges[-2]),
         )
 
-    def shifted(self, offset: float) -> "PowerTrace":
+    def shifted(self, offset: float) -> "PowerTrace":  # repro-unit: offset=seconds
         """The same trace translated in time by ``offset`` seconds."""
         return PowerTrace(
             self.start + offset, self.dt, self.watts.copy(), name=self.name,

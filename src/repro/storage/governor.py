@@ -52,7 +52,7 @@ class StorageDvfsGovernor:
         if not 0.0 < self.f_min_ratio <= 1.0:
             raise ConfigurationError(f"f_min ratio outside (0, 1]: {self.f_min_ratio}")
 
-    def frequency_for(self, throughput: float) -> float:
+    def frequency_for(self, throughput: float) -> float:  # repro-unit: throughput=bytes_per_s
         """Slowest frequency ratio that sustains ``throughput`` bytes/s.
 
         The CPU-imposed bandwidth ceiling scales linearly with frequency and
@@ -63,7 +63,7 @@ class StorageDvfsGovernor:
         demanded = min(1.0, throughput / self.base.rated_bandwidth)
         return max(self.f_min_ratio, demanded)
 
-    def power(self, throughput: float) -> float:
+    def power(self, throughput: float) -> float:  # repro-unit: watts, throughput=bytes_per_s
         """Rack power under the governor at the given demand."""
         f = self.frequency_for(throughput)
         cpu_idle = self.base.idle_watts * self.cpu_idle_share
@@ -76,6 +76,7 @@ class StorageDvfsGovernor:
         return self.base.power(0.0) - self.power(0.0)
 
     def governed_model(self, typical_throughput: float = 0.0) -> StoragePowerModel:
+        # repro-unit: typical_throughput=bytes_per_s
         """An equivalent static power model at a typical demand level.
 
         Useful for plugging the governed rack back into the campaign

@@ -57,6 +57,7 @@ class LustreFileSystem:
         self,
         sim: Simulator,
         capacity_bytes: float = 7.7 * TB,
+        # repro-unit: write_bandwidth=bytes_per_s, read_bandwidth=bytes_per_s, metadata_latency=seconds
         write_bandwidth: float = 160 * MB,
         read_bandwidth: float = 1_000 * MB,
         n_mds: int = 2,
@@ -180,7 +181,7 @@ class LustreFileSystem:
     def write(
         self,
         path: str,
-        nbytes: float,
+        nbytes: float,  # repro-unit: nbytes=bytes
         stripe_count: Optional[int] = None,
         overwrite: bool = False,
     ) -> Generator[object, object, FileRecord]:
@@ -262,6 +263,7 @@ class LustreFileSystem:
         return record
 
     def read(self, path: str, nbytes: Optional[float] = None) -> Generator[object, object, float]:
+        # repro-unit: nbytes=bytes
         """DES process: read ``nbytes`` (default: whole file) from ``path``."""
         record = self.stat(path)
         size = record.size if nbytes is None else float(nbytes)

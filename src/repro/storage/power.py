@@ -56,6 +56,7 @@ class StoragePowerModel:
         return self.full_load_watts - self.idle_watts
 
     def power(self, throughput: float) -> float:
+        # repro-unit: watts, throughput=bytes_per_s
         """Rack power in watts at aggregate ``throughput`` bytes/s."""
         if throughput < 0:
             raise ConfigurationError(f"negative throughput: {throughput}")

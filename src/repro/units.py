@@ -43,92 +43,92 @@ MONTH = 30 * DAY
 YEAR = 365 * DAY
 
 
-def kb_to_bytes(kb: float) -> float:
+def kb_to_bytes(kb: float) -> float:  # repro-unit: bytes, kb=kb
     """Convert kilobytes (decimal) to bytes."""
     return kb * KB
 
 
-def mb_to_bytes(mb: float) -> float:
+def mb_to_bytes(mb: float) -> float:  # repro-unit: bytes, mb=mb
     """Convert megabytes (decimal) to bytes."""
     return mb * MB
 
 
-def gb_to_bytes(gb: float) -> float:
+def gb_to_bytes(gb: float) -> float:  # repro-unit: bytes, gb=gb
     """Convert gigabytes (decimal) to bytes."""
     return gb * GB
 
 
-def tb_to_bytes(tb: float) -> float:
+def tb_to_bytes(tb: float) -> float:  # repro-unit: bytes, tb=tb
     """Convert terabytes (decimal) to bytes."""
     return tb * TB
 
 
-def bytes_to_gb(n: float) -> float:
+def bytes_to_gb(n: float) -> float:  # repro-unit: gb, n=bytes
     """Convert bytes to gigabytes (decimal)."""
     return n / GB
 
 
-def bytes_to_tb(n: float) -> float:
+def bytes_to_tb(n: float) -> float:  # repro-unit: tb, n=bytes
     """Convert bytes to terabytes (decimal)."""
     return n / TB
 
 
-def joules_to_kwh(j: float) -> float:
+def joules_to_kwh(j: float) -> float:  # repro-unit: kwh, j=joules
     """Convert joules to kilowatt-hours."""
     return j / 3.6e6
 
 
-def kwh_to_joules(kwh: float) -> float:
+def kwh_to_joules(kwh: float) -> float:  # repro-unit: joules, kwh=kwh
     """Convert kilowatt-hours to joules."""
     return kwh * 3.6e6
 
 
-def joules_to_mwh(j: float) -> float:
+def joules_to_mwh(j: float) -> float:  # repro-unit: mwh, j=joules
     """Convert joules to megawatt-hours."""
     return j / 3.6e9
 
 
-def watts_to_kw(w: float) -> float:
+def watts_to_kw(w: float) -> float:  # repro-unit: kw, w=watts
     """Convert watts to kilowatts."""
     return w / 1_000.0
 
 
-def kw_to_watts(kw: float) -> float:
+def kw_to_watts(kw: float) -> float:  # repro-unit: watts, kw=kw
     """Convert kilowatts to watts."""
     return kw * 1_000.0
 
 
-def seconds(s: float) -> float:
+def seconds(s: float) -> float:  # repro-unit: seconds, s=seconds
     """Identity, for symmetry at call sites that mix units."""
     return float(s)
 
 
-def minutes(m: float) -> float:
+def minutes(m: float) -> float:  # repro-unit: seconds, m=minutes
     """Convert minutes to seconds."""
     return m * MINUTE
 
 
-def hours(h: float) -> float:
+def hours(h: float) -> float:  # repro-unit: seconds, h=hours
     """Convert hours to seconds."""
     return h * HOUR
 
 
-def days(d: float) -> float:
+def days(d: float) -> float:  # repro-unit: seconds, d=days
     """Convert days to seconds."""
     return d * DAY
 
 
-def months(m: float) -> float:
+def months(m: float) -> float:  # repro-unit: seconds, m=months
     """Convert simulated months (30 days, the paper's convention) to seconds."""
     return m * MONTH
 
 
-def years(y: float) -> float:
+def years(y: float) -> float:  # repro-unit: seconds, y=years
     """Convert years (365 days) to seconds."""
     return y * YEAR
 
 
-def format_bytes(n: float) -> str:
+def format_bytes(n: float) -> str:  # repro-unit: n=bytes
     """Human-readable decimal size string, e.g. ``'230.0 GB'``."""
     if n != n:  # NaN
         return "nan"
@@ -140,7 +140,7 @@ def format_bytes(n: float) -> str:
     return f"{'-' if neg else ''}{n:.0f} B"
 
 
-def format_seconds(s: float) -> str:
+def format_seconds(s: float) -> str:  # repro-unit: s=seconds
     """Human-readable duration string, e.g. ``'21m 02s'``."""
     if s != s or math.isinf(s):
         return str(s)
@@ -155,7 +155,7 @@ def format_seconds(s: float) -> str:
     return f"{'-' if neg else ''}{int(h)}h {int(m)}m {sec:04.1f}s"
 
 
-def format_power(w: float) -> str:
+def format_power(w: float) -> str:  # repro-unit: w=watts
     """Human-readable power string, e.g. ``'46.3 kW'``."""
     if abs(w) >= 1e6:
         return f"{w / 1e6:.2f} MW"
@@ -164,7 +164,7 @@ def format_power(w: float) -> str:
     return f"{w:.0f} W"
 
 
-def format_energy(j: float) -> str:
+def format_energy(j: float) -> str:  # repro-unit: j=joules
     """Human-readable energy string, e.g. ``'16.2 kWh'``."""
     kwh = joules_to_kwh(j)
     if abs(kwh) >= 1_000:

@@ -365,9 +365,10 @@ class TestFaultInjector:
 
 class TestStorageResilience:
     def test_concurrent_writes_cannot_overcommit(self, sim):
+        bw = 10 * MB  # repro-unit: bytes_per_s
         fs = LustreFileSystem(
             sim, capacity_bytes=100 * MB,
-            write_bandwidth=10 * MB, read_bandwidth=10 * MB,
+            write_bandwidth=bw, read_bandwidth=bw,
         )
         results = {}
 
@@ -392,9 +393,10 @@ class TestStorageResilience:
         assert fs.stat("ckpt").size == 50 * MB
 
     def test_overwrite_only_reserves_the_growth(self, sim):
+        bw = 10 * MB  # repro-unit: bytes_per_s
         fs = LustreFileSystem(
             sim, capacity_bytes=100 * MB,
-            write_bandwidth=10 * MB, read_bandwidth=10 * MB,
+            write_bandwidth=bw, read_bandwidth=bw,
         )
         drive(sim, fs.write("ckpt", 80 * MB))
         # An append would need 80 more MB and die; a rewrite fits.

@@ -497,7 +497,7 @@ class TestShippedTreeIsClean:
         existing = env.get("PYTHONPATH")
         env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
         out = subprocess.run(
-            [sys.executable, "-m", "repro.lint", "src", "tests", "benchmarks"],
+            [sys.executable, "-m", "repro.lint", "src", "tests", "benchmarks", "examples"],
             capture_output=True,
             text=True,
             timeout=120,
@@ -591,3 +591,214 @@ class TestFaultRetryRule:
             "        time.sleep(1.0)  # repro-lint: disable=fault-retry\n",
         )
         assert "fault-retry" not in rule_ids(findings)
+
+
+class TestStableReportOrder:
+    """Reporters must emit byte-identical output for any input order."""
+
+    def _findings_shuffled(self):
+        ordered = [
+            Finding(path="a.py", line=1, col=1, rule="unit-mix", message="m"),
+            Finding(path="a.py", line=1, col=1, rule="zzz-rule", message="m"),
+            Finding(path="a.py", line=9, col=1, rule="bare-except", message="m"),
+            Finding(path="b.py", line=2, col=4, rule="bare-except", message="m"),
+        ]
+        shuffled = [ordered[2], ordered[3], ordered[1], ordered[0]]
+        return ordered, shuffled
+
+    def test_text_reporter_sorts_by_path_line_rule(self):
+        ordered, shuffled = self._findings_shuffled()
+        assert render_text(shuffled) == render_text(ordered)
+        lines = render_text(shuffled).splitlines()[:-1]
+        assert lines == [str(f) for f in ordered]
+
+    def test_json_reporter_sorts_by_path_line_rule(self):
+        ordered, shuffled = self._findings_shuffled()
+        assert render_json(shuffled) == render_json(ordered)
+        rows = json.loads(render_json(shuffled))["findings"]
+        assert [(r["path"], r["line"], r["rule"]) for r in rows] == [
+            (f.path, f.line, f.rule) for f in ordered
+        ]
+
+    def test_sarif_reporter_is_order_insensitive(self):
+        from repro.lint.reporters import render_sarif
+
+        ordered, shuffled = self._findings_shuffled()
+        assert render_sarif(shuffled) == render_sarif(ordered)
+
+
+class TestSarifReporter:
+    def _findings(self):
+        return [
+            Finding(path="src/a.py", line=3, col=1, rule="bare-except", message="m1"),
+            Finding(path="src/b.py", line=1, col=0, rule="parse-error", message="m2"),
+        ]
+
+    def test_log_shape(self):
+        from repro.lint.reporters import render_sarif
+
+        log = json.loads(render_sarif(self._findings(), root=Path.cwd()))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == 2
+
+    def test_rule_index_matches_catalog_order(self):
+        from repro.lint.reporters import render_sarif
+
+        run = json.loads(render_sarif(self._findings()))["runs"][0]
+        rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]] == result["ruleId"]
+
+    def test_parse_error_is_error_level(self):
+        from repro.lint.reporters import render_sarif
+
+        run = json.loads(render_sarif(self._findings()))["runs"][0]
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels["parse-error"] == "error"
+        assert levels["bare-except"] == "warning"
+
+    def test_uris_are_relative_to_root(self, tmp_path):
+        from repro.lint.reporters import render_sarif
+
+        finding = Finding(
+            path=str(tmp_path / "src" / "a.py"),
+            line=1, col=1, rule="bare-except", message="m",
+        )
+        run = json.loads(render_sarif([finding], root=tmp_path))["runs"][0]
+        location = run["results"][0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/a.py"
+        assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(a=[]):\n    return a\n")
+        assert lint_main(["--format", "sarif", str(target)]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"][0]["ruleId"] == "mutable-default"
+
+
+class TestBaseline:
+    def _dirty_file(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(a=[]):\n    return a\n")
+        return target
+
+    def test_write_then_check_is_clean(self, tmp_path, capsys):
+        target = self._dirty_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([
+            "--baseline", "write", "--baseline-file", str(baseline), str(target),
+        ]) == 0
+        capsys.readouterr()
+        assert lint_main([
+            "--baseline", "check", "--baseline-file", str(baseline), str(target),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "suppressed" in captured.err
+
+    def test_new_finding_fails_the_check(self, tmp_path, capsys):
+        target = self._dirty_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([
+            "--baseline", "write", "--baseline-file", str(baseline), str(target),
+        ]) == 0
+        target.write_text("def f(a=[], b={}):\n    return a, b\n")
+        assert lint_main([
+            "--baseline", "check", "--baseline-file", str(baseline), str(target),
+        ]) == 1
+        assert "mutable-default" in capsys.readouterr().out
+
+    def test_matching_is_count_bounded(self, tmp_path):
+        from repro.lint.baseline import check_baseline, write_baseline
+
+        target = self._dirty_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        findings = run_lint([str(target)])
+        write_baseline(findings, baseline)
+        # The same finding twice: the count-1 baseline absorbs only one.
+        result = check_baseline(findings + findings, baseline)
+        assert result.suppressed == len(findings)
+        assert len(result.new) == len(findings)
+
+    def test_stale_entries_are_reported_not_fatal(self, tmp_path, capsys):
+        target = self._dirty_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([
+            "--baseline", "write", "--baseline-file", str(baseline), str(target),
+        ]) == 0
+        target.write_text("def f(a=None):\n    return a\n")
+        capsys.readouterr()
+        assert lint_main([
+            "--baseline", "check", "--baseline-file", str(baseline), str(target),
+        ]) == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_missing_baseline_is_usage_error(self, tmp_path):
+        target = self._dirty_file(tmp_path)
+        assert lint_main([
+            "--baseline", "check",
+            "--baseline-file", str(tmp_path / "absent.json"), str(target),
+        ]) == 2
+
+    def test_baseline_excludes_line_numbers(self, tmp_path):
+        from repro.lint.baseline import load_baseline, write_baseline
+
+        target = self._dirty_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(run_lint([str(target)]), baseline)
+        # Shift the finding down two lines: the baseline must still absorb it.
+        target.write_text("\n\ndef f(a=[]):\n    return a\n")
+        from repro.lint.baseline import check_baseline
+
+        result = check_baseline(run_lint([str(target)]), baseline)
+        assert result.new == []
+        entries = load_baseline(baseline)
+        assert all(len(key) == 3 for key in entries)
+
+
+class TestUnusedSuppressionRule:
+    def test_pointless_line_suppression_is_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "mod.py",
+            "def f(a=None):\n"
+            "    return a  # repro-lint: disable=mutable-default\n",
+        )
+        assert rule_ids(findings) == {"unused-suppression"}
+
+    def test_used_suppression_is_not_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "mod.py",
+            "def f(a=[]):  # repro-lint: disable=mutable-default\n"
+            "    return a\n",
+        )
+        assert findings == []
+
+    def test_pointless_file_suppression_is_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "mod.py",
+            "# repro-lint: disable=bare-except\n"
+            "def f(a=None):\n    return a\n",
+        )
+        assert rule_ids(findings) == {"unused-suppression"}
+
+    def test_suppression_inside_string_literal_is_ignored(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "mod.py",
+            'FIXTURE = """\n'
+            "x = 1  # repro-lint: disable=magic-number\n"
+            '"""\n',
+        )
+        assert findings == []
+
+    def test_inactive_rule_suppressions_are_not_judged(self, tmp_path):
+        # With --select, suppressions of unselected rules must not be
+        # reported as unused — the rule never got a chance to fire.
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "def f(a=[]):  # repro-lint: disable=mutable-default\n"
+            "    return a\n"
+        )
+        findings = run_lint([str(target)], select=["bare-except", "unused-suppression"])
+        assert findings == []

@@ -133,7 +133,7 @@ class TestRegistry:
     def test_invalid_name_rejected_at_creation(self):
         reg = MetricsRegistry()
         with pytest.raises(ConfigurationError):
-            reg.counter("writes")  # repro-lint: disable=obs-naming
+            reg.counter("writes")
 
     def test_snapshot_is_json_safe(self):
         reg = MetricsRegistry()

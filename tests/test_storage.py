@@ -46,14 +46,16 @@ class TestStoragePowerModel:
     def test_paper_endpoints(self):
         m = StoragePowerModel()
         assert m.power(0.0) == 2_273.0
-        assert m.power(160 * MB) == 2_302.0
+        rated = 160 * MB  # repro-unit: bytes_per_s
+        assert m.power(rated) == 2_302.0
 
     def test_proportionality_is_1_3_percent(self):
         assert StoragePowerModel().proportionality() == pytest.approx(0.0128, abs=0.001)
 
     def test_linear_interpolation(self):
         m = StoragePowerModel()
-        assert m.power(80 * MB) == pytest.approx(2_287.5)
+        half_rated = 80 * MB  # repro-unit: bytes_per_s
+        assert m.power(half_rated) == pytest.approx(2_287.5)
 
     def test_saturates_above_rated(self):
         m = StoragePowerModel()
