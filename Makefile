@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint lint-flow lint-sarif baseline test check
+.PHONY: lint lint-flow lint-sarif baseline test check bench-history
 
 lint:
 	$(PYTHON) -m repro.lint src/ tests/ benchmarks/ examples/
@@ -19,5 +19,9 @@ baseline:
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Quick bench: gate against the trajectory ledger, then append the new row.
+bench-history:
+	$(PYTHON) -m repro bench history --quick --check --append
 
 check: lint test

@@ -13,7 +13,9 @@ Commands map onto the paper's sections:
 * ``quality``      — measured eddy-tracking fidelity vs cadence (extension).
 * ``proportionality`` — the storage/compute power-proportionality tables.
 * ``bench``        — run the fig3/fig9/fig10 sweep set through the execution
-  engine (serial vs parallel vs cached) and emit ``BENCH_exec.json``.
+  engine (serial vs parallel vs cached) and emit ``BENCH_exec.json``;
+  ``bench history`` maintains the append-only trajectory ledger
+  (``BENCH_history.jsonl``) and gates on MAD-band drift (``--check``).
 * ``lint``         — the project's static-analysis pass (see ``repro.lint``).
 * ``obs``          — inspect telemetry run directories: ``summarize``,
   ``dump``, ``diff`` (two manifests or BENCH files, threshold-gated) and
@@ -22,7 +24,10 @@ Commands map onto the paper's sections:
   tree, ``--flamegraph`` folded stacks, ``--json`` (see ``repro.obs.profile``).
 
 ``characterize``, ``report`` and ``whatif`` accept ``--telemetry PATH`` to
-record the run's spans, metrics and manifest under ``PATH``;
+record the run's spans, metrics and manifest under ``PATH``.  Telemetry
+runs also sample a continuous resource timeline (``timeline.jsonl``) with
+watchdog alerting — tune with ``--timeline-interval`` / ``--power-cap`` or
+disable with ``--no-timeline``;
 ``characterize`` and ``hypotheses`` accept ``--json`` for machine-readable
 output.  Grid-running commands accept ``--workers N`` (fan the runs out
 over a process pool; results stay bit-identical to serial) and
@@ -57,6 +62,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     telemetry_help = "record spans/metrics/manifest under this directory"
 
+    def add_telemetry_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+        p.add_argument(
+            "--timeline-interval", type=float, default=None, metavar="SECONDS",
+            help="timeline sampling grid in simulated seconds "
+            "(default: the run window / 128)",
+        )
+        p.add_argument(
+            "--no-timeline", action="store_true",
+            help="disable continuous timeline sampling under --telemetry",
+        )
+        p.add_argument(
+            "--power-cap", type=float, default=None, metavar="WATTS",
+            help="watchdog power cap: sampled draw above this emits a "
+            "critical obs.alert",
+        )
+
     def add_engine_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--workers", type=int, default=None, metavar="N",
@@ -73,7 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOURS", help="sampling cadences in simulated hours",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
-    p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+    add_telemetry_args(p)
     add_engine_args(p)
 
     p = sub.add_parser("calibrate", help="fit Eq. 5 and validate (Fig. 8)")
@@ -96,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--restart-seconds", type=float, default=30.0,
         help="recovery cost for the failure-aware sweep",
     )
-    p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+    add_telemetry_args(p)
     add_engine_args(p)
 
     p = sub.add_parser(
@@ -135,7 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the unprotected (no-checkpoint) comparison runs",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
-    p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+    add_telemetry_args(p)
     add_engine_args(p)
 
     p = sub.add_parser("plan", help="Section VII advisor")
@@ -151,12 +173,44 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="write the full Markdown study report")
     p.add_argument("--output", default="study_report.md", help="output path")
     p.add_argument("--years", type=float, default=100.0, help="what-if horizon")
-    p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+    add_telemetry_args(p)
     add_engine_args(p)
 
     p = sub.add_parser(
         "bench",
         help="execution-engine benchmark: serial vs parallel vs cached sweeps",
+    )
+    p.add_argument(
+        "action", nargs="?", choices=("run", "history"), default="run",
+        help="'run' (default) executes the sweep; 'history' inspects or "
+        "gates on the trajectory ledger",
+    )
+    p.add_argument(
+        "--history-path", default=None, metavar="PATH",
+        help="trajectory ledger location "
+        "(default: benchmarks/baselines/BENCH_history.jsonl)",
+    )
+    p.add_argument(
+        "--append", action="store_true",
+        help="history: append this run's record to the ledger",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="history: exit 2 when the run drifts beyond the MAD band of "
+        "the last --window comparable records",
+    )
+    p.add_argument(
+        "--window", type=int, default=10, metavar="N",
+        help="history: trailing comparable records forming the band",
+    )
+    p.add_argument(
+        "--mad-k", type=float, default=4.0, metavar="K",
+        help="history: band half-width in consistency-scaled MAD units",
+    )
+    p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="history: check/append an existing BENCH_exec.json instead of "
+        "re-running the sweep",
     )
     p.add_argument(
         "--quick", action="store_true",
@@ -175,7 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional speedup drop vs the baseline",
     )
     p.add_argument("--json", action="store_true", help="print the report JSON")
-    p.add_argument("--telemetry", default=None, metavar="PATH", help=telemetry_help)
+    add_telemetry_args(p)
     add_engine_args(p)
 
     p = sub.add_parser("quality", help="eddy-tracking fidelity vs cadence")
@@ -389,9 +443,64 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    from repro.exec import history as hist
+
+    path = args.history_path or hist.DEFAULT_HISTORY_PATH
+    ledger = hist.load_history(path)
+    if not args.check and not args.append:
+        print(hist.render_history(ledger))
+        return 0
+
+    if args.report is not None:
+        with open(args.report, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    else:
+        from repro.exec.bench import run_bench, summary
+
+        print(
+            "running the bench sweep for the trajectory ledger...",
+            file=sys.stderr,
+        )
+        report = run_bench(
+            quick=args.quick,
+            workers=args.workers,
+            cache_dir=args.cache,
+            output_dir=args.output,
+        )
+        print(summary(report))
+
+    code = 0
+    if args.check:
+        checks = hist.check_drift(
+            report, ledger, window=args.window, mad_k=args.mad_k
+        )
+        if not checks:
+            print(
+                f"bench history: fewer than {hist.MIN_RECORDS} comparable "
+                "record(s) in the ledger — drift check is informational (pass)"
+            )
+        else:
+            for check in checks:
+                print(f"  {check.describe()}")
+            problems = hist.drift_problems(checks)
+            if problems:
+                for problem in problems:
+                    print(f"REGRESSION: {problem}", file=sys.stderr)
+                code = 2
+            else:
+                print("drift check passed", file=sys.stderr)
+    if args.append:
+        hist.append_record(hist.history_record(report), path)
+        print(f"appended to {path}", file=sys.stderr)
+    return code
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.exec.bench import compare_to_baseline, run_bench, summary, write_report
 
+    if args.action == "history":
+        return _cmd_bench_history(args)
     print(
         "benchmarking the execution engine (serial, parallel and cached "
         "sweeps over the fig3/fig9/fig10 set)...",
@@ -538,10 +647,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if telemetry is None:
         return handler(args)
     config = {k: v for k, v in vars(args).items() if k not in ("command", "telemetry")}
+    timeline = None
+    if not getattr(args, "no_timeline", False):
+        timeline = obs.TimelineConfig(
+            interval_seconds=getattr(args, "timeline_interval", None),
+            power_cap_watts=getattr(args, "power_cap", None),
+        )
     with obs.session(
         telemetry,
         label=args.command,
         argv=list(argv) if argv is not None else sys.argv[1:],
         config=config,
+        timeline=timeline,
     ):
         return handler(args)

@@ -304,12 +304,28 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._counter = 0
         self._active_processes = 0
+        self._n_processed = 0
         self._step_listeners: list[Callable[[Event, float], None]] = []
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def queue_depth(self) -> int:
+        """Events currently scheduled (the live heap size)."""
+        return len(self._heap)
+
+    @property
+    def active_processes(self) -> int:
+        """Processes started and not yet finished."""
+        return self._active_processes
+
+    @property
+    def events_processed(self) -> int:
+        """Events processed since the simulator was created."""
+        return self._n_processed
 
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
         self._counter += 1
@@ -370,6 +386,7 @@ class Simulator:
         if time < self._now:  # pragma: no cover - guarded by _enqueue
             raise SimulationError("event scheduled in the past")
         self._now = time
+        self._n_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

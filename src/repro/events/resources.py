@@ -41,11 +41,13 @@ class Resource:
         resource.release(req)
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ResourceError(f"resource capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        #: Optional human-readable identity (used by timeline probes).
+        self.name = name
         self._in_use = 0
         self._queue: deque[Event] = deque()
         self._granted: set[int] = set()
@@ -59,6 +61,11 @@ class Resource:
     def queue_length(self) -> int:
         """Number of requests waiting."""
         return len(self._queue)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of slots currently granted, in [0, 1]."""
+        return self._in_use / self.capacity
 
     def request(self) -> Event:
         """Return an event that fires when a slot is granted."""
@@ -186,6 +193,11 @@ class BandwidthPipe:
     def current_rate(self) -> float:
         """Aggregate instantaneous throughput in bytes/second."""
         return sum(t.rate for t in self._active)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of link capacity currently in use, in [0, 1]."""
+        return self.current_rate / self.capacity
 
     @property
     def bytes_moved(self) -> float:

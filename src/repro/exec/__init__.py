@@ -19,18 +19,38 @@ from repro.exec.api import (
 )
 from repro.exec.cache import DiskCache, default_code_version
 from repro.exec.engine import ExecutionEngine, execute_request
+from repro.exec.history import (
+    DEFAULT_HISTORY_PATH,
+    DriftCheck,
+    append_record,
+    check_drift,
+    drift_problems,
+    history_record,
+    host_fingerprint,
+    load_history,
+    render_history,
+)
 
 __all__ = [
+    "DEFAULT_HISTORY_PATH",
     "MODE_REAL",
     "MODE_SIMULATED",
     "DiskCache",
+    "DriftCheck",
     "ExecutionEngine",
     "RunRequest",
     "RunResult",
+    "append_record",
     "build_pipeline",
+    "check_drift",
     "default_code_version",
+    "drift_problems",
     "execute_request",
+    "history_record",
+    "host_fingerprint",
+    "load_history",
     "pipeline_factories",
+    "render_history",
     "reset_legacy_warnings",
     "warn_legacy",
 ]

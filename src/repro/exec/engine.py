@@ -200,6 +200,7 @@ class ExecutionEngine:
                 label=session.label,
                 task_index=task_index,
                 shard_dir=shard_dir,
+                timeline=session.timeline,
             ),
         )
 

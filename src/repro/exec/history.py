@@ -1,0 +1,280 @@
+"""The benchmark trajectory ledger: ``repro bench history``.
+
+A single committed baseline JSON answers "is this run slower than the one
+blessed snapshot?" but says nothing about *drift* — the slow accretion of
+small regressions that each pass a 20 % gate.  The ledger fixes that:
+
+* :func:`history_record` distills a ``BENCH_exec.json`` report into one
+  compact row — stage wall times, speedups, cache stats, git commit and a
+  host fingerprint — and :func:`append_record` appends it to the
+  append-only ``benchmarks/baselines/BENCH_history.jsonl``.
+* :func:`check_drift` compares a fresh report against the median of the
+  last *N* comparable rows (same CPU count, same quick/full sweep) with a
+  MAD-based tolerance band.  Wall times fail *above* the band, speedups
+  fail *below* it; the other direction is improvement, not drift.
+
+The band half-width is ``max(mad_k * 1.4826 * MAD, rel_floor * |median|)``:
+the ``1.4826`` factor makes the MAD a consistent sigma estimator under
+normal noise, and the relative floor keeps near-constant histories (MAD
+~ 0) from flagging ordinary scheduler jitter.  Fewer than
+:data:`MIN_RECORDS` comparable rows means there is no trajectory yet — the
+check reports informationally and passes, so a fresh clone or a new CI
+host class never blocks on an empty ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.manifest import SCHEMA_VERSION, collect_provenance
+
+__all__ = [
+    "DEFAULT_HISTORY_PATH",
+    "DEFAULT_MAD_K",
+    "DEFAULT_REL_FLOOR",
+    "DEFAULT_WINDOW",
+    "DriftCheck",
+    "MIN_RECORDS",
+    "SPEEDUP_METRICS",
+    "WALL_METRICS",
+    "append_record",
+    "check_drift",
+    "drift_problems",
+    "history_record",
+    "host_fingerprint",
+    "load_history",
+    "render_history",
+]
+
+#: Where the committed ledger lives, relative to the repo root.
+DEFAULT_HISTORY_PATH = os.path.join("benchmarks", "baselines", "BENCH_history.jsonl")
+
+#: How many trailing comparable records form the reference window.
+DEFAULT_WINDOW = 10
+
+#: Below this many comparable records the drift check is informational.
+MIN_RECORDS = 3
+
+#: Band half-width in (consistency-scaled) MAD units.
+DEFAULT_MAD_K = 4.0
+
+#: Relative floor on the band half-width, as a fraction of |median|.
+DEFAULT_REL_FLOOR = 0.25
+
+#: MAD -> sigma consistency factor for normally distributed noise.
+MAD_SCALE = 1.4826
+
+#: Report keys where *larger* is worse (fail above the band).
+WALL_METRICS = ("serial_seconds", "parallel_seconds", "cached_seconds")
+
+#: Report keys where *smaller* is worse (fail below the band).
+SPEEDUP_METRICS = ("speedup_parallel", "speedup_cached")
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """What makes two bench hosts comparable: cores, arch, OS, python."""
+    return {
+        "cpus": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "platform": sys.platform,
+        "python": sys.version.split()[0],
+    }
+
+
+def history_record(report: dict, created_unix: Optional[float] = None) -> dict:
+    """One ledger row distilled from a ``run_bench`` report."""
+    metrics = {}
+    for key in WALL_METRICS + SPEEDUP_METRICS:
+        if key in report:
+            metrics[key] = float(report[key])
+    if not metrics:
+        raise ConfigurationError(
+            "bench report carries none of the ledger metrics "
+            f"{WALL_METRICS + SPEEDUP_METRICS}"
+        )
+    provenance = collect_provenance()
+    cache = report.get("cache") or {}
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": float(
+            created_unix if created_unix is not None else time.time()
+        ),
+        "git_commit": provenance.get("git_commit"),
+        "repro_version": provenance.get("repro_version"),
+        "host": host_fingerprint(),
+        "quick": bool(report.get("quick", False)),
+        "workers": report.get("workers"),
+        "n_tasks": (report.get("workload") or {}).get("n_tasks"),
+        "cache": {
+            "entries": cache.get("entries"),
+            "hits": cache.get("hits"),
+            "misses": cache.get("misses"),
+        },
+        "metrics": metrics,
+    }
+
+
+def append_record(record: dict, path: str = DEFAULT_HISTORY_PATH) -> str:
+    """Append one row to the ledger (append-only; creates parents)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True))
+        fh.write("\n")
+    return path
+
+
+def load_history(path: str = DEFAULT_HISTORY_PATH) -> List[dict]:
+    """The ledger rows in file order; ``[]`` when the file does not exist."""
+    if not os.path.exists(path):
+        return []
+    from repro.obs.exporters import read_jsonl
+
+    return list(read_jsonl(path))
+
+
+def _comparable(record: dict, report: dict) -> bool:
+    """Same sweep set and same core count — wall times only compare then."""
+    host = record.get("host") or {}
+    return (
+        bool(record.get("quick", False)) == bool(report.get("quick", False))
+        and host.get("cpus") == (report.get("cpus") or os.cpu_count() or 1)
+    )
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class DriftCheck:
+    """One metric's verdict against its trajectory band."""
+
+    metric: str
+    value: float
+    median: float
+    halfwidth: float
+    n: int
+    direction: str  # "above" (wall time) or "below" (speedup) is failure
+    failed: bool
+
+    def describe(self) -> str:
+        """One human-readable line."""
+        edge = (
+            self.median + self.halfwidth
+            if self.direction == "above"
+            else self.median - self.halfwidth
+        )
+        verdict = "DRIFT" if self.failed else "ok"
+        return (
+            f"{self.metric:18s} {self.value:10.3f} vs median {self.median:10.3f} "
+            f"(n={self.n}, {self.direction}-edge {edge:10.3f})  {verdict}"
+        )
+
+
+def check_drift(
+    report: dict,
+    history: Sequence[dict],
+    window: int = DEFAULT_WINDOW,
+    mad_k: float = DEFAULT_MAD_K,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    min_records: int = MIN_RECORDS,
+) -> List[DriftCheck]:
+    """Per-metric drift verdicts for ``report`` against the ledger.
+
+    Empty list means "no trajectory yet" (fewer than ``min_records``
+    comparable rows) — callers must treat that as an informational pass.
+    """
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1: {window}")
+    if mad_k <= 0 or rel_floor < 0:
+        raise ConfigurationError(
+            f"mad_k must be > 0 and rel_floor >= 0: {mad_k}, {rel_floor}"
+        )
+    recent = [r for r in history if _comparable(r, report)][-window:]
+    if len(recent) < min_records:
+        return []
+    checks: List[DriftCheck] = []
+    for metric in WALL_METRICS + SPEEDUP_METRICS:
+        if metric not in report:
+            continue
+        series = [
+            float(r["metrics"][metric])
+            for r in recent
+            if metric in (r.get("metrics") or {})
+        ]
+        if len(series) < min_records:
+            continue
+        med = _median(series)
+        mad = _median([abs(v - med) for v in series])
+        halfwidth = max(mad_k * MAD_SCALE * mad, rel_floor * abs(med))
+        value = float(report[metric])
+        if metric in WALL_METRICS:
+            direction = "above"
+            failed = value > med + halfwidth
+        else:
+            direction = "below"
+            failed = value < med - halfwidth
+        checks.append(
+            DriftCheck(
+                metric=metric,
+                value=value,
+                median=med,
+                halfwidth=halfwidth,
+                n=len(series),
+                direction=direction,
+                failed=failed,
+            )
+        )
+    return checks
+
+
+def drift_problems(checks: Sequence[DriftCheck]) -> List[str]:
+    """The failing checks as regression messages (empty = pass)."""
+    return [
+        f"bench drift: {c.metric} {c.value:.3f} beyond "
+        f"{'upper' if c.direction == 'above' else 'lower'} band edge "
+        f"(median {c.median:.3f} over last {c.n}, half-width {c.halfwidth:.3f})"
+        for c in checks
+        if c.failed
+    ]
+
+
+def render_history(history: Sequence[dict], limit: int = 10) -> str:
+    """The last ``limit`` ledger rows as an aligned text table."""
+    rows = list(history)[-limit:]
+    if not rows:
+        return "bench history: empty ledger"
+    lines = [
+        f"bench history: {len(history)} record(s), last {len(rows)} shown",
+        f"  {'commit':>9s} {'cpus':>4s} {'sweep':>5s} {'serial':>8s} "
+        f"{'parallel':>8s} {'cached':>8s} {'par x':>6s} {'cach x':>6s}",
+    ]
+    for row in rows:
+        metrics = row.get("metrics") or {}
+        commit = str(row.get("git_commit") or "?")[:9]
+        lines.append(
+            "  "
+            f"{commit:>9s} "
+            f"{(row.get('host') or {}).get('cpus', '?'):>4} "
+            f"{'quick' if row.get('quick') else 'full':>5s} "
+            f"{metrics.get('serial_seconds', float('nan')):>8.2f} "
+            f"{metrics.get('parallel_seconds', float('nan')):>8.2f} "
+            f"{metrics.get('cached_seconds', float('nan')):>8.2f} "
+            f"{metrics.get('speedup_parallel', float('nan')):>6.2f} "
+            f"{metrics.get('speedup_cached', float('nan')):>6.2f}"
+        )
+    return "\n".join(lines)

@@ -7,6 +7,13 @@
   unit suffix from :data:`repro.obs.naming.METRIC_UNITS`.  Keeping names
   well-formed here is what keeps dashboards and the Prometheus exposition
   queryable without per-metric cleanup.
+
+  The same rule polices the timeline/watchdog namespaces: series names
+  registered via ``add_probe`` must match
+  ``repro_timeline_<layer>_<name>_<unit>``, ``WatchRule(series=...)``
+  selectors the same grammar (a trailing ``*`` prefix wildcard allowed),
+  and ``WatchRule(name=...)`` must be snake_case so the derived
+  ``repro_alert_<name>_total`` counter is well-formed.
 """
 
 from __future__ import annotations
@@ -14,13 +21,27 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.errors import ConfigurationError
 from repro.lint.engine import FileContext, Finding, Rule, register
-from repro.obs.naming import METRIC_NAME_RE, METRIC_UNITS
+from repro.obs.naming import (
+    METRIC_NAME_RE,
+    METRIC_UNITS,
+    RULE_NAME_RE,
+    TIMELINE_SERIES_RE,
+    TIMELINE_UNITS,
+    validate_timeline_series_name,
+)
 
 __all__ = ["ObsNamingRule"]
 
 #: Call names whose first string-literal argument is a metric name.
 _METRIC_CALLS = frozenset({"counter", "gauge", "histogram", "observe"})
+
+#: Call names whose first string-literal argument is a timeline series name.
+_PROBE_CALLS = frozenset({"add_probe"})
+
+#: Constructor names whose keyword literals carry watch-rule naming.
+_WATCH_CALLS = frozenset({"WatchRule"})
 
 
 def _call_name(node: ast.Call) -> str:
@@ -47,9 +68,12 @@ class ObsNamingRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Flag malformed string-literal metric names at telemetry calls."""
         for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call) or not node.args:
+            if not isinstance(node, ast.Call):
                 continue
-            if _call_name(node) not in _METRIC_CALLS:
+            call = _call_name(node)
+            if call in _WATCH_CALLS:
+                yield from self._check_watch_rule(ctx, node)
+            if not node.args:
                 continue
             first = node.args[0]
             if not isinstance(first, ast.Constant) or not isinstance(first.value, str):
@@ -60,10 +84,44 @@ class ObsNamingRule(Rule):
                 # (str.count lookalikes, numpy, etc.); only police our own
                 # namespace.
                 continue
-            if not METRIC_NAME_RE.match(name):
+            if call in _PROBE_CALLS:
+                if not TIMELINE_SERIES_RE.match(name):
+                    yield ctx.finding(
+                        self.id,
+                        first,
+                        f"timeline series {name!r} violates "
+                        f"repro_timeline_<layer>_<name>_<unit> "
+                        f"(unit must be one of {', '.join(TIMELINE_UNITS)})",
+                    )
+            elif call in _METRIC_CALLS and not METRIC_NAME_RE.match(name):
                 yield ctx.finding(
                     self.id,
                     first,
                     f"metric name {name!r} violates repro_<layer>_<name>_<unit> "
                     f"(unit must be one of {', '.join(METRIC_UNITS)})",
+                )
+
+    def _check_watch_rule(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        """Validate the naming-bearing literals of a ``WatchRule(...)`` call."""
+        for keyword in node.keywords:
+            value = keyword.value
+            if not isinstance(value, ast.Constant) or not isinstance(value.value, str):
+                continue
+            if keyword.arg == "series":
+                try:
+                    validate_timeline_series_name(value.value)
+                except ConfigurationError:
+                    yield ctx.finding(
+                        self.id,
+                        value,
+                        f"watch-rule selector {value.value!r} violates "
+                        f"repro_timeline_<layer>_<name>_<unit> "
+                        f"(trailing '*' prefix wildcard allowed)",
+                    )
+            elif keyword.arg == "name" and not RULE_NAME_RE.match(value.value):
+                yield ctx.finding(
+                    self.id,
+                    value,
+                    f"watch-rule name {value.value!r} must be snake_case so "
+                    f"repro_alert_<name>_total is well-formed",
                 )

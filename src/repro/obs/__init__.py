@@ -10,10 +10,16 @@ Zero-dependency observability for every layer of the reproduction:
 * **Exporters** — JSONL event streams, Prometheus text exposition, and the
   per-run :class:`RunManifest` (config, durations, metric snapshot,
   provenance) written next to benchmark results.
+* **Timelines** (:class:`TimelineSampler`, :class:`TimelineConfig`) —
+  sim-clock-gridded snapshots of live engine/storage/power gauges into a
+  ring-buffered ``timeline.jsonl`` stream.
+* **Watchdogs** (:class:`WatchRule`, :class:`Watchdog`) — declarative SLO
+  rules evaluated at every timeline sample, emitting ``obs.alert`` events
+  and ``repro_alert_<name>_total`` counters.
 
 Everything is a no-op until a :func:`session` is active, so instrumented
-code paths are bit-identical with telemetry disabled.  See the README's
-"Observability" section and ``examples/telemetry_demo.py``.
+code paths are bit-identical with telemetry disabled.  See
+``docs/OBSERVABILITY.md`` and ``examples/telemetry_demo.py``.
 """
 
 from __future__ import annotations
@@ -23,10 +29,20 @@ from repro.obs.manifest import (
     EVENTS_FILENAME,
     MANIFEST_FILENAME,
     PROM_FILENAME,
+    TIMELINE_FILENAME,
     RunManifest,
     collect_provenance,
 )
-from repro.obs.naming import METRIC_NAME_RE, METRIC_UNITS, validate_metric_name
+from repro.obs.naming import (
+    ALERT_METRIC_RE,
+    METRIC_NAME_RE,
+    METRIC_UNITS,
+    TIMELINE_SERIES_RE,
+    TIMELINE_UNITS,
+    alert_metric_name,
+    validate_metric_name,
+    validate_timeline_series_name,
+)
 from repro.obs.registry import (
     Counter,
     DEFAULT_BUCKETS,
@@ -53,11 +69,31 @@ from repro.obs.telemetry import (
     shard_session,
     span,
 )
+from repro.obs.timeline import (
+    DEFAULT_TIMELINE_POINTS,
+    TimelineConfig,
+    TimelineSampler,
+    engine_probes,
+    power_probes,
+    resource_probes,
+    storage_probes,
+)
 from repro.obs.trace import TraceContext, derive_trace_id
+from repro.obs.watch import (
+    SEVERITIES,
+    Alert,
+    WatchRule,
+    Watchdog,
+    default_rules,
+    severity_rank,
+)
 
 __all__ = [
+    "ALERT_METRIC_RE",
+    "Alert",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_TIMELINE_POINTS",
     "EVENTS_FILENAME",
     "Gauge",
     "Histogram",
@@ -69,27 +105,43 @@ __all__ = [
     "PHASE_SECONDS_METRIC",
     "PROM_FILENAME",
     "RunManifest",
+    "SEVERITIES",
     "SHARDS_DIRNAME",
     "SIM",
     "Span",
+    "TIMELINE_FILENAME",
+    "TIMELINE_SERIES_RE",
+    "TIMELINE_UNITS",
     "TelemetrySession",
+    "TimelineConfig",
+    "TimelineSampler",
     "TraceContext",
     "WALL",
+    "WatchRule",
+    "Watchdog",
     "active",
+    "alert_metric_name",
     "collect_provenance",
     "counter",
     "default_registry",
+    "default_rules",
     "derive_trace_id",
     "enabled",
+    "engine_probes",
     "event",
     "gauge",
     "observe",
     "phase",
+    "power_probes",
     "read_jsonl",
+    "resource_probes",
     "session",
+    "severity_rank",
     "shard_session",
     "span",
+    "storage_probes",
     "to_prometheus",
     "validate_metric_name",
+    "validate_timeline_series_name",
     "write_prometheus",
 ]

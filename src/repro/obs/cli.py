@@ -2,14 +2,16 @@
 
 * ``repro obs summarize PATH`` — round-trip a run's ``manifest.json`` +
   ``events.jsonl`` and print the human summary (phases, spans, metrics,
-  provenance).
+  timeline coverage, alerts, provenance).
 * ``repro obs dump PATH`` — stream the raw JSONL records to stdout.
 * ``repro obs diff BASELINE CANDIDATE`` — per-metric relative deltas of two
   manifests (or any numeric JSON, e.g. BENCH reports); exit 3 beyond
   ``--threshold`` (see :mod:`repro.obs.diff`).
 * ``repro obs report DIR`` — one self-contained HTML file: phase timeline,
-  per-span energy table, optional diff summary (see
-  :mod:`repro.obs.report`).
+  per-span energy table, timeline sparklines with alert markers, optional
+  diff summary (see :mod:`repro.obs.report`).
+* ``repro obs check PATH`` — gate on watchdog alerts: exit 2 when the run
+  recorded any ``obs.alert`` at or above ``--min-severity``.
 
 ``PATH`` may be the telemetry directory, the manifest file, or the events
 file; the other artifacts are found beside it.
@@ -23,11 +25,27 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs as _obs
 from repro.errors import ConfigurationError, ReproError
 from repro.obs.exporters import read_jsonl
-from repro.obs.manifest import EVENTS_FILENAME, MANIFEST_FILENAME, RunManifest
+from repro.obs.manifest import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    TIMELINE_FILENAME,
+    RunManifest,
+)
+from repro.obs.watch import SEVERITIES, severity_rank
 
-__all__ = ["build_parser", "main", "resolve_directory", "summarize"]
+__all__ = [
+    "build_parser",
+    "collect_alerts",
+    "main",
+    "resolve_directory",
+    "summarize",
+]
+
+#: Record types the summary knows how to roll up.
+_KNOWN_RECORD_TYPES = ("span", "phase", "event", "sample")
 
 
 def resolve_directory(path: str) -> str:
@@ -59,6 +77,85 @@ def _span_rollup(events: Sequence[dict]) -> Dict[str, List[float]]:
         entry[0] += 1
         entry[1] += float(record.get("dur", 0.0))
     return rollup
+
+
+def _unknown_kinds(events: Sequence[dict]) -> Dict[str, int]:
+    """Counts of record types the summary does not understand.
+
+    Each sighting also increments ``repro_obs_unknown_records_total`` (a
+    no-op outside a session, same idiom as the truncation counter) so an
+    instrumented caller sees schema drift in its metrics, not just stderr.
+    """
+    unknown: Dict[str, int] = {}
+    for record in events:
+        kind = str(record.get("type"))
+        if kind in _KNOWN_RECORD_TYPES:
+            continue
+        unknown[kind] = unknown.get(kind, 0) + 1
+        # Straight to the default registry: summarize runs outside any
+        # session, where the no-op `obs.counter` helper would drop the count.
+        _obs.default_registry().counter(
+            "repro_obs_unknown_records_total", kind=kind
+        ).inc()
+    return unknown
+
+
+def collect_alerts(events: Sequence[dict]) -> List[dict]:
+    """The ``obs.alert`` payloads of an event stream, in emission order."""
+    alerts = []
+    for record in events:
+        if record.get("type") == "event" and record.get("name") == "obs.alert":
+            alerts.append(dict(record.get("fields") or {}))
+    return alerts
+
+
+def _load_timeline(directory: str) -> List[dict]:
+    path = os.path.join(directory, TIMELINE_FILENAME)
+    if not os.path.exists(path):
+        return []
+    return list(read_jsonl(path))
+
+
+def _timeline_lines(samples: Sequence[dict]) -> List[str]:
+    if not samples:
+        return []
+    series: set = set()
+    for sample in samples:
+        series.update((sample.get("values") or {}).keys())
+    t0 = float(samples[0].get("t", 0.0))
+    t1 = float(samples[-1].get("t", 0.0))
+    return [
+        f"timeline: {len(samples)} samples across {len(series)} series "
+        f"(t = {t0:g} .. {t1:g} s)"
+    ]
+
+
+def _alert_lines(alerts: Sequence[dict]) -> List[str]:
+    if not alerts:
+        return []
+    by_severity: Dict[str, int] = {}
+    for alert in alerts:
+        severity = str(alert.get("severity", "warning"))
+        by_severity[severity] = by_severity.get(severity, 0) + 1
+    ordered = ", ".join(
+        f"{sev}: {by_severity[sev]}"
+        for sev in reversed(SEVERITIES)
+        if sev in by_severity
+    )
+    lines = [f"alerts: {len(alerts)} ({ordered})"]
+    seen: set = set()
+    for alert in alerts:
+        key = (alert.get("rule"), alert.get("series"))
+        if key in seen:
+            continue
+        seen.add(key)
+        lines.append(
+            f"  [{alert.get('severity', '?'):8s}] {alert.get('rule', '?')} "
+            f"on {alert.get('series', '?')} at t={float(alert.get('t', 0.0)):g} "
+            f"(value {float(alert.get('value', 0.0)):g} vs "
+            f"{float(alert.get('threshold', 0.0)):g})"
+        )
+    return lines
 
 
 def _metric_lines(manifest: RunManifest) -> List[str]:
@@ -123,10 +220,20 @@ def summarize(path: str) -> str:
         for name, (count, dur) in sorted(rollup.items(), key=lambda kv: -kv[1][1])[:10]:
             lines.append(f"  {name:24s} x{int(count):<6d} {dur:12.2f} s")
 
+    lines.extend(_timeline_lines(_load_timeline(directory)))
+    lines.extend(_alert_lines(collect_alerts(events)))
+
     metric_lines = _metric_lines(manifest)
     if metric_lines:
         lines.append(f"metrics: {len(manifest.metrics)} families")
         lines.extend(metric_lines)
+
+    unknown = _unknown_kinds(events)
+    if unknown:
+        kinds = ", ".join(f"{k} (x{unknown[k]})" for k in sorted(unknown))
+        lines.append(
+            f"ignored {sum(unknown.values())} record(s) of unknown kind: {kinds}"
+        )
     return "\n".join(lines)
 
 
@@ -181,6 +288,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--threshold", type=float, default=0.2,
         help="diff threshold for the embedded comparison",
+    )
+
+    p = sub.add_parser(
+        "check", help="exit 2 when the run recorded watchdog alerts"
+    )
+    p.add_argument(
+        "path", help="telemetry directory (or its manifest/events file)"
+    )
+    p.add_argument(
+        "--min-severity", default="warning", choices=SEVERITIES,
+        help="lowest severity that fails the check (default: warning)",
     )
     return parser
 
@@ -243,6 +361,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    directory = resolve_directory(args.path)
+    alerts = collect_alerts(_load_events(directory))
+    floor = severity_rank(args.min_severity)
+    failing = [
+        a for a in alerts
+        if severity_rank(str(a.get("severity", "warning"))) >= floor
+    ]
+    for line in _alert_lines(alerts):
+        print(line)
+    if failing:
+        print(
+            f"check failed: {len(failing)} alert(s) at or above "
+            f"{args.min_severity!r}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"check passed: no alerts at or above {args.min_severity!r}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro obs``; returns the exit code."""
     args = build_parser().parse_args(argv)
@@ -254,6 +393,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_dump(args)
         if args.action == "diff":
             return _cmd_diff(args)
+        if args.action == "check":
+            return _cmd_check(args)
         return _cmd_report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

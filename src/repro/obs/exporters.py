@@ -15,7 +15,7 @@ import os
 import warnings
 from typing import IO, Dict, Iterator, Optional
 
-from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.registry import DEFAULT_BUCKETS, Histogram, MetricsRegistry
 
 __all__ = ["JsonlWriter", "read_jsonl", "to_prometheus", "write_prometheus"]
 
@@ -113,6 +113,17 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         if family.help:
             lines.append(f"# HELP {family.name} {family.help}")
         lines.append(f"# TYPE {family.name} {family.kind}")
+        if family.kind == "histogram" and not family.series:
+            # A histogram family with zero observations still exposes its
+            # full zero-valued shape — buckets, _sum and _count — so a
+            # scraper's rate()/delta() over the series is well-defined from
+            # the first exposition onward.
+            for bound in tuple(family.bounds or DEFAULT_BUCKETS):
+                labelled = _render_labels({"le": f"{bound:g}"})
+                lines.append(f"{family.name}_bucket{labelled} 0")
+            lines.append(f'{family.name}_bucket{{le="+Inf"}} 0')
+            lines.append(f"{family.name}_sum 0")
+            lines.append(f"{family.name}_count 0")
         for metric in family.series.values():
             if isinstance(metric, Histogram):
                 for le, cum in metric.cumulative():

@@ -24,6 +24,7 @@ __all__ = [
     "PROM_FILENAME",
     "RunManifest",
     "SCHEMA_VERSION",
+    "TIMELINE_FILENAME",
     "collect_provenance",
 ]
 
@@ -31,6 +32,8 @@ __all__ = [
 MANIFEST_FILENAME = "manifest.json"
 EVENTS_FILENAME = "events.jsonl"
 PROM_FILENAME = "metrics.prom"
+#: Sampled time series (present only when timeline sampling is enabled).
+TIMELINE_FILENAME = "timeline.jsonl"
 
 #: Bump when the manifest layout changes incompatibly.
 SCHEMA_VERSION = 1
@@ -90,6 +93,8 @@ class RunManifest:
     provenance: Dict[str, Any] = field(default_factory=dict)
     n_events: int = 0
     events_file: str = EVENTS_FILENAME
+    #: Timeline samples emitted (0 when sampling was off — no timeline file).
+    n_timeline: int = 0
     schema_version: int = SCHEMA_VERSION
     #: Deterministic trace id shared by every record (and worker shard) of
     #: the session; ``None`` only for manifests predating tracing.
@@ -109,6 +114,7 @@ class RunManifest:
             "provenance": dict(self.provenance),
             "n_events": self.n_events,
             "events_file": self.events_file,
+            "n_timeline": self.n_timeline,
             "trace_id": self.trace_id,
         }
 
@@ -127,6 +133,7 @@ class RunManifest:
                 provenance=dict(data.get("provenance", {})),
                 n_events=int(data.get("n_events", 0)),
                 events_file=data.get("events_file", EVENTS_FILENAME),
+                n_timeline=int(data.get("n_timeline", 0)),
                 schema_version=int(data.get("schema_version", SCHEMA_VERSION)),
                 trace_id=data.get("trace_id"),
             )

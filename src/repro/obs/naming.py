@@ -14,6 +14,16 @@ Examples: ``repro_pipeline_phase_seconds``, ``repro_storage_written_bytes``,
 ``repro_events_processed_total``.  The convention is enforced at runtime by
 :class:`~repro.obs.registry.MetricsRegistry` and statically by the
 ``obs-naming`` lint rule.
+
+Two sibling namespaces ride on the same grammar:
+
+* **timeline series** (:mod:`repro.obs.timeline`) are named
+  ``repro_timeline_<layer>_<name>_<unit>`` — the fixed ``timeline`` segment
+  keeps sampled series distinguishable from registry metrics, and rates get
+  the extra ``bytes_per_second`` unit;
+* **alert counters** (:mod:`repro.obs.watch`) are named
+  ``repro_alert_<name>_total`` — derived from a snake-case
+  :class:`~repro.obs.watch.WatchRule` name.
 """
 
 from __future__ import annotations
@@ -22,15 +32,39 @@ import re
 
 from repro.errors import ConfigurationError
 
-__all__ = ["METRIC_NAME_RE", "METRIC_UNITS", "validate_metric_name"]
+__all__ = [
+    "ALERT_METRIC_RE",
+    "METRIC_NAME_RE",
+    "METRIC_UNITS",
+    "RULE_NAME_RE",
+    "TIMELINE_SERIES_RE",
+    "TIMELINE_UNITS",
+    "alert_metric_name",
+    "validate_metric_name",
+    "validate_timeline_series_name",
+]
 
 #: Allowed unit suffixes.  ``total`` is the Prometheus idiom for counts.
 METRIC_UNITS = ("total", "seconds", "bytes", "watts", "joules", "ratio")
+
+#: Units allowed on timeline series: registry units plus instantaneous rates.
+TIMELINE_UNITS = METRIC_UNITS + ("bytes_per_second",)
 
 #: ``repro_<layer>_<name...>_<unit>`` — at least layer + name + unit.
 METRIC_NAME_RE = re.compile(
     r"^repro(?:_[a-z][a-z0-9]*){2,}_(?:" + "|".join(METRIC_UNITS) + r")$"
 )
+
+#: ``repro_timeline_<layer>_<name...>_<unit>`` for sampled time series.
+TIMELINE_SERIES_RE = re.compile(
+    r"^repro_timeline(?:_[a-z][a-z0-9]*){2,}_(?:" + "|".join(TIMELINE_UNITS) + r")$"
+)
+
+#: ``repro_alert_<name>_total`` for watchdog firing counters.
+ALERT_METRIC_RE = re.compile(r"^repro_alert(?:_[a-z][a-z0-9]*)+_total$")
+
+#: Snake-case watch-rule names (what ``repro_alert_<name>_total`` embeds).
+RULE_NAME_RE = re.compile(r"^[a-z][a-z0-9]*(?:_[a-z][a-z0-9]*)*$")
 
 
 def validate_metric_name(name: str) -> str:
@@ -39,5 +73,40 @@ def validate_metric_name(name: str) -> str:
         raise ConfigurationError(
             f"metric name {name!r} violates the repro_<layer>_<name>_<unit> "
             f"convention (unit one of {', '.join(METRIC_UNITS)})"
+        )
+    return name
+
+
+def validate_timeline_series_name(name: str) -> str:
+    """Return ``name`` if it is a valid timeline series name; raise otherwise.
+
+    A trailing ``*`` (a watch-rule prefix selector) is allowed as long as the
+    part before it is itself a well-formed series-name prefix.
+    """
+    candidate = name
+    if candidate.endswith("*"):
+        # A prefix selector only has to be a syntactically plausible prefix:
+        # completing it with a unit suffix must produce a valid series name.
+        candidate = candidate[:-1].rstrip("_") + "_probe_value_total"
+    if TIMELINE_SERIES_RE.match(candidate) is None:
+        raise ConfigurationError(
+            f"timeline series {name!r} violates the "
+            f"repro_timeline_<layer>_<name>_<unit> convention "
+            f"(unit one of {', '.join(TIMELINE_UNITS)})"
+        )
+    return name
+
+
+def alert_metric_name(rule_name: str) -> str:
+    """The ``repro_alert_<name>_total`` counter for a watch rule."""
+    if RULE_NAME_RE.match(rule_name) is None:
+        raise ConfigurationError(
+            f"watch rule name {rule_name!r} must be snake_case "
+            f"([a-z][a-z0-9_]*) so its alert counter is well-formed"
+        )
+    name = f"repro_alert_{rule_name}_total"
+    if ALERT_METRIC_RE.match(name) is None:
+        raise ConfigurationError(
+            f"derived alert counter {name!r} violates repro_alert_<name>_total"
         )
     return name

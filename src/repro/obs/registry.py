@@ -248,6 +248,11 @@ class MetricsRegistry:
                 raise ConfigurationError(
                     f"cannot merge metric {name!r} of unknown kind {kind!r}"
                 )
+            # Create the family even when the snapshot carries no series yet
+            # — dropping it would make the merged exposition lose the
+            # family's TYPE declaration (and, for histograms, its zero
+            # _sum/_count baseline), leaving scrape deltas ill-defined.
+            self._family(name, kind, "")
             for series in data.get("series", []):
                 labels = {
                     str(k): str(v) for k, v in (series.get("labels") or {}).items()

@@ -8,6 +8,8 @@ SVG, zero external assets — safe to attach as a CI artifact) with:
   simulation/viz/io phase occupied the run window,
 * the per-span energy table from :mod:`repro.obs.profile` (joules, share,
   bytes written), aggregated by span name,
+* one sparkline strip per ``timeline.jsonl`` series with watchdog alert
+  markers (red ticks at each ``obs.alert``),
 * an optional regression-diff summary against ``--baseline``.
 """
 
@@ -15,9 +17,10 @@ from __future__ import annotations
 
 import html
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.manifest import RunManifest
+from repro.obs.exporters import read_jsonl
+from repro.obs.manifest import EVENTS_FILENAME, TIMELINE_FILENAME, RunManifest
 from repro.obs.profile import ProfileResult, RootProfile, profile_directory
 
 __all__ = ["render_html", "write_report"]
@@ -38,7 +41,12 @@ svg { display: block; margin: .4rem 0 1rem; }
 .legend span { display: inline-block; margin-right: 1rem; }
 .legend i { display: inline-block; width: .8rem; height: .8rem;
             margin-right: .3rem; border-radius: 2px; }
+.spark { margin: .6rem 0; }
+.spark svg { margin: .1rem 0 0; }
+.sparklabel { font-size: .85rem; font-family: ui-monospace, monospace; }
 """
+
+_ALERT_COLORS = {"info": "#4e79a7", "warning": "#f28e2b", "critical": "#c0392b"}
 
 
 def _esc(value: object) -> str:
@@ -135,6 +143,105 @@ def _span_table(rp: RootProfile) -> str:
     return "".join(out)
 
 
+def _sparkline(
+    name: str,
+    points: Sequence[Tuple[float, float]],
+    alerts: Sequence[dict],
+    width: int = 920,
+    height: int = 26,
+) -> str:
+    """One series as an inline polyline strip with alert tick marks."""
+    times = [t for t, _ in points]
+    t0, t1 = min(times), max(times)
+    t_span = (t1 - t0) or 1.0
+    values = [v for _, v in points]
+    vmin, vmax = min(values), max(values)
+    v_span = (vmax - vmin) or 1.0
+    pad = 3.0
+
+    def x_of(t: float) -> float:
+        return width * (t - t0) / t_span
+
+    def y_of(v: float) -> float:
+        return pad + (height - 2 * pad) * (1.0 - (v - vmin) / v_span)
+
+    # One session can hold several runs whose sim clocks each start at 0;
+    # split where t jumps backwards so the traces overlay instead of
+    # connecting end-to-start.
+    segments: List[List[Tuple[float, float]]] = [[points[0]]]
+    for prev, cur in zip(points, points[1:]):
+        if cur[0] < prev[0]:
+            segments.append([])
+        segments[-1].append(cur)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" height="{height}" '
+        f'role="img" aria-label="timeline {_esc(name)}">',
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="#f6f6f8"/>',
+    ]
+    for segment in segments:
+        poly = " ".join(f"{x_of(t):.1f},{y_of(v):.1f}" for t, v in segment)
+        parts.append(
+            f'<polyline points="{poly}" fill="none" stroke="#4e79a7" '
+            f'stroke-width="1.2"/>'
+        )
+    for alert in alerts:
+        t = float(alert.get("t", t0))
+        color = _ALERT_COLORS.get(str(alert.get("severity", "")), "#c0392b")
+        title = (
+            f"{alert.get('rule', '?')} ({alert.get('severity', '?')}): "
+            f"value {alert.get('value', '?')} at t={t:g}"
+        )
+        parts.append(
+            f'<line x1="{x_of(t):.1f}" y1="0" x2="{x_of(t):.1f}" '
+            f'y2="{height}" stroke="{color}" stroke-width="1.6">'
+            f"<title>{_esc(title)}</title></line>"
+        )
+    parts.append("</svg>")
+    label = (
+        f'<div class=sparklabel>{_esc(name)} <span class=meta>'
+        f"min {vmin:g} · max {vmax:g} · last {values[-1]:g}"
+        + (f" · {len(alerts)} alert(s)" if alerts else "")
+        + "</span></div>"
+    )
+    return f'<div class=spark>{label}{"".join(parts)}</div>'
+
+
+def _timeline_section(directory: str) -> str:
+    """Sparkline strips for every timeline series, or '' without a timeline."""
+    path = os.path.join(directory, TIMELINE_FILENAME)
+    if not os.path.exists(path):
+        return ""
+    samples = [r for r in read_jsonl(path) if r.get("type") == "sample"]
+    if not samples:
+        return ""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for record in samples:
+        t = float(record.get("t", 0.0))
+        for name, value in (record.get("values") or {}).items():
+            series.setdefault(str(name), []).append((t, float(value)))
+
+    from repro.obs.cli import collect_alerts
+
+    events_path = os.path.join(directory, EVENTS_FILENAME)
+    alerts = (
+        collect_alerts(list(read_jsonl(events_path)))
+        if os.path.exists(events_path)
+        else []
+    )
+    by_series: Dict[str, List[dict]] = {}
+    for alert in alerts:
+        by_series.setdefault(str(alert.get("series", "")), []).append(alert)
+
+    out = [
+        f"<h2>Timeline — {len(samples)} samples, {len(series)} series"
+        + (f", {len(alerts)} alert(s)" if alerts else "")
+        + "</h2>"
+    ]
+    for name in sorted(series):
+        out.append(_sparkline(name, series[name], by_series.get(name, ())))
+    return "".join(out)
+
+
 def _diff_section(directory: str, baseline: str, threshold: float) -> str:
     from repro.obs.diff import diff_paths, render_diff
 
@@ -196,6 +303,7 @@ def render_html(
                 f"<tr><td>{_esc(name)}</td><td class=num>{seconds:.2f}</td></tr>"
             )
         body.append("</table>")
+    body.append(_timeline_section(directory))
     if baseline is not None:
         body.append(_diff_section(directory, baseline, threshold))
     return (

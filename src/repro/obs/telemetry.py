@@ -36,10 +36,12 @@ from repro.obs.exporters import JsonlWriter, write_prometheus
 from repro.obs.manifest import (
     EVENTS_FILENAME,
     PROM_FILENAME,
+    TIMELINE_FILENAME,
     RunManifest,
     collect_provenance,
 )
 from repro.obs.registry import MetricsRegistry, default_registry
+from repro.obs.timeline import TimelineConfig
 from repro.obs.trace import TraceContext, derive_trace_id
 
 __all__ = [
@@ -93,6 +95,7 @@ class TelemetrySession:
         config: Optional[Dict[str, Any]] = None,
         trace: Optional[TraceContext] = None,
         keep_records: bool = False,
+        timeline: Optional[TimelineConfig] = None,
     ) -> None:
         self.directory = directory
         self.label = label
@@ -124,6 +127,21 @@ class TelemetrySession:
         self._seq = 0
         self._n_spans = 0
         self._stack: List[int] = []
+        #: Sampling policy for this session.  Shard sessions inherit the
+        #: parent's via the propagated trace unless given one explicitly.
+        self.timeline = (
+            timeline
+            if timeline is not None
+            else (trace.timeline if trace is not None else None)
+        )
+        #: Timeline samples keep their own sequence counter and their own
+        #: ``timeline.jsonl`` stream (created lazily, on the first sample):
+        #: with sampling off, no timeline file exists and ``events.jsonl``
+        #: is byte-identical to a pre-timeline session.
+        self._timeline_seq = 0
+        self.timeline_recent: Deque[dict] = deque(maxlen=RECENT_CAPACITY)
+        self.timeline_records: Optional[List[dict]] = [] if keep_records else None
+        self._timeline_writer: Optional[JsonlWriter] = None
 
     # ------------------------------------------------------------- emission
 
@@ -146,6 +164,26 @@ class TelemetrySession:
             self.records.append(record)
         if self._writer is not None:
             self._writer.write(record)
+
+    @property
+    def n_timeline(self) -> int:
+        """Timeline samples emitted so far."""
+        return self._timeline_seq
+
+    def emit_timeline(self, record: dict) -> None:
+        """Append one timeline sample to the session's timeline stream."""
+        self._timeline_seq += 1
+        record["seq"] = self._timeline_seq
+        record["trace"] = self.trace_id
+        self.timeline_recent.append(record)
+        if self.timeline_records is not None:
+            self.timeline_records.append(record)
+        if self._timeline_writer is None and self.directory is not None:
+            self._timeline_writer = JsonlWriter(
+                os.path.join(self.directory, TIMELINE_FILENAME)
+            )
+        if self._timeline_writer is not None:
+            self._timeline_writer.write(record)
 
     def open_span(self) -> tuple:
         """Allocate a span id; returns ``(span_id, parent_id)``."""
@@ -231,6 +269,7 @@ class TelemetrySession:
                 self.trace.parent_span_id if self.trace is not None else None
             ),
             "events": list(self.records),
+            "timeline": list(self.timeline_records or ()),
             "metrics": self.registry.snapshot(),
             "n_spans": self._n_spans,
             "phase_totals": dict(self.phase_totals),
@@ -262,6 +301,10 @@ class TelemetrySession:
             elif parent_id is not None:
                 rec["parent"] = parent_id
             self._emit(rec)
+        for rec in payload.get("timeline", ()):
+            # Re-stamped with this session's timeline seq + trace; merging
+            # shards in submission order keeps parallel == serial.
+            self.emit_timeline(dict(rec))
         self._n_spans = base + int(payload.get("n_spans", 0))
         for name, seconds in (payload.get("phase_totals") or {}).items():
             self.phase_totals[name] = self.phase_totals.get(name, 0.0) + float(seconds)
@@ -281,6 +324,7 @@ class TelemetrySession:
             metrics=self.registry.snapshot(),
             provenance=collect_provenance(self.config),
             n_events=self._seq,
+            n_timeline=self._timeline_seq,
             trace_id=self.trace_id,
         )
 
@@ -295,6 +339,8 @@ class TelemetrySession:
         self.closed = True
         if self._writer is not None:
             self._writer.close()
+        if self._timeline_writer is not None:
+            self._timeline_writer.close()
         if self.directory is None:
             return None
         write_prometheus(self.registry, os.path.join(self.directory, PROM_FILENAME))
@@ -328,6 +374,7 @@ def session(
     config: Optional[Dict[str, Any]] = None,
     trace: Optional[TraceContext] = None,
     keep_records: bool = False,
+    timeline: Optional[TimelineConfig] = None,
 ) -> Iterator[TelemetrySession]:
     """Activate telemetry for the dynamic extent of the block."""
     global _ACTIVE
@@ -338,6 +385,7 @@ def session(
     sess = TelemetrySession(
         directory=directory, label=label, registry=registry, argv=argv,
         config=config, trace=trace, keep_records=keep_records,
+        timeline=timeline,
     )
     _ACTIVE = sess
     try:

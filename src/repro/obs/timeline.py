@@ -1,0 +1,361 @@
+"""Continuous resource timelines sampled on the simulation clock.
+
+Spans and end-of-run counters say *how much*; this module says *when*.  A
+:class:`TimelineSampler` rides the event engine's step-listener hook and, on
+a fixed simulated-time grid, snapshots a set of registered **probes** —
+cheap callables reading live gauges out of the engine, the storage model and
+the power model — into ring-buffered samples that the telemetry session
+appends to a dedicated ``timeline.jsonl`` stream (tagged with the same
+``trace_id`` as every other record).
+
+Design constraints, in priority order:
+
+* **Bit-identity off.**  The sampler is only constructed when a session's
+  :class:`TimelineConfig` enables it; with sampling off no ``timeline.jsonl``
+  is created and ``events.jsonl`` is byte-identical to a pre-timeline run.
+* **Determinism on.**  Samples land exactly at grid times ``t0 + k*interval``
+  regardless of how simulation events interleave: on every processed event
+  the sampler emits one row per grid tick crossed in ``(last, now]``, stamped
+  at the *tick* time with the current (post-event) state.  Two seeded runs
+  therefore produce byte-identical timelines.
+* **Observation only.**  Probes must not mutate simulation state; the
+  sampler never schedules events (a timeout-based sampler would keep the
+  event heap non-empty forever and break ``sim.run()``).
+
+A :class:`~repro.obs.watch.Watchdog` can be attached; it is evaluated at
+every sample and its alerts become ``obs.alert`` events in the main event
+stream plus ``repro_alert_<name>_total`` counters.
+
+Series names follow ``repro_timeline_<layer>_<name>_<unit>`` (see
+:mod:`repro.obs.naming`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.naming import alert_metric_name, validate_timeline_series_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import TelemetrySession
+    from repro.obs.watch import Watchdog
+
+__all__ = [
+    "DEFAULT_TIMELINE_POINTS",
+    "NODE_BUSY_UTILIZATION",
+    "NODE_IDLE_UTILIZATION",
+    "TimelineConfig",
+    "TimelineSampler",
+    "engine_probes",
+    "power_probes",
+    "resource_probes",
+    "storage_probes",
+]
+
+#: Default number of grid points across a run when no interval is given:
+#: ``interval = duration / DEFAULT_TIMELINE_POINTS``.
+DEFAULT_TIMELINE_POINTS = 128
+
+#: Default ring capacity (samples kept in memory per sampler).
+DEFAULT_RING_CAPACITY = 4096
+
+#: Node-state bands for the per-state power probes: a node is *busy* at or
+#: above this utilization ...
+NODE_BUSY_UTILIZATION = 0.9
+#: ... *idle* strictly below this one, and *io* in between (the platform's
+#: io_wait utilization of 0.85 lands in the io band).
+NODE_IDLE_UTILIZATION = 0.05
+
+#: A probe: simulated time in, gauge value out.  Must not mutate state.
+Probe = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class TimelineConfig:
+    """Session-level sampling policy, propagated to pool workers via traces."""
+
+    enabled: bool = True
+    #: Grid spacing in simulated seconds; ``None`` derives it from the run
+    #: duration (``duration / DEFAULT_TIMELINE_POINTS``).
+    interval_seconds: Optional[float] = None
+    #: In-memory ring capacity per sampler.
+    capacity: int = DEFAULT_RING_CAPACITY
+    #: Enforced power cap; enables the cap/headroom series and the
+    #: ``power_cap_exceeded`` watch rule.
+    power_cap_watts: Optional[float] = None
+    #: Age beyond which the ``checkpoint_overdue`` watch rule fires.
+    checkpoint_overdue_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds is not None and self.interval_seconds <= 0:
+            raise ConfigurationError(
+                f"timeline interval must be positive, got {self.interval_seconds}"
+            )
+        if self.capacity <= 0:
+            raise ConfigurationError(
+                f"timeline ring capacity must be positive, got {self.capacity}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (for trace propagation and manifests)."""
+        return {
+            "enabled": self.enabled,
+            "interval_seconds": self.interval_seconds,
+            "capacity": self.capacity,
+            "power_cap_watts": self.power_cap_watts,
+            "checkpoint_overdue_seconds": self.checkpoint_overdue_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimelineConfig":
+        return cls(
+            enabled=bool(data.get("enabled", True)),
+            interval_seconds=data.get("interval_seconds"),
+            capacity=int(data.get("capacity", DEFAULT_RING_CAPACITY)),
+            power_cap_watts=data.get("power_cap_watts"),
+            checkpoint_overdue_seconds=data.get("checkpoint_overdue_seconds"),
+        )
+
+
+class TimelineSampler:
+    """Samples registered probes on a fixed simulated-time grid.
+
+    Lifecycle: register probes with :meth:`add_probe`/:meth:`add_probes`,
+    :meth:`attach` before the simulation runs, :meth:`detach` after — detach
+    takes one final snapshot at the current sim time if the run ended past
+    the last grid tick, so the timeline always covers the whole run.
+    """
+
+    def __init__(
+        self,
+        sim,
+        interval_seconds: float,
+        session: Optional["TelemetrySession"] = None,
+        label: str = "run",
+        watchdog: Optional["Watchdog"] = None,
+        capacity: int = DEFAULT_RING_CAPACITY,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ConfigurationError(
+                f"timeline interval must be positive, got {interval_seconds}"
+            )
+        self.sim = sim
+        self.interval = float(interval_seconds)
+        self.session = session
+        self.label = label
+        self.watchdog = watchdog
+        #: Most recent samples, oldest first (ring buffer).
+        self.recent: Deque[dict] = deque(maxlen=capacity)
+        self.n_samples = 0
+        self._probes: List[Tuple[str, Probe]] = []
+        self._names: set = set()
+        self._next: Optional[float] = None
+        self._last_t: Optional[float] = None
+        self._attached = False
+
+    # ------------------------------------------------------------- probes
+
+    def add_probe(self, name: str, fn: Probe) -> None:
+        """Register one series; names must be unique and convention-clean."""
+        validate_timeline_series_name(name)
+        if name.endswith("*"):
+            raise ConfigurationError(
+                f"probe name {name!r} may not be a wildcard selector"
+            )
+        if name in self._names:
+            raise ConfigurationError(f"duplicate timeline probe {name!r}")
+        self._names.add(name)
+        self._probes.append((name, fn))
+
+    def add_probes(self, probes: Sequence[Tuple[str, Probe]]) -> None:
+        """Register a probe-builder's ``(name, fn)`` pairs in order."""
+        for name, fn in probes:
+            self.add_probe(name, fn)
+
+    @property
+    def series_names(self) -> Tuple[str, ...]:
+        """Registered series, in registration order."""
+        return tuple(name for name, _ in self._probes)
+
+    # ---------------------------------------------------------- lifecycle
+
+    def attach(self) -> None:
+        """Start sampling: grid origin is the current simulated time."""
+        if self._attached:
+            raise ConfigurationError("sampler is already attached")
+        self._next = self.sim.now + self.interval
+        self._attached = True
+        self.sim.add_step_listener(self._on_step)
+
+    def detach(self) -> None:
+        """Stop sampling; snapshot the end state if past the last tick."""
+        if not self._attached:
+            return
+        self.sim.remove_step_listener(self._on_step)
+        self._attached = False
+        if self._last_t is None or self._last_t < self.sim.now:
+            self._sample(self.sim.now)
+
+    # ----------------------------------------------------------- sampling
+
+    def _on_step(self, event, now: float) -> None:
+        # Emit one row per grid tick crossed by this event, stamped at the
+        # tick time with the current (post-event) state.
+        while self._next <= now:
+            self._sample(self._next)
+            self._next += self.interval
+
+    def _sample(self, t: float) -> None:
+        values: Dict[str, float] = {}
+        for name, fn in self._probes:
+            values[name] = float(fn(t))
+        record = {
+            "type": "sample",
+            "t": t,
+            "label": self.label,
+            "values": {name: values[name] for name in sorted(values)},
+        }
+        self.recent.append(record)
+        self.n_samples += 1
+        self._last_t = t
+        if self.session is not None:
+            self.session.emit_timeline(record)
+            self.session.registry.counter(
+                "repro_obs_timeline_samples_total", label=self.label
+            ).inc()
+        if self.watchdog is not None:
+            for alert in self.watchdog.observe(t, values):
+                self._emit_alert(alert)
+
+    def _emit_alert(self, alert) -> None:
+        if self.session is None:
+            return
+        self.session.event("obs.alert", **alert.to_fields())
+        self.session.registry.counter(
+            alert_metric_name(alert.rule), severity=alert.severity
+        ).inc()
+
+
+# ------------------------------------------------------------ probe builders
+#
+# Builders are duck-typed on the simulated objects' public properties so the
+# obs layer keeps zero import-time dependencies on the simulation modules.
+
+
+def engine_probes(sim) -> List[Tuple[str, Probe]]:
+    """Live gauges from the event engine: heap, processes, throughput."""
+    return [
+        ("repro_timeline_engine_queue_depth_total", lambda t: sim.queue_depth),
+        ("repro_timeline_engine_processes_total", lambda t: sim.active_processes),
+        (
+            "repro_timeline_engine_events_processed_total",
+            lambda t: sim.events_processed,
+        ),
+    ]
+
+
+def storage_probes(fs) -> List[Tuple[str, Probe]]:
+    """Lustre gauges: fill fractions, MDS queue, bandwidth in flight."""
+    # Per-OST fills come from one namespace scan per sample, shared across
+    # the per-OST probes through a tiny (t -> fractions) memo.
+    memo: Dict[str, object] = {"t": None, "vals": ()}
+
+    def ost_fraction(index: int) -> Probe:
+        def probe(t: float) -> float:
+            if memo["t"] != t:
+                memo["t"] = t
+                memo["vals"] = fs.ost_fill_fractions()
+            return memo["vals"][index]
+
+        return probe
+
+    probes: List[Tuple[str, Probe]] = [
+        ("repro_timeline_storage_fill_ratio", lambda t: fs.fill_ratio),
+        ("repro_timeline_storage_mds_queue_total", lambda t: fs.mds.queue_length),
+        (
+            "repro_timeline_storage_bandwidth_bytes_per_second",
+            lambda t: fs.current_throughput,
+        ),
+        (
+            "repro_timeline_storage_write_utilization_ratio",
+            lambda t: fs.write_pipe.utilization,
+        ),
+        (
+            "repro_timeline_storage_read_utilization_ratio",
+            lambda t: fs.read_pipe.utilization,
+        ),
+    ]
+    for i in range(len(fs.osts)):
+        probes.append((f"repro_timeline_storage_ost{i}_fill_ratio", ost_fraction(i)))
+    return probes
+
+
+def power_probes(
+    meter,
+    cluster,
+    storage=None,
+    cap_watts: Optional[float] = None,
+) -> List[Tuple[str, Probe]]:
+    """Power gauges: draw vs cap, headroom, per-state node counts."""
+
+    def nodes_in_band(lo: float, hi: Optional[float]) -> Probe:
+        # Band is [lo, hi); the busy band passes hi=None for an open top.
+        def probe(t: float) -> float:
+            count = 0
+            for node in cluster.nodes:
+                u = node.utilization
+                if u >= lo and (hi is None or u < hi):
+                    count += 1
+            return float(count)
+
+        return probe
+
+    probes: List[Tuple[str, Probe]] = [
+        ("repro_timeline_power_draw_watts", lambda t: meter.total_watts(t)),
+        ("repro_timeline_power_compute_watts", lambda t: cluster.current_power),
+    ]
+    if storage is not None:
+        probes.append(
+            ("repro_timeline_power_storage_watts", lambda t: storage.current_power)
+        )
+    if cap_watts is not None:
+        cap = float(cap_watts)
+        probes.append(("repro_timeline_power_cap_watts", lambda t: cap))
+        probes.append(
+            (
+                "repro_timeline_power_headroom_watts",
+                lambda t: cap - meter.total_watts(t),
+            )
+        )
+    probes.extend(
+        [
+            (
+                "repro_timeline_power_nodes_busy_total",
+                nodes_in_band(NODE_BUSY_UTILIZATION, None),
+            ),
+            (
+                "repro_timeline_power_nodes_io_total",
+                nodes_in_band(NODE_IDLE_UTILIZATION, NODE_BUSY_UTILIZATION),
+            ),
+            (
+                "repro_timeline_power_nodes_idle_total",
+                nodes_in_band(0.0, NODE_IDLE_UTILIZATION),
+            ),
+        ]
+    )
+    return probes
+
+
+def resource_probes(name: str, resource) -> List[Tuple[str, Probe]]:
+    """Occupancy/queue gauges for one named :class:`~repro.events.resources.Resource`."""
+    return [
+        (f"repro_timeline_resource_{name}_in_use_total", lambda t: resource.in_use),
+        (f"repro_timeline_resource_{name}_queue_total", lambda t: resource.queue_length),
+        (
+            f"repro_timeline_resource_{name}_utilization_ratio",
+            lambda t: resource.utilization,
+        ),
+    ]

@@ -20,6 +20,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional
 
+from repro.obs.timeline import TimelineConfig
+
 __all__ = ["TraceContext", "derive_trace_id"]
 
 
@@ -45,6 +47,9 @@ class TraceContext:
     #: Directory the worker writes its shard artifacts under (``None`` for
     #: directory-less parent sessions).
     shard_dir: Optional[str] = None
+    #: The parent session's sampling policy, so worker shards sample their
+    #: runs on the same grid (``None`` when the parent has sampling off).
+    timeline: Optional[TimelineConfig] = None
 
     def to_dict(self) -> dict:
         """JSON-safe representation."""
@@ -54,6 +59,7 @@ class TraceContext:
             "label": self.label,
             "task_index": self.task_index,
             "shard_dir": self.shard_dir,
+            "timeline": None if self.timeline is None else self.timeline.to_dict(),
         }
 
     @classmethod
@@ -61,10 +67,12 @@ class TraceContext:
         """Inverse of :meth:`to_dict`."""
         parent = data.get("parent_span_id")
         shard_dir = data.get("shard_dir")
+        timeline = data.get("timeline")
         return cls(
             trace_id=str(data["trace_id"]),
             parent_span_id=None if parent is None else int(parent),
             label=str(data.get("label", "run")),
             task_index=int(data.get("task_index", 0)),
             shard_dir=None if shard_dir is None else str(shard_dir),
+            timeline=None if timeline is None else TimelineConfig.from_dict(timeline),
         )

@@ -1,0 +1,311 @@
+"""Declarative SLO watchdogs over sampled timelines.
+
+A :class:`WatchRule` names a timeline series (exactly, or by ``prefix*``
+selector), a predicate and a debounce window; a :class:`Watchdog` evaluates
+its rules against every sample the :class:`~repro.obs.timeline.TimelineSampler`
+takes and returns :class:`Alert` objects with *episode* semantics: a rule
+fires once when its predicate has held for ``for_seconds`` of simulated
+time, then stays quiet until the predicate clears and breaches again.
+
+Rules are pure data and the watchdog is pure state — neither touches the
+telemetry session.  The sampler turns returned alerts into ``obs.alert``
+events and ``repro_alert_<name>_total`` counters, so alerting is exactly as
+deterministic as the simulation that produced the samples.
+
+Two rule kinds:
+
+* ``threshold`` — compare the sampled value against ``threshold`` with
+  ``op`` (one of ``>``, ``>=``, ``<``, ``<=``);
+* ``growth`` — breach when the series has *strictly increased* across
+  ``window`` consecutive samples (queue growth without drain).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.naming import alert_metric_name, validate_timeline_series_name
+
+__all__ = [
+    "Alert",
+    "SEVERITIES",
+    "WatchRule",
+    "Watchdog",
+    "default_rules",
+    "severity_rank",
+]
+
+#: Alert severities, mildest first.
+SEVERITIES = ("info", "warning", "critical")
+
+#: Threshold predicate spellings.
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+_KINDS = ("threshold", "growth")
+
+#: Default fill fraction at which the OST / filesystem rules alert.
+FILL_ALERT_RATIO = 0.9
+
+#: Default consecutive-sample window for the queue-growth rule.
+GROWTH_WINDOW = 6
+
+
+def severity_rank(severity: str) -> int:
+    """Position of ``severity`` in :data:`SEVERITIES` (higher = worse)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ConfigurationError(
+            f"unknown severity {severity!r} (one of {', '.join(SEVERITIES)})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class WatchRule:
+    """One declarative SLO: series selector, predicate, debounce, severity."""
+
+    #: Snake-case rule name; the alert counter is ``repro_alert_<name>_total``.
+    name: str
+    #: Timeline series to watch — exact name, or a ``prefix*`` selector that
+    #: matches every sampled series starting with the prefix (each match
+    #: keeps independent breach state).
+    series: str
+    op: str = ">"
+    threshold: float = 0.0
+    #: Debounce: the predicate must hold for this much *simulated* time
+    #: before the rule fires (0 = fire on the first breached sample).
+    for_seconds: float = 0.0
+    severity: str = "warning"
+    kind: str = "threshold"
+    #: Growth rules: number of consecutive samples that must each increase.
+    window: int = GROWTH_WINDOW
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        # Validates the snake-case rule name as a side effect.
+        alert_metric_name(self.name)
+        validate_timeline_series_name(self.series)
+        if self.op not in _OPS:
+            raise ConfigurationError(
+                f"unknown predicate op {self.op!r} (one of {', '.join(_OPS)})"
+            )
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown rule kind {self.kind!r} (one of {', '.join(_KINDS)})"
+            )
+        severity_rank(self.severity)
+        if self.for_seconds < 0:
+            raise ConfigurationError(
+                f"negative debounce window: {self.for_seconds}"
+            )
+        if self.kind == "growth" and self.window < 2:
+            raise ConfigurationError(
+                f"growth window must be >= 2 samples, got {self.window}"
+            )
+
+    @property
+    def metric_name(self) -> str:
+        """The ``repro_alert_<name>_total`` counter this rule increments."""
+        return alert_metric_name(self.name)
+
+    def matches(self, series: str) -> bool:
+        """True when ``series`` is selected by this rule."""
+        if self.series.endswith("*"):
+            return series.startswith(self.series[:-1])
+        return series == self.series
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One watchdog firing: a rule's predicate held through its debounce."""
+
+    rule: str
+    series: str
+    severity: str
+    #: Simulated time of the sample that completed the debounce window.
+    t: float
+    value: float
+    threshold: float
+    message: str = ""
+
+    def to_fields(self) -> dict:
+        """JSON-safe payload for the ``obs.alert`` event record."""
+        return {
+            "rule": self.rule,
+            "series": self.series,
+            "severity": self.severity,
+            "t": self.t,
+            "value": self.value,
+            "threshold": self.threshold,
+            "message": self.message,
+        }
+
+
+class _RuleState:
+    """Per-(rule, matched-series) breach bookkeeping."""
+
+    __slots__ = ("breach_start", "fired", "history")
+
+    def __init__(self, window: int) -> None:
+        self.breach_start: Optional[float] = None
+        self.fired = False
+        self.history: Deque[float] = deque(maxlen=window)
+
+
+class Watchdog:
+    """Evaluates a rule set against successive timeline samples."""
+
+    def __init__(self, rules: Sequence[WatchRule]) -> None:
+        names = [rule.name for rule in rules]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ConfigurationError(
+                f"duplicate watch rule name(s): {', '.join(duplicates)}"
+            )
+        self.rules: Tuple[WatchRule, ...] = tuple(rules)
+        self._state: Dict[Tuple[str, str], _RuleState] = {}
+        #: Every alert ever returned by :meth:`observe`, in firing order.
+        self.alerts: List[Alert] = []
+
+    def _state_for(self, rule: WatchRule, series: str) -> _RuleState:
+        key = (rule.name, series)
+        state = self._state.get(key)
+        if state is None:
+            state = _RuleState(rule.window)
+            self._state[key] = state
+        return state
+
+    def observe(self, t: float, values: Mapping[str, float]) -> List[Alert]:
+        """Evaluate every rule against one sample; returns fresh alerts.
+
+        ``values`` is the sample's ``{series: value}`` mapping.  Series a
+        rule selects but the sample lacks are skipped (their breach state is
+        untouched), so heterogeneous samplers can share one watchdog.
+        """
+        fired: List[Alert] = []
+        for rule in self.rules:
+            for series in sorted(values):
+                if not rule.matches(series):
+                    continue
+                value = float(values[series])
+                state = self._state_for(rule, series)
+                if rule.kind == "growth":
+                    breached = self._growth_breached(state, value)
+                else:
+                    breached = _OPS[rule.op](value, rule.threshold)
+                alert = self._advance(rule, series, state, t, value, breached)
+                if alert is not None:
+                    fired.append(alert)
+        self.alerts.extend(fired)
+        return fired
+
+    @staticmethod
+    def _growth_breached(state: _RuleState, value: float) -> bool:
+        history = state.history
+        history.append(value)
+        if len(history) < history.maxlen:
+            return False
+        samples = list(history)
+        return all(b > a for a, b in zip(samples, samples[1:]))
+
+    def _advance(
+        self,
+        rule: WatchRule,
+        series: str,
+        state: _RuleState,
+        t: float,
+        value: float,
+        breached: bool,
+    ) -> Optional[Alert]:
+        if not breached:
+            state.breach_start = None
+            state.fired = False
+            return None
+        if state.breach_start is None:
+            state.breach_start = t
+        if state.fired or (t - state.breach_start) < rule.for_seconds:
+            return None
+        state.fired = True
+        return Alert(
+            rule=rule.name,
+            series=series,
+            severity=rule.severity,
+            t=t,
+            value=value,
+            threshold=rule.threshold,
+            message=rule.description,
+        )
+
+
+def default_rules(
+    power_cap_watts: Optional[float] = None,
+    fill_ratio: float = FILL_ALERT_RATIO,
+    checkpoint_overdue_seconds: Optional[float] = None,
+) -> List[WatchRule]:
+    """The standard platform rule set.
+
+    Always includes the storage-fill and engine-queue-growth rules; the
+    power-cap and checkpoint-overdue rules join only when their limits are
+    given (there is nothing to compare against otherwise).
+    """
+    rules = [
+        WatchRule(
+            name="storage_fill_high",
+            series="repro_timeline_storage_fill_ratio",
+            op=">=",
+            threshold=fill_ratio,
+            severity="warning",
+            description="filesystem fill fraction at or above the alert ratio",
+        ),
+        WatchRule(
+            name="ost_fill_high",
+            series="repro_timeline_storage_ost*",
+            op=">=",
+            threshold=fill_ratio,
+            severity="warning",
+            description="an OST's fill fraction at or above the alert ratio",
+        ),
+        WatchRule(
+            name="engine_queue_growth",
+            series="repro_timeline_engine_queue_depth_total",
+            kind="growth",
+            window=GROWTH_WINDOW,
+            severity="warning",
+            description=(
+                "event-queue depth grew across "
+                f"{GROWTH_WINDOW} consecutive samples without draining"
+            ),
+        ),
+    ]
+    if power_cap_watts is not None:
+        rules.insert(
+            0,
+            WatchRule(
+                name="power_cap_exceeded",
+                series="repro_timeline_power_draw_watts",
+                op=">",
+                threshold=float(power_cap_watts),
+                severity="critical",
+                description="instantaneous draw above the enforced power cap",
+            ),
+        )
+    if checkpoint_overdue_seconds is not None:
+        rules.append(
+            WatchRule(
+                name="checkpoint_overdue",
+                series="repro_timeline_pipeline_checkpoint_age_seconds",
+                op=">",
+                threshold=float(checkpoint_overdue_seconds),
+                severity="warning",
+                description="no durable checkpoint within the overdue window",
+            )
+        )
+    return rules

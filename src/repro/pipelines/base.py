@@ -217,6 +217,9 @@ class Pipeline(ABC):
             "outputs_done": outputs_done,
             "renders_done": renders_done,
             "state_bytes": state_bytes,
+            # When durability was reached — the timeline's checkpoint-age
+            # probe (and the checkpoint_overdue watch rule) read this.
+            "t": sim.now,
         }
         obs.counter("repro_faults_checkpoints_total", pipeline=self.name)
 

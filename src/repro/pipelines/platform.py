@@ -30,9 +30,19 @@ from repro.faults.resilience import CheckpointPolicy, ResumeState
 from repro.faults.retry import RetryPolicy
 from repro.faults.spec import FaultSpec
 from repro.io.pio import PIOWriter, SimulatedIOBackend
+from repro.obs.timeline import (
+    DEFAULT_TIMELINE_POINTS,
+    TimelineSampler,
+    engine_probes,
+    power_probes,
+    resource_probes,
+    storage_probes,
+)
+from repro.obs.watch import Watchdog, default_rules
 from repro.ocean.driver import MiniOceanDriver, OceanCostModel
 from repro.paper import TIMESTEP_SECONDS
 from repro.pipelines.base import CHECKPOINT_FILENAME, Pipeline, PipelineSpec
+from repro.power.meter import PowerMeter
 from repro.power.report import PowerReport
 from repro.storage.lustre import StorageCluster
 from repro.units import HOUR
@@ -192,6 +202,7 @@ class SimulatedPlatform:
         storage_before = self.storage.fs.used_bytes
         session = obs.active()
         listener = None
+        sampler = None
         if session is not None:
             processed = session.registry.counter(
                 "repro_events_processed_total", pipeline=pipeline.name
@@ -199,6 +210,11 @@ class SimulatedPlatform:
             listener = self.sim.add_step_listener(
                 lambda event, now: processed.inc()
             )
+            if session.timeline is not None and session.timeline.enabled:
+                sampler = self._build_sampler(
+                    session, run_spec, checkpoints, artifacts, t_start
+                )
+                sampler.attach()
         try:
             with obs.span(
                 "pipeline.run",
@@ -218,6 +234,8 @@ class SimulatedPlatform:
                         pipeline, run_spec, timeline, artifacts, faults, checkpoints
                     )
         finally:
+            if sampler is not None:
+                sampler.detach()
             if listener is not None:
                 self.sim.remove_step_listener(listener)
         t_end = self.sim.now
@@ -280,6 +298,69 @@ class SimulatedPlatform:
             power_report=report,
             label=run_spec.output_prefix,
         )
+
+    def _build_sampler(
+        self,
+        session,
+        run_spec: PipelineSpec,
+        checkpoints: Optional[CheckpointPolicy],
+        artifacts: dict,
+        t_start: float,
+    ) -> TimelineSampler:
+        """Assemble the run's timeline sampler from the session's policy.
+
+        Probes cover all three layers the paper's figures resolve over time
+        — the event engine, the storage cluster and the power models — plus
+        a checkpoint-age series when the run checkpoints.  The watchdog gets
+        the default rule set, extended with cap/overdue rules when the
+        policy sets those limits.
+        """
+        tcfg = session.timeline
+        interval = tcfg.interval_seconds
+        if interval is None:
+            # The DES clock runs in campaign *execution* seconds, so derive
+            # the grid from the predicted compute time (a lower bound on the
+            # run — I/O and render phases only add samples beyond it).
+            estimate = (
+                self.simulation_seconds_per_step(run_spec)
+                * run_spec.ocean.n_timesteps
+            )
+            interval = estimate / DEFAULT_TIMELINE_POINTS
+        # A passive meter over every power signal on the platform; reads go
+        # through total_watts(), which leaves the instrument-read counters
+        # untouched so sampling does not perturb the power metrics.
+        meter = PowerMeter("timeline-total")
+        meter.attach_all(self.cluster.power_signals())
+        meter.attach(self.storage.power_signal)
+        watchdog = Watchdog(
+            default_rules(
+                power_cap_watts=tcfg.power_cap_watts,
+                checkpoint_overdue_seconds=tcfg.checkpoint_overdue_seconds,
+            )
+        )
+        sampler = TimelineSampler(
+            self.sim,
+            interval,
+            session=session,
+            label=run_spec.output_prefix,
+            watchdog=watchdog,
+            capacity=tcfg.capacity,
+        )
+        sampler.add_probes(engine_probes(self.sim))
+        sampler.add_probes(storage_probes(self.storage.fs))
+        sampler.add_probes(resource_probes("mds", self.storage.fs.mds))
+        sampler.add_probes(
+            power_probes(
+                meter, self.cluster, self.storage, cap_watts=tcfg.power_cap_watts
+            )
+        )
+        if checkpoints is not None:
+            sampler.add_probe(
+                "repro_timeline_pipeline_checkpoint_age_seconds",
+                lambda t: t
+                - float((artifacts.get("checkpoint") or {}).get("t", t_start)),
+            )
+        return sampler
 
     # ------------------------------------------------------- supervised path
 

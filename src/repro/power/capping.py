@@ -24,7 +24,20 @@ from repro.core.model import PipelinePredictor, Prediction
 from repro.errors import ConfigurationError, ModelError
 from repro.paper import STORAGE_IDLE_W
 
-__all__ = ["PowerCapEnforcer", "CappedPrediction"]
+__all__ = ["PowerCapEnforcer", "CappedPrediction", "headroom_watts"]
+
+
+def headroom_watts(cap_watts: float, draw_watts: float) -> float:
+    # repro-unit: watts, cap_watts=watts, draw_watts=watts
+    """Margin between an enforced cap and the instantaneous draw.
+
+    Negative when the draw exceeds the cap — exactly the condition the
+    ``power_cap_exceeded`` watch rule alerts on (the timeline layer samples
+    this as ``repro_timeline_power_headroom_watts``).
+    """
+    if cap_watts <= 0:
+        raise ConfigurationError(f"power cap must be positive, got {cap_watts}")
+    return cap_watts - draw_watts
 
 
 @dataclass(frozen=True)

@@ -94,9 +94,15 @@ class PowerMeter:
 
     def instantaneous(self, time: float) -> float:  # repro-unit: watts, time=seconds
         """True total power behind the inlet at ``time`` (watts)."""
+        obs.counter("repro_power_instantaneous_reads_total", meter=self.name)
+        return self.total_watts(time)
+
+    def total_watts(self, time: float) -> float:  # repro-unit: watts, time=seconds
+        """Like :meth:`instantaneous`, but without touching the read
+        counters — the passive variant timeline probes poll, so sampling
+        does not perturb the instrument-read metrics."""
         if not self._signals:
             raise MeterError(f"meter {self.name!r} has no attached signals")
-        obs.counter("repro_power_instantaneous_reads_total", meter=self.name)
         return self.loss_factor * sum(s.value_at(time) for s in self._signals)
 
 

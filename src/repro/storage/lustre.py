@@ -45,6 +45,9 @@ class FileRecord:
     size: float = 0.0
     created_at: float = 0.0
     stripe_count: int = 1
+    #: First OST of this file's stripe set (round-robin at creation); the
+    #: file's bytes spread evenly over ``stripe_count`` OSTs from here.
+    stripe_start: int = 0
     closed: bool = True
     n_writes: int = field(default=0, repr=False)
     n_reads: int = field(default=0, repr=False)
@@ -77,7 +80,7 @@ class LustreFileSystem:
         self.capacity_bytes = float(capacity_bytes)
         self.metadata_latency = float(metadata_latency)
         self.default_stripe_count = default_stripe_count or n_ost
-        self.mds = Resource(sim, capacity=n_mds)
+        self.mds = Resource(sim, capacity=n_mds, name="mds")
         self.osts = [
             OstDevice(
                 i,
@@ -91,6 +94,8 @@ class LustreFileSystem:
         self.read_pipe = BandwidthPipe(sim, read_bandwidth)
         self._files: dict[str, FileRecord] = {}
         self._metadata_ops = 0
+        #: Round-robin cursor assigning each new file's ``stripe_start``.
+        self._stripe_cursor = 0
         #: Bytes reserved by in-flight writes; counted against free space so
         #: concurrent writers cannot both pass the capacity check and
         #: overfill the filesystem.
@@ -147,6 +152,28 @@ class LustreFileSystem:
     def current_throughput(self) -> float:
         """Instantaneous aggregate data rate (read + write) in bytes/s."""
         return self.write_pipe.current_rate + self.read_pipe.current_rate
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of total capacity holding committed data, in [0, 1]."""
+        return self.used_bytes / self.capacity_bytes
+
+    def ost_fill_fractions(self) -> tuple[float, ...]:
+        """Per-OST fill fraction, derived from the live namespace.
+
+        Each file spreads its bytes evenly over the ``stripe_count`` OSTs
+        starting at its ``stripe_start`` (mod the OST count), so deletes and
+        overwrites stay consistent with :attr:`used_bytes` by construction.
+        """
+        n = len(self.osts)
+        used = [0.0] * n
+        for record in self._files.values():
+            per_stripe = record.size / record.stripe_count
+            for k in range(record.stripe_count):
+                used[(record.stripe_start + k) % n] += per_stripe
+        return tuple(
+            used[i] / self.osts[i].capacity_bytes for i in range(n)
+        )
 
     def stat(self, path: str) -> FileRecord:
         """Namespace record for ``path``."""
@@ -248,7 +275,13 @@ class LustreFileSystem:
             self._reserved_bytes -= needed
         record = self._files.get(path)
         if record is None:
-            record = FileRecord(path, created_at=self.sim.now, stripe_count=stripes)
+            record = FileRecord(
+                path,
+                created_at=self.sim.now,
+                stripe_count=stripes,
+                stripe_start=self._stripe_cursor,
+            )
+            self._stripe_cursor = (self._stripe_cursor + stripes) % len(self.osts)
             self._files[path] = record
         if overwrite:
             record.size = float(nbytes)

@@ -1,0 +1,624 @@
+"""Tests for continuous timelines, SLO watchdogs and the bench ledger.
+
+Covers :mod:`repro.obs.timeline` (grid sampling, probes, determinism),
+:mod:`repro.obs.watch` (episode/growth semantics), the timeline/alert
+naming grammar and its ``obs-naming`` lint extension, the ``obs check`` /
+``obs summarize`` surfaces, the zero-observation exporter regressions, and
+:mod:`repro.exec.history` (MAD drift detection).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.core.characterization import run_characterization
+from repro.errors import ConfigurationError
+from repro.events.engine import Simulator
+from repro.exec import history
+from repro.obs.cli import main as obs_cli_main
+from repro.obs.cli import collect_alerts, summarize
+from repro.ocean.driver import MPASOceanConfig
+from repro.pipelines.base import PipelineSpec
+from repro.units import MONTH
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    obs.default_registry().reset()
+    yield
+    obs.default_registry().reset()
+    assert obs.active() is None
+
+
+@pytest.fixture
+def small_spec() -> PipelineSpec:
+    return PipelineSpec(ocean=MPASOceanConfig(duration_seconds=MONTH))
+
+
+# ------------------------------------------------------------------ naming
+
+
+class TestTimelineNaming:
+    def test_valid_series_names_pass(self):
+        for name in (
+            "repro_timeline_engine_queue_depth_total",
+            "repro_timeline_storage_ost3_fill_ratio",
+            "repro_timeline_storage_bandwidth_bytes_per_second",
+            "repro_timeline_power_headroom_watts",
+        ):
+            obs.validate_timeline_series_name(name)
+
+    def test_wildcard_prefix_selector_allowed(self):
+        obs.validate_timeline_series_name("repro_timeline_storage_ost*")
+        obs.validate_timeline_series_name("repro_timeline_power_*")
+
+    def test_invalid_series_names_rejected(self):
+        for name in (
+            "repro_storage_fill_ratio",       # missing timeline segment
+            "repro_timeline_fill_ratio",      # missing <layer>
+            "repro_timeline_storage_fill",    # missing unit
+            "repro_timeline_storage_Fill_ratio",
+            "ost*",
+            "",
+        ):
+            with pytest.raises(ConfigurationError):
+                obs.validate_timeline_series_name(name)
+
+    def test_alert_metric_name_derivation(self):
+        assert (
+            obs.alert_metric_name("power_cap_exceeded")
+            == "repro_alert_power_cap_exceeded_total"
+        )
+        assert obs.ALERT_METRIC_RE.match("repro_alert_ost_fill_high_total")
+
+    def test_alert_metric_name_rejects_non_snake_case(self):
+        for bad in ("PowerCap", "0cap", "cap-exceeded", ""):
+            with pytest.raises(ConfigurationError):
+                obs.alert_metric_name(bad)
+
+
+# ----------------------------------------------------------------- sampler
+
+
+def _ticking_sim(n_steps: int = 10, step: float = 1.0) -> Simulator:
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(n_steps):
+            yield sim.timeout(step)
+
+    sim.process(ticker())
+    return sim
+
+
+class TestTimelineSampler:
+    def test_samples_land_on_the_grid(self):
+        sim = _ticking_sim(n_steps=10, step=1.0)
+        sampler = obs.TimelineSampler(sim, interval_seconds=2.5)
+        sampler.add_probe("repro_timeline_engine_clock_seconds", lambda t: t)
+        sampler.attach()
+        sim.run()
+        sampler.detach()
+        times = [s["t"] for s in sampler.recent]
+        # Grid ticks at 2.5/5.0/7.5/10.0; run ends exactly on the last tick,
+        # so detach adds nothing.
+        assert times == [2.5, 5.0, 7.5, 10.0]
+        assert all(
+            s["values"]["repro_timeline_engine_clock_seconds"] == s["t"]
+            for s in sampler.recent
+        )
+
+    def test_detach_snapshots_the_end_state(self):
+        sim = _ticking_sim(n_steps=3, step=1.0)
+        sampler = obs.TimelineSampler(sim, interval_seconds=2.0)
+        sampler.add_probe("repro_timeline_engine_clock_seconds", lambda t: t)
+        sampler.attach()
+        sim.run()
+        sampler.detach()
+        assert [s["t"] for s in sampler.recent] == [2.0, 3.0]
+
+    def test_coarse_events_still_hit_every_tick(self):
+        # One event jumping far ahead must emit one row per crossed tick.
+        sim = _ticking_sim(n_steps=1, step=10.0)
+        sampler = obs.TimelineSampler(sim, interval_seconds=2.0)
+        sampler.add_probe("repro_timeline_engine_clock_seconds", lambda t: t)
+        sampler.attach()
+        sim.run()
+        sampler.detach()
+        assert [s["t"] for s in sampler.recent] == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_ring_capacity_bounds_memory(self):
+        sim = _ticking_sim(n_steps=20, step=1.0)
+        sampler = obs.TimelineSampler(sim, interval_seconds=1.0, capacity=5)
+        sampler.add_probe("repro_timeline_engine_clock_seconds", lambda t: t)
+        sampler.attach()
+        sim.run()
+        sampler.detach()
+        assert sampler.n_samples == 20
+        assert len(sampler.recent) == 5
+        assert [s["t"] for s in sampler.recent] == [16.0, 17.0, 18.0, 19.0, 20.0]
+
+    def test_probe_name_discipline(self):
+        sampler = obs.TimelineSampler(Simulator(), interval_seconds=1.0)
+        sampler.add_probe("repro_timeline_engine_clock_seconds", lambda t: t)
+        with pytest.raises(ConfigurationError):
+            sampler.add_probe("repro_timeline_engine_clock_seconds", lambda t: t)
+        with pytest.raises(ConfigurationError):
+            sampler.add_probe("repro_timeline_engine_*", lambda t: t)  # repro-lint: disable=obs-naming
+        with pytest.raises(ConfigurationError):
+            sampler.add_probe("not_a_series", lambda t: t)
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            obs.TimelineSampler(Simulator(), interval_seconds=0.0)
+
+    def test_config_round_trips(self):
+        cfg = obs.TimelineConfig(
+            interval_seconds=3.5, capacity=16, power_cap_watts=1_000.0
+        )
+        assert obs.TimelineConfig.from_dict(cfg.to_dict()) == cfg
+        with pytest.raises(ConfigurationError):
+            obs.TimelineConfig(interval_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            obs.TimelineConfig(capacity=0)
+
+
+# ---------------------------------------------------------------- watchdog
+
+
+class TestWatchdog:
+    def test_threshold_fires_once_per_episode(self):
+        dog = obs.Watchdog(
+            [obs.WatchRule(name="hot", series="repro_timeline_power_draw_watts",
+                           op=">", threshold=100.0)]
+        )
+        series = "repro_timeline_power_draw_watts"
+        assert dog.observe(1.0, {series: 50.0}) == []
+        first = dog.observe(2.0, {series: 150.0})
+        assert len(first) == 1 and first[0].rule == "hot"
+        # Still breached: quiet until the episode clears.
+        assert dog.observe(3.0, {series: 200.0}) == []
+        assert dog.observe(4.0, {series: 50.0}) == []
+        # Re-armed: a fresh breach fires again.
+        assert len(dog.observe(5.0, {series: 150.0})) == 1
+        assert len(dog.alerts) == 2
+
+    def test_for_seconds_debounces(self):
+        dog = obs.Watchdog(
+            [obs.WatchRule(name="hot", series="repro_timeline_power_draw_watts",
+                           op=">", threshold=100.0, for_seconds=2.0)]
+        )
+        series = "repro_timeline_power_draw_watts"
+        assert dog.observe(1.0, {series: 150.0}) == []
+        assert dog.observe(2.0, {series: 150.0}) == []
+        fired = dog.observe(3.0, {series: 150.0})
+        assert len(fired) == 1 and fired[0].t == 3.0
+        # A dip resets the debounce clock.
+        dog.observe(4.0, {series: 50.0})
+        assert dog.observe(5.0, {series: 150.0}) == []
+
+    def test_growth_requires_strict_increase_over_window(self):
+        dog = obs.Watchdog(
+            [obs.WatchRule(name="queue_growth",
+                           series="repro_timeline_engine_queue_depth_total",
+                           kind="growth", window=3)]
+        )
+        series = "repro_timeline_engine_queue_depth_total"
+        assert dog.observe(1.0, {series: 1.0}) == []
+        assert dog.observe(2.0, {series: 2.0}) == []
+        assert len(dog.observe(3.0, {series: 3.0})) == 1
+        # A plateau clears the episode; growth must rebuild the full window.
+        assert dog.observe(4.0, {series: 3.0}) == []
+        assert dog.observe(5.0, {series: 4.0}) == []
+        assert len(dog.observe(6.0, {series: 5.0})) == 1
+
+    def test_wildcard_selector_keeps_per_series_state(self):
+        dog = obs.Watchdog(
+            [obs.WatchRule(name="ost_full", series="repro_timeline_storage_ost*",
+                           op=">=", threshold=0.9)]
+        )
+        sample = {
+            "repro_timeline_storage_ost0_fill_ratio": 0.95,
+            "repro_timeline_storage_ost1_fill_ratio": 0.10,
+        }
+        fired = dog.observe(1.0, sample)
+        assert [a.series for a in fired] == [
+            "repro_timeline_storage_ost0_fill_ratio"
+        ]
+        sample["repro_timeline_storage_ost1_fill_ratio"] = 0.92
+        assert [a.series for a in dog.observe(2.0, sample)] == [
+            "repro_timeline_storage_ost1_fill_ratio"
+        ]
+
+    def test_rule_validation(self):
+        with pytest.raises(ConfigurationError):
+            obs.WatchRule(name="Bad-Name", series="repro_timeline_power_draw_watts")  # repro-lint: disable=obs-naming
+        with pytest.raises(ConfigurationError):
+            obs.WatchRule(name="ok", series="bogus")  # repro-lint: disable=obs-naming
+        with pytest.raises(ConfigurationError):
+            obs.WatchRule(name="ok", series="repro_timeline_power_draw_watts",
+                          op="!=")
+        with pytest.raises(ConfigurationError):
+            obs.WatchRule(name="ok", series="repro_timeline_power_draw_watts",
+                          severity="fatal")
+        with pytest.raises(ConfigurationError):
+            obs.WatchRule(name="ok", series="repro_timeline_power_draw_watts",
+                          kind="growth", window=1)
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = obs.WatchRule(name="dup", series="repro_timeline_power_draw_watts")
+        with pytest.raises(ConfigurationError):
+            obs.Watchdog([rule, rule])
+
+    def test_default_rules_gate_on_limits(self):
+        names = {r.name for r in obs.default_rules()}
+        assert "power_cap_exceeded" not in names
+        assert "checkpoint_overdue" not in names
+        assert {"storage_fill_high", "ost_fill_high", "engine_queue_growth"} <= names
+        full = {
+            r.name
+            for r in obs.default_rules(
+                power_cap_watts=10_000.0, checkpoint_overdue_seconds=60.0
+            )
+        }
+        assert {"power_cap_exceeded", "checkpoint_overdue"} <= full
+
+
+# ----------------------------------------------------- platform integration
+
+
+def _run_with_timeline(directory, spec, **cfg):
+    with obs.session(
+        str(directory), label="tl", timeline=obs.TimelineConfig(**cfg)
+    ):
+        run_characterization(intervals_hours=(72.0,), spec=spec)
+
+
+class TestPlatformIntegration:
+    def test_timeline_covers_engine_storage_and_power(self, tmp_path, small_spec):
+        d = tmp_path / "t"
+        _run_with_timeline(d, small_spec, power_cap_watts=30_000.0)
+        rows = list(obs.read_jsonl(str(d / obs.TIMELINE_FILENAME)))
+        assert rows
+        names = set()
+        for row in rows:
+            assert row["type"] == "sample"
+            assert "seq" in row and "trace" in row
+            names.update(row["values"])
+        for series in (
+            "repro_timeline_engine_queue_depth_total",
+            "repro_timeline_engine_events_processed_total",
+            "repro_timeline_storage_fill_ratio",
+            "repro_timeline_storage_ost0_fill_ratio",
+            "repro_timeline_resource_mds_utilization_ratio",
+            "repro_timeline_power_draw_watts",
+            "repro_timeline_power_cap_watts",
+            "repro_timeline_power_headroom_watts",
+            "repro_timeline_power_nodes_busy_total",
+        ):
+            assert series in names, series
+        manifest = obs.RunManifest.load(str(d))
+        assert manifest.n_timeline == len(rows)
+        assert "repro_obs_timeline_samples_total" in manifest.metrics
+
+    def test_two_seeded_runs_produce_byte_identical_timelines(
+        self, tmp_path, small_spec
+    ):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _run_with_timeline(a, small_spec, power_cap_watts=16_000.0)
+        obs.default_registry().reset()
+        _run_with_timeline(b, small_spec, power_cap_watts=16_000.0)
+        bytes_a = (a / obs.TIMELINE_FILENAME).read_bytes()
+        assert bytes_a == (b / obs.TIMELINE_FILENAME).read_bytes()
+        assert bytes_a
+
+    def test_sampling_off_leaves_no_timeline_and_identical_results(
+        self, tmp_path, small_spec
+    ):
+        plain = run_characterization(intervals_hours=(72.0,), spec=small_spec)
+        d = tmp_path / "off"
+        with obs.session(str(d), label="off"):
+            # No TimelineConfig: the session records spans/metrics only.
+            sampled = run_characterization(intervals_hours=(72.0,), spec=small_spec)
+        assert not (d / obs.TIMELINE_FILENAME).exists()
+        assert obs.RunManifest.load(str(d)).n_timeline == 0
+        a = [m.to_dict() for m in plain.metrics]
+        b = [m.to_dict() for m in sampled.metrics]
+        assert a == b
+
+    def test_disabled_config_is_equivalent_to_none(self, tmp_path, small_spec):
+        d = tmp_path / "disabled"
+        _run_with_timeline(d, small_spec, enabled=False)
+        assert not (d / obs.TIMELINE_FILENAME).exists()
+
+    def test_power_cap_alerts_are_deterministic(self, tmp_path, small_spec):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _run_with_timeline(a, small_spec, power_cap_watts=16_000.0)
+        obs.default_registry().reset()
+        _run_with_timeline(b, small_spec, power_cap_watts=16_000.0)
+        alerts_a = collect_alerts(
+            list(obs.read_jsonl(str(a / obs.EVENTS_FILENAME)))
+        )
+        alerts_b = collect_alerts(
+            list(obs.read_jsonl(str(b / obs.EVENTS_FILENAME)))
+        )
+        assert alerts_a and alerts_a == alerts_b
+        assert any(al["rule"] == "power_cap_exceeded" for al in alerts_a)
+        assert all(al["severity"] == "critical" for al in alerts_a
+                   if al["rule"] == "power_cap_exceeded")
+        manifest = obs.RunManifest.load(str(a))
+        assert "repro_alert_power_cap_exceeded_total" in manifest.metrics
+
+    def test_parallel_timeline_matches_serial(self, tmp_path, small_spec):
+        from repro.exec.engine import ExecutionEngine
+
+        a, b = tmp_path / "serial", tmp_path / "parallel"
+        with obs.session(str(a), label="tl", timeline=obs.TimelineConfig()):
+            run_characterization(intervals_hours=(72.0,), spec=small_spec)
+        obs.default_registry().reset()
+        with obs.session(str(b), label="tl", timeline=obs.TimelineConfig()):
+            run_characterization(
+                intervals_hours=(72.0,),
+                spec=small_spec,
+                engine=ExecutionEngine(max_workers=2),
+            )
+        assert (a / obs.TIMELINE_FILENAME).read_bytes() == (
+            b / obs.TIMELINE_FILENAME
+        ).read_bytes()
+
+
+# ---------------------------------------------------------------- obs CLI
+
+
+class TestObsCheckAndSummarize:
+    def _capped_run(self, directory, spec):
+        _run_with_timeline(directory, spec, power_cap_watts=16_000.0)
+
+    def test_check_exits_2_on_alerts(self, tmp_path, small_spec, capsys):
+        d = tmp_path / "t"
+        self._capped_run(d, small_spec)
+        assert obs_cli_main(["check", str(d)]) == 2
+        assert obs_cli_main(["check", str(d), "--min-severity", "critical"]) == 2
+        out = capsys.readouterr()
+        assert "power_cap_exceeded" in out.out
+
+    def test_check_passes_without_alerts(self, tmp_path, small_spec, capsys):
+        d = tmp_path / "t"
+        _run_with_timeline(d, small_spec)  # no cap -> no alerts
+        assert obs_cli_main(["check", str(d)]) == 0
+
+    def test_summarize_reports_timeline_and_alerts(self, tmp_path, small_spec):
+        d = tmp_path / "t"
+        self._capped_run(d, small_spec)
+        text = summarize(str(d))
+        assert "timeline:" in text
+        assert "alerts:" in text
+        assert "power_cap_exceeded" in text
+
+    def test_summarize_counts_unknown_record_kinds(self, tmp_path):
+        d = tmp_path / "t"
+        with obs.session(str(d), label="u"):
+            obs.event("noop")
+        with open(d / obs.EVENTS_FILENAME, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "mystery", "x": 1}) + "\n")
+            fh.write(json.dumps({"type": "mystery", "x": 2}) + "\n")
+        text = summarize(str(d))
+        assert "unknown kind" in text
+        assert "mystery (x2)" in text
+        snap = obs.default_registry().snapshot()
+        series = snap["repro_obs_unknown_records_total"]["series"]
+        assert [s["value"] for s in series] == [2.0]
+        assert series[0]["labels"] == {"kind": "mystery"}
+
+    def test_report_renders_sparklines_and_alert_markers(
+        self, tmp_path, small_spec
+    ):
+        from repro.obs.report import render_html
+
+        d = tmp_path / "t"
+        self._capped_run(d, small_spec)
+        doc = render_html(str(d))
+        assert "<h2>Timeline" in doc
+        assert doc.count("<polyline") >= 10
+        assert "power_cap_exceeded" in doc
+
+
+# ------------------------------------------------------ exporter regressions
+
+
+class TestExporterRegressions:
+    def test_zero_observation_histogram_exposes_sum_and_count(self):
+        reg = obs.MetricsRegistry()
+        reg._family("repro_pipeline_phase_seconds", "histogram", "")
+        text = obs.to_prometheus(reg)
+        assert "repro_pipeline_phase_seconds_sum 0" in text
+        assert "repro_pipeline_phase_seconds_count 0" in text
+        assert 'repro_pipeline_phase_seconds_bucket{le="+Inf"} 0' in text
+
+    def test_merge_preserves_empty_series_families(self):
+        src = obs.MetricsRegistry()
+        src._family("repro_pipeline_phase_seconds", "histogram", "")
+        src._family("repro_storage_writes_total", "counter", "")
+        dst = obs.MetricsRegistry()
+        dst.merge(src.snapshot())
+        names = [f.name for f in dst.families()]
+        assert "repro_pipeline_phase_seconds" in names
+        assert "repro_storage_writes_total" in names
+
+
+# ------------------------------------------------------------ bench history
+
+
+def _bench_report(**overrides) -> dict:
+    report = {
+        "quick": True,
+        "cpus": os.cpu_count() or 1,
+        "workers": 2,
+        "workload": {"n_tasks": 12},
+        "cache": {"entries": 12, "hits": 12, "misses": 12},
+        "serial_seconds": 10.0,
+        "parallel_seconds": 5.0,
+        "cached_seconds": 1.0,
+        "speedup_parallel": 2.0,
+        "speedup_cached": 10.0,
+    }
+    report.update(overrides)
+    return report
+
+
+class TestBenchHistory:
+    def test_record_append_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        record = history.history_record(_bench_report(), created_unix=123.0)
+        assert record["created_unix"] == 123.0
+        assert record["host"]["cpus"] == (os.cpu_count() or 1)
+        assert record["metrics"]["serial_seconds"] == 10.0
+        history.append_record(record, path)
+        history.append_record(record, path)
+        rows = history.load_history(path)
+        assert len(rows) == 2
+        assert rows[0]["metrics"] == record["metrics"]
+
+    def test_load_missing_ledger_is_empty(self, tmp_path):
+        assert history.load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_short_history_is_informational(self):
+        ledger = [history.history_record(_bench_report()) for _ in range(2)]
+        assert history.check_drift(_bench_report(), ledger) == []
+
+    def test_in_band_run_passes(self):
+        ledger = [history.history_record(_bench_report()) for _ in range(5)]
+        checks = history.check_drift(_bench_report(serial_seconds=11.0), ledger)
+        assert checks and not any(c.failed for c in checks)
+        assert history.drift_problems(checks) == []
+
+    def test_synthetic_regression_is_caught(self):
+        ledger = [history.history_record(_bench_report()) for _ in range(5)]
+        bad = _bench_report(serial_seconds=20.0, speedup_parallel=1.0)
+        checks = history.check_drift(bad, ledger)
+        failing = {c.metric for c in checks if c.failed}
+        assert failing == {"serial_seconds", "speedup_parallel"}
+        assert len(history.drift_problems(checks)) == 2
+
+    def test_improvement_is_not_drift(self):
+        ledger = [history.history_record(_bench_report()) for _ in range(5)]
+        better = _bench_report(serial_seconds=1.0, speedup_parallel=8.0)
+        checks = history.check_drift(better, ledger)
+        assert not any(c.failed for c in checks)
+
+    def test_other_hosts_are_filtered_out(self):
+        record = history.history_record(_bench_report())
+        record["host"]["cpus"] = (os.cpu_count() or 1) + 64
+        assert history.check_drift(_bench_report(), [record] * 5) == []
+        full = history.history_record(_bench_report())
+        full["quick"] = False
+        assert history.check_drift(_bench_report(), [full] * 5) == []
+
+    def test_mad_band_has_a_relative_floor(self):
+        # Identical history -> MAD 0; the floor keeps jitter from flagging.
+        ledger = [history.history_record(_bench_report()) for _ in range(5)]
+        checks = history.check_drift(_bench_report(), ledger)
+        serial = next(c for c in checks if c.metric == "serial_seconds")
+        assert serial.halfwidth == pytest.approx(0.25 * 10.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            history.check_drift(_bench_report(), [], window=0)
+        with pytest.raises(ConfigurationError):
+            history.check_drift(_bench_report(), [], mad_k=0.0)
+        with pytest.raises(ConfigurationError):
+            history.history_record({"quick": True})
+
+    def test_render_history(self):
+        assert "empty ledger" in history.render_history([])
+        ledger = [history.history_record(_bench_report()) for _ in range(3)]
+        text = history.render_history(ledger)
+        assert "3 record(s)" in text and "quick" in text
+
+    def test_cli_gate_and_append(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        ledger = str(tmp_path / "hist.jsonl")
+        rp = str(tmp_path / "report.json")
+        with open(rp, "w", encoding="utf-8") as fh:
+            json.dump(_bench_report(), fh)
+        # Empty ledger: informational pass, appended.
+        assert repro_main(
+            ["bench", "history", "--check", "--append",
+             "--report", rp, "--history-path", ledger]
+        ) == 0
+        for _ in range(3):
+            assert repro_main(
+                ["bench", "history", "--append", "--report", rp,
+                 "--history-path", ledger]
+            ) == 0
+        assert repro_main(
+            ["bench", "history", "--check", "--report", rp,
+             "--history-path", ledger]
+        ) == 0
+        with open(rp, "w", encoding="utf-8") as fh:
+            json.dump(_bench_report(serial_seconds=100.0), fh)
+        assert repro_main(
+            ["bench", "history", "--check", "--report", rp,
+             "--history-path", ledger]
+        ) == 2
+        assert repro_main(["bench", "history", "--history-path", ledger]) == 0
+        out = capsys.readouterr()
+        assert "bench history" in out.out
+
+
+# ------------------------------------------------------------- lint fixtures
+
+
+class TestObsNamingLintExtension:
+    def _lint(self, tmp_path, source: str):
+        from repro.lint import run_lint
+
+        target = tmp_path / "fixture.py"
+        target.write_text(source, encoding="utf-8")
+        return [f for f in run_lint([str(target)]) if f.rule == "obs-naming"]
+
+    def test_bad_probe_name_is_flagged(self, tmp_path):
+        findings = self._lint(
+            tmp_path, "sampler.add_probe('repro_timeline_bad', fn)\n"
+        )
+        assert len(findings) == 1
+        assert "repro_timeline_<layer>_<name>_<unit>" in findings[0].message
+
+    def test_good_probe_name_is_clean(self, tmp_path):
+        assert not self._lint(
+            tmp_path,
+            "sampler.add_probe('repro_timeline_engine_queue_depth_total', fn)\n",
+        )
+
+    def test_bad_watch_rule_series_is_flagged(self, tmp_path):
+        findings = self._lint(
+            tmp_path, "WatchRule(name='ok', series='repro_storage_ost*')\n"
+        )
+        assert len(findings) == 1
+
+    def test_bad_watch_rule_name_is_flagged(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            "WatchRule(name='Bad-Name', "
+            "series='repro_timeline_power_draw_watts')\n",
+        )
+        assert len(findings) == 1
+        assert "snake_case" in findings[0].message
+
+    def test_good_watch_rule_is_clean(self, tmp_path):
+        assert not self._lint(
+            tmp_path,
+            "WatchRule(name='ost_fill_high', "
+            "series='repro_timeline_storage_ost*')\n",
+        )
+
+    def test_plain_metric_checks_still_work(self, tmp_path):
+        assert self._lint(tmp_path, "obs.counter('repro_bad')\n")
+        assert not self._lint(
+            tmp_path, "obs.counter('repro_storage_writes_total')\n"
+        )
