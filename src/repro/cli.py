@@ -88,6 +88,40 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache", default=None, metavar="DIR",
             help="memoize completed runs in this on-disk cache",
         )
+        p.add_argument(
+            "--supervise", action="store_true",
+            help="supervised execution: worker-crash recovery, bounded "
+            "retries, structured failure records (see docs/RESILIENCE.md)",
+        )
+        p.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="per-task wall-clock deadline (implies --supervise)",
+        )
+        p.add_argument(
+            "--task-retries", type=int, default=None, metavar="N",
+            help="attempts per task including the first (implies --supervise)",
+        )
+        p.add_argument(
+            "--max-worker-crashes", type=int, default=None, metavar="N",
+            help="worker crashes before a task is quarantined as poison "
+            "(implies --supervise)",
+        )
+        p.add_argument(
+            "--fail-policy", default=None,
+            choices=["abort", "skip", "serial-fallback"],
+            help="what an exhausted task does to the sweep "
+            "(implies --supervise; default abort)",
+        )
+        p.add_argument(
+            "--journal", default=None, metavar="PATH",
+            help="append per-task outcomes to this sweep journal "
+            "(implies --supervise)",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="skip tasks the journal records as done, replaying them "
+            "from --cache (needs --journal and --cache)",
+        )
 
     p = sub.add_parser("characterize", help="run the Section V experiment grid")
     p.add_argument(
@@ -287,16 +321,69 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _engine(args: argparse.Namespace):
-    """The execution engine an invocation asked for (None = default inline)."""
+    """The execution engine an invocation asked for (None = default inline).
+
+    Any supervision flag upgrades the plain engine to a
+    :class:`~repro.exec.supervise.SupervisedExecutor`.
+    """
     workers = getattr(args, "workers", None)
     cache_dir = getattr(args, "cache", None)
-    if workers is None and cache_dir is None:
+    supervise_flags = {
+        "deadline_seconds": getattr(args, "deadline", None),
+        "task_retries": getattr(args, "task_retries", None),
+        "max_worker_crashes": getattr(args, "max_worker_crashes", None),
+        "fail_policy": getattr(args, "fail_policy", None),
+        "journal": getattr(args, "journal", None),
+    }
+    resume = bool(getattr(args, "resume", False))
+    supervised = (
+        bool(getattr(args, "supervise", False))
+        or resume
+        or any(v is not None for v in supervise_flags.values())
+    )
+    if workers is None and cache_dir is None and not supervised:
         return None
     from repro.exec.cache import DiskCache
-    from repro.exec.engine import ExecutionEngine
 
     cache = DiskCache(cache_dir) if cache_dir is not None else None
-    return ExecutionEngine(max_workers=workers, cache=cache)
+    if not supervised:
+        from repro.exec.engine import ExecutionEngine
+
+        return ExecutionEngine(max_workers=workers, cache=cache)
+    from repro.exec.supervise import SupervisedExecutor, TaskPolicy
+    from repro.faults.retry import RetryPolicy
+
+    defaults = TaskPolicy()
+    retry = defaults.retry
+    if supervise_flags["task_retries"] is not None:
+        retry = RetryPolicy(
+            max_attempts=supervise_flags["task_retries"],
+            base_delay_seconds=retry.base_delay_seconds,
+            backoff_factor=retry.backoff_factor,
+            max_delay_seconds=retry.max_delay_seconds,
+            jitter=retry.jitter,
+        )
+    policy = TaskPolicy(
+        deadline_seconds=supervise_flags["deadline_seconds"],
+        retry=retry,
+        max_worker_crashes=(
+            supervise_flags["max_worker_crashes"]
+            if supervise_flags["max_worker_crashes"] is not None
+            else defaults.max_worker_crashes
+        ),
+        fail_policy=(
+            supervise_flags["fail_policy"]
+            if supervise_flags["fail_policy"] is not None
+            else defaults.fail_policy
+        ),
+    )
+    return SupervisedExecutor(
+        max_workers=workers,
+        cache=cache,
+        policy=policy,
+        journal=supervise_flags["journal"],
+        resume=resume,
+    )
 
 
 def _study(
@@ -632,8 +719,30 @@ _COMMANDS = {
 }
 
 
+def _report_sweep_failure(exc) -> int:
+    """Structured stderr summary of a failed supervised sweep; exit 3."""
+    print(f"error: {exc}", file=sys.stderr)
+    for record in exc.failures:
+        attempts = record.get("attempts") or []
+        print(
+            f"  task failed ({record.get('kind', 'unknown')}, "
+            f"{len(attempts)} attempt(s)"
+            f"{', quarantined' if record.get('quarantined') else ''}): "
+            f"{record.get('error', '')}",
+            file=sys.stderr,
+        )
+    print(
+        "hint: re-run with --journal/--resume to retry only the failures, "
+        "or --fail-policy skip to keep partial results",
+        file=sys.stderr,
+    )
+    return 3
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.errors import ConfigurationError, SweepError
+
     raw = list(argv) if argv is not None else sys.argv[1:]
     if raw and raw[0] == "obs":
         # Forward everything verbatim (argparse.REMAINDER drops a leading
@@ -642,22 +751,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         return obs_main(raw[1:])
     args = build_parser().parse_args(raw)
+    if getattr(args, "resume", False) and (
+        getattr(args, "journal", None) is None or getattr(args, "cache", None) is None
+    ):
+        print("error: --resume needs both --journal and --cache", file=sys.stderr)
+        return 2
     handler = _COMMANDS[args.command]
     telemetry = getattr(args, "telemetry", None)
-    if telemetry is None:
-        return handler(args)
-    config = {k: v for k, v in vars(args).items() if k not in ("command", "telemetry")}
-    timeline = None
-    if not getattr(args, "no_timeline", False):
-        timeline = obs.TimelineConfig(
-            interval_seconds=getattr(args, "timeline_interval", None),
-            power_cap_watts=getattr(args, "power_cap", None),
-        )
-    with obs.session(
-        telemetry,
-        label=args.command,
-        argv=list(argv) if argv is not None else sys.argv[1:],
-        config=config,
-        timeline=timeline,
-    ):
-        return handler(args)
+    try:
+        if telemetry is None:
+            return handler(args)
+        config = {
+            k: v for k, v in vars(args).items() if k not in ("command", "telemetry")
+        }
+        timeline = None
+        if not getattr(args, "no_timeline", False):
+            timeline = obs.TimelineConfig(
+                interval_seconds=getattr(args, "timeline_interval", None),
+                power_cap_watts=getattr(args, "power_cap", None),
+            )
+        with obs.session(
+            telemetry,
+            label=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            config=config,
+            timeline=timeline,
+        ):
+            return handler(args)
+    except SweepError as exc:
+        return _report_sweep_failure(exc)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

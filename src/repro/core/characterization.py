@@ -29,7 +29,7 @@ from repro.core.calibration import (
 from repro.core.metrics import IN_SITU, POST_PROCESSING, Measurement, MetricSet
 from repro.core.model import DataModel, PipelinePredictor
 from repro.core.whatif import WhatIfAnalyzer
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepError
 from repro.exec.api import RunRequest
 from repro.exec.engine import ExecutionEngine
 from repro.pipelines.base import PipelineSpec
@@ -187,7 +187,19 @@ def run_characterization(
             for hours in intervals_hours
             for name in (InSituPipeline.name, PostProcessingPipeline.name)
         ]
-        for result in runner.map(requests):
+        results = runner.map(requests)
+        failed = [r.failure for r in results if r.failure is not None]
+        if failed:
+            # The study aggregates every cell of the grid; a missing cell
+            # would silently skew Fig. 6/7 tables, so surface the failures
+            # instead of averaging around the hole.
+            raise SweepError(
+                f"characterization grid lost {len(failed)} of "
+                f"{len(results)} cells to task failures",
+                failures=failed,
+                results=results,
+            )
+        for result in results:
             metrics.add(result.measurement)
     return CharacterizationStudy(metrics, base)
 

@@ -26,6 +26,7 @@ __all__ = [
     "NodeCrashError",
     "OperationTimeoutError",
     "RetryExhaustedError",
+    "SweepError",
 ]
 
 
@@ -115,3 +116,18 @@ class OperationTimeoutError(FaultError):
 
 class RetryExhaustedError(FaultError):
     """A retried operation failed on every allowed attempt."""
+
+
+class SweepError(ReproError):
+    """A supervised sweep settled with one or more failed tasks.
+
+    Raised by the ``abort`` fail-policy (and by aggregators like
+    ``run_characterization`` that cannot tolerate missing cells).
+    ``failures`` holds the structured per-task failure records; ``results``
+    the full result list (failed entries carry ``RunResult.failure``).
+    """
+
+    def __init__(self, message: str, failures=None, results=None) -> None:
+        super().__init__(message)
+        self.failures = list(failures or [])
+        self.results = list(results or [])

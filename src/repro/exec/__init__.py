@@ -17,8 +17,15 @@ from repro.exec.api import (
     reset_legacy_warnings,
     warn_legacy,
 )
-from repro.exec.cache import DiskCache, default_code_version
+from repro.exec.cache import QUARANTINE_DIRNAME, DiskCache, default_code_version
 from repro.exec.engine import ExecutionEngine, execute_request
+from repro.exec.supervise import (
+    FAIL_POLICIES,
+    JOURNAL_FILENAME,
+    SupervisedExecutor,
+    SweepJournal,
+    TaskPolicy,
+)
 from repro.exec.history import (
     DEFAULT_HISTORY_PATH,
     DriftCheck,
@@ -33,13 +40,19 @@ from repro.exec.history import (
 
 __all__ = [
     "DEFAULT_HISTORY_PATH",
+    "FAIL_POLICIES",
+    "JOURNAL_FILENAME",
     "MODE_REAL",
     "MODE_SIMULATED",
+    "QUARANTINE_DIRNAME",
     "DiskCache",
     "DriftCheck",
     "ExecutionEngine",
     "RunRequest",
     "RunResult",
+    "SupervisedExecutor",
+    "SweepJournal",
+    "TaskPolicy",
     "append_record",
     "build_pipeline",
     "check_drift",

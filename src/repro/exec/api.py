@@ -288,10 +288,16 @@ class RunRequest:
 
 @dataclass(frozen=True)
 class RunResult:
-    """One executed (or replayed) run: the request plus everything measured."""
+    """One executed (or replayed) run: the request plus everything measured.
+
+    A *failed* supervised run is still a :class:`RunResult`: ``measurement``
+    is ``None`` and ``failure`` carries the structured record (error kind,
+    per-attempt elapsed times, quarantine flag) instead of an exception
+    unwinding the whole sweep.  Failed results are never cached.
+    """
 
     request: RunRequest
-    measurement: "Measurement"
+    measurement: Optional["Measurement"]
     #: Whether this result came out of the on-disk cache.
     cache_hit: bool = False
     #: Content address of the run, when caching was in play.
@@ -310,12 +316,24 @@ class RunResult:
     #: the pool boundary; the engine merges and clears it.  Transport, not
     #: identity — excluded from :meth:`identity_dict` and :meth:`to_dict`.
     telemetry: Optional[dict] = field(default=None, compare=False)
+    #: Structured failure record from the supervised path (``None`` for a
+    #: successful run).  JSON-safe: ``{"kind", "error", "attempts": [...],
+    #: "quarantined"}`` — see :mod:`repro.exec.supervise`.  Excluded from
+    #: :meth:`identity_dict`: attempt timings are wall-clock diagnostics.
+    failure: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced a measurement (no failure record)."""
+        return self.failure is None
 
     def identity_dict(self) -> dict:
         """The deterministic payload used for bit-identity comparisons."""
         return {
             "request": self.request.to_dict(),
-            "measurement": self.measurement.to_dict(),
+            "measurement": (
+                None if self.measurement is None else self.measurement.to_dict()
+            ),
             "fault_summary": self.fault_summary,
             "recoveries": self.recoveries,
         }
@@ -329,6 +347,7 @@ class RunResult:
                 "cache": {"hit": self.cache_hit, "key": self.cache_key},
                 "engine": self.engine,
                 "wall_seconds": self.wall_seconds,
+                "failure": self.failure,
             }
         )
         return out

@@ -16,7 +16,6 @@ without failing on hardware it doesn't have.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Optional, Sequence
@@ -161,15 +160,13 @@ def run_bench(
 
 
 def write_report(report: dict, output_dir: str) -> str:
-    """Write ``BENCH_exec.json`` (and a text summary); returns the path."""
+    """Write ``BENCH_exec.json`` (and a text summary) atomically."""
+    from repro.atomicio import atomic_write_json, atomic_write_text
+
     os.makedirs(output_dir, exist_ok=True)
     path = os.path.join(output_dir, "BENCH_exec.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    txt = os.path.join(output_dir, "BENCH_exec.txt")
-    with open(txt, "w", encoding="utf-8") as fh:
-        fh.write(summary(report) + "\n")
+    atomic_write_json(path, report)
+    atomic_write_text(os.path.join(output_dir, "BENCH_exec.txt"), summary(report) + "\n")
     return path
 
 

@@ -140,8 +140,7 @@ class ExecutionEngine:
         if len(pending) > 1 and (self.max_workers or 1) > 1:
             self._run_pool(pending, results)
         else:
-            for index, request, key in pending:
-                results[index] = self._finish(request, key, execute_request(request))
+            self._run_inline(pending, results)
         self._record_session()
         return results
 
@@ -151,6 +150,16 @@ class ExecutionEngine:
         if self.cache is None or not request.cacheable:
             return None
         return request.cache_key(self.cache.code_version)
+
+    def _run_inline(self, pending: list, results: list) -> None:
+        """Execute the pending tasks one by one in this process.
+
+        A hook point: :class:`~repro.exec.supervise.SupervisedExecutor`
+        overrides this to convert exceptions into structured failure
+        records instead of unwinding the sweep.
+        """
+        for index, request, key in pending:
+            results[index] = self._finish(request, key, execute_request(request))
 
     def _run_pool(self, pending: list, results: list) -> None:
         workers = min(self.max_workers, len(pending))
@@ -173,7 +182,10 @@ class ExecutionEngine:
             # so the parent's event stream is byte-identical to an inline
             # run of the same batch.
             for index, request, key, future in futures:
-                result = replace(future.result(), engine="pool")
+                # The unsupervised pool is deliberately deadline-free: a
+                # hung worker hangs the sweep (use SupervisedExecutor for
+                # deadlines, crash recovery and retries).
+                result = replace(future.result(timeout=None), engine="pool")
                 if session is not None and result.telemetry is not None:
                     session.merge_shard(result.telemetry)
                 if result.telemetry is not None:
@@ -208,6 +220,15 @@ class ExecutionEngine:
         self.tasks_executed += 1
         obs.counter("repro_exec_tasks_total", pipeline=request.pipeline, cached="false")
         obs.observe("repro_exec_task_seconds", result.wall_seconds, cached="false")
+        if result.failure is not None:
+            # Failed runs carry no measurement and must never be memoized:
+            # a later sweep should re-attempt them, not replay the failure.
+            obs.counter(
+                "repro_exec_task_failures_total",
+                pipeline=request.pipeline,
+                kind=str(result.failure.get("kind", "unknown")),
+            )
+            return replace(result, cache_key=key) if key is not None else result
         if key is not None:
             result = replace(result, cache_key=key)
             self.cache.put(
@@ -234,6 +255,7 @@ class ExecutionEngine:
                 else {
                     "directory": self.cache.directory,
                     "code_version": self.cache.code_version,
+                    "corrupt_quarantined": self.cache.corrupt_quarantined,
                 }
             ),
             "cache_hits": self.cache_hits,

@@ -24,7 +24,6 @@ host class never blocks on an empty ledger.
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import sys
@@ -122,13 +121,14 @@ def history_record(report: dict, created_unix: Optional[float] = None) -> dict:
 
 
 def append_record(record: dict, path: str = DEFAULT_HISTORY_PATH) -> str:
-    """Append one row to the ledger (append-only; creates parents)."""
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(record, sort_keys=True))
-        fh.write("\n")
+    """Append one row to the ledger (append-only; creates parents).
+
+    The row goes down as a single ``O_APPEND`` write, so concurrent bench
+    runs interleave whole lines and a crash tears at most the final one.
+    """
+    from repro.atomicio import append_jsonl_line
+
+    append_jsonl_line(path, record)
     return path
 
 

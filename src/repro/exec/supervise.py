@@ -1,0 +1,898 @@
+"""Supervised execution: crash recovery, deadlines, retries, resumable sweeps.
+
+:class:`SupervisedExecutor` wraps the process-pool fan-out of
+:class:`~repro.exec.engine.ExecutionEngine` with the failure semantics a
+real cluster sweep needs — the same checkpoint/restart economics the paper
+models for the simulated platform (Eq. 4), applied to our own harness:
+
+* **Deadlines** — every pooled task gets a wall-clock deadline; a hung
+  worker is terminated, the pool respawned and the task re-attempted.
+* **Worker-crash recovery** — a worker dying mid-task (segfault,
+  ``os._exit``, OOM kill) surfaces as ``BrokenProcessPool``; the supervisor
+  respawns the pool, requeues in-flight tasks, and isolates suspects so a
+  single *poison* task is identified and quarantined after
+  ``max_worker_crashes`` strikes instead of livelocking the sweep.
+* **Bounded retries** — re-attempts reuse the frozen
+  :class:`~repro.faults.retry.RetryPolicy` machinery: a hard attempt
+  ceiling and exponential backoff with deterministic per-task jitter
+  (seeded from :meth:`RunRequest.task_seed`).
+* **Resumable sweeps** — an append-only :class:`SweepJournal`
+  (``sweep.journal.jsonl``) records each request digest and outcome as it
+  settles, so ``--resume`` replays completed work through the verified
+  :class:`~repro.exec.cache.DiskCache` and re-runs only the failures.
+* **Graceful degradation** — exhausted tasks become structured failure
+  records on :class:`~repro.exec.api.RunResult` (error kind, per-attempt
+  elapsed times) under the ``skip`` / ``serial-fallback`` fail policies, or
+  raise :class:`~repro.errors.SweepError` under ``abort``.
+
+Supervision incidents flow into ``repro_exec_*`` counters, an ``exec``
+timeline sample per incident, and the :func:`~repro.obs.watch.default_exec_rules`
+watchdog (``exec_retry_storm``, ``exec_worker_crash``).  A crash-free
+supervised run takes exactly the submission-order code path of the
+unsupervised engine, so its results — and its telemetry — are byte-identical
+to today's serial output.
+
+Chaos hook (tests and the CI ``chaos-exec`` job): setting the
+:data:`CHAOS_ENV` environment variable injects failures *inside pool
+workers only* — e.g. ``REPRO_EXEC_CHAOS="exit_once=1;dir=/tmp/chaos"``
+crashes the worker running submission index 1 exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro import obs
+from repro.atomicio import append_jsonl_line
+from repro.errors import ConfigurationError, SweepError, TransientIOError
+from repro.exec.api import RunRequest, RunResult
+from repro.exec.engine import ExecutionEngine, execute_request
+from repro.faults.retry import DEFAULT_RETRYABLE, RetryPolicy
+from repro.obs.naming import alert_metric_name
+from repro.obs.watch import Watchdog, default_exec_rules
+
+__all__ = [
+    "CHAOS_ENV",
+    "FAIL_ABORT",
+    "FAIL_POLICIES",
+    "FAIL_SERIAL",
+    "FAIL_SKIP",
+    "JOURNAL_FILENAME",
+    "SupervisedExecutor",
+    "SweepJournal",
+    "TaskPolicy",
+    "supervised_task",
+]
+
+#: Fail-policy spellings: abort the sweep on the first exhausted task, skip
+#: it (structured failure record in its slot), or fall back to running the
+#: task inline in the parent as a last resort.
+FAIL_ABORT = "abort"
+FAIL_SKIP = "skip"
+FAIL_SERIAL = "serial-fallback"
+FAIL_POLICIES = (FAIL_ABORT, FAIL_SKIP, FAIL_SERIAL)
+
+#: Default journal filename for resumable sweeps.
+JOURNAL_FILENAME = "sweep.journal.jsonl"
+
+#: Journal record layout version.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Environment variable carrying the chaos-injection plan (workers only).
+CHAOS_ENV = "REPRO_EXEC_CHAOS"
+
+#: Exit status used by the chaos hook's injected worker crashes.
+_CHAOS_EXIT_STATUS = 17
+
+#: Floor on a deadline wait so an already-late task still gets collected.
+_MIN_WAIT_SECONDS = 0.05
+
+
+# ------------------------------------------------------------------- policy
+
+
+def _default_retry() -> RetryPolicy:
+    """Supervisor default: 3 attempts, fast seeded-jitter backoff."""
+    return RetryPolicy(
+        max_attempts=3,
+        base_delay_seconds=0.05,
+        backoff_factor=2.0,
+        max_delay_seconds=1.0,
+        jitter=0.25,
+    )
+
+
+@dataclass(frozen=True)
+class TaskPolicy:
+    """How one sweep's tasks are supervised (pure data, frozen)."""
+
+    #: Per-task wall-clock deadline in seconds, measured from submission
+    #: (queueing included); ``None`` disables deadline enforcement.
+    deadline_seconds: Optional[float] = None
+    #: Attempt ceiling and backoff schedule (the frozen retry machinery
+    #: shared with the simulated platform's I/O supervision).
+    retry: RetryPolicy = field(default_factory=_default_retry)
+    #: Worker crashes a single task may cause before it is quarantined as
+    #: poison (one bad request must not livelock the sweep).
+    max_worker_crashes: int = 3
+    #: What an exhausted task does to the sweep (see :data:`FAIL_POLICIES`).
+    fail_policy: str = FAIL_ABORT
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive: {self.deadline_seconds}"
+            )
+        if self.max_worker_crashes < 1:
+            raise ConfigurationError(
+                f"max_worker_crashes must be >= 1: {self.max_worker_crashes}"
+            )
+        if self.fail_policy not in FAIL_POLICIES:
+            raise ConfigurationError(
+                f"unknown fail policy {self.fail_policy!r}; "
+                f"expected one of {FAIL_POLICIES}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (manifest provenance)."""
+        return {
+            "deadline_seconds": self.deadline_seconds,
+            "max_attempts": self.retry.max_attempts,
+            "base_delay_seconds": self.retry.base_delay_seconds,
+            "max_worker_crashes": self.max_worker_crashes,
+            "fail_policy": self.fail_policy,
+        }
+
+
+# -------------------------------------------------------------- chaos hook
+
+
+def parse_chaos(spec: str) -> dict:
+    """Parse a :data:`CHAOS_ENV` plan.
+
+    Semicolon-separated clauses; index lists are comma-separated submission
+    indices (the position in the sweep's non-cached pending order):
+
+    * ``exit=I,J`` — the worker running the task calls ``os._exit`` every
+      attempt (a poison task);
+    * ``exit_once=I`` — same, but only the first time (requires ``dir=``,
+      where a marker file arbitrates "first");
+    * ``raise=I`` / ``raise_once=I`` — raise a retryable
+      :class:`~repro.errors.TransientIOError` inside the task;
+    * ``hang=I`` — sleep ``hang_seconds`` (default 3600) so the task blows
+      its deadline;
+    * ``dir=PATH`` — marker directory for the ``*_once`` clauses;
+    * ``hang_seconds=S`` — how long ``hang`` sleeps.
+    """
+    plan: dict = {
+        "exit": set(),
+        "exit_once": set(),
+        "raise": set(),
+        "raise_once": set(),
+        "hang": set(),
+        "dir": None,
+        "hang_seconds": 3600.0,
+    }
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if "=" not in clause:
+            raise ConfigurationError(f"malformed chaos clause {clause!r}")
+        kind, _, value = clause.partition("=")
+        kind = kind.strip()
+        value = value.strip()
+        if kind == "dir":
+            plan["dir"] = value
+        elif kind == "hang_seconds":
+            plan["hang_seconds"] = float(value)
+        elif kind in ("exit", "exit_once", "raise", "raise_once", "hang"):
+            plan[kind].update(int(v) for v in value.split(",") if v)
+        else:
+            raise ConfigurationError(f"unknown chaos clause kind {kind!r}")
+    needs_dir = plan["exit_once"] or plan["raise_once"]
+    if needs_dir and plan["dir"] is None:
+        raise ConfigurationError("chaos *_once clauses need a dir= clause")
+    return plan
+
+
+def _claim_marker(directory: str, kind: str, index: int) -> bool:
+    """Atomically claim a once-only chaos slot; True on first claim."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{kind}-{index:05d}")
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _apply_chaos(task_index: int) -> None:
+    spec = os.environ.get(CHAOS_ENV)
+    if not spec or task_index < 0:
+        return
+    plan = parse_chaos(spec)
+    if task_index in plan["exit"]:
+        os._exit(_CHAOS_EXIT_STATUS)
+    if task_index in plan["exit_once"] and _claim_marker(
+        plan["dir"], "exit", task_index
+    ):
+        os._exit(_CHAOS_EXIT_STATUS)
+    if task_index in plan["raise"]:
+        raise TransientIOError(f"chaos: injected I/O error on task {task_index}")
+    if task_index in plan["raise_once"] and _claim_marker(
+        plan["dir"], "raise", task_index
+    ):
+        raise TransientIOError(f"chaos: injected I/O error on task {task_index}")
+    if task_index in plan["hang"]:
+        time.sleep(plan["hang_seconds"])
+
+
+def supervised_task(request: RunRequest, task_index: int = -1) -> RunResult:
+    """The pool task function of the supervised path.
+
+    Identical to :func:`~repro.exec.engine.execute_request` except that the
+    :data:`CHAOS_ENV` failure-injection hook runs first — *only* here, in
+    pool workers, so injected crashes can never take down the supervising
+    parent (or an inline serial fallback).
+    """
+    _apply_chaos(task_index)
+    return execute_request(request)
+
+
+# ----------------------------------------------------------------- journal
+
+
+class SweepJournal:
+    """Append-only record of a sweep's per-task outcomes.
+
+    One JSON record per line in ``sweep.journal.jsonl``; every append is a
+    single fsynced ``O_APPEND`` write (see
+    :func:`repro.atomicio.append_jsonl_line`), so a killed sweep leaves at
+    most one torn final line — which the tolerant JSONL reader drops.  The
+    journal is the durable half of ``--resume``: completed digests are
+    skipped (replayed from the verified cache) and failures re-run.
+    """
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise ConfigurationError("journal path must be non-empty")
+        self.path = path
+
+    def begin(self, n_tasks: int, code_version: str, label: str = "sweep") -> None:
+        """Append the sweep header record."""
+        append_jsonl_line(
+            self.path,
+            {
+                "type": "sweep",
+                "schema_version": JOURNAL_SCHEMA_VERSION,
+                "label": label,
+                "n_tasks": n_tasks,
+                "code_version": code_version,
+            },
+            fsync=True,
+        )
+
+    def record(
+        self,
+        index: int,
+        digest: str,
+        status: str,
+        attempts: int = 1,
+        error: Optional[str] = None,
+        origin: str = "run",
+    ) -> None:
+        """Append one settled-task record (``status`` done/failed)."""
+        append_jsonl_line(
+            self.path,
+            {
+                "type": "task",
+                "index": index,
+                "digest": digest,
+                "status": status,
+                "attempts": attempts,
+                "error": error,
+                "origin": origin,
+            },
+            fsync=True,
+        )
+
+    def event(self, kind: str, **fields) -> None:
+        """Append one supervision incident (worker-crash, quarantine...)."""
+        record = {"type": "incident", "kind": kind}
+        record.update(fields)
+        append_jsonl_line(self.path, record, fsync=True)
+
+    @staticmethod
+    def load(path: str) -> Dict[str, dict]:
+        """Latest task record per digest; ``{}`` for a missing journal."""
+        if not os.path.exists(path):
+            return {}
+        from repro.obs.exporters import read_jsonl
+
+        latest: Dict[str, dict] = {}
+        for record in read_jsonl(path):
+            if record.get("type") == "task" and record.get("digest"):
+                latest[record["digest"]] = record
+        return latest
+
+
+# ------------------------------------------------------------ task states
+
+
+class _TaskState:
+    """Mutable supervision bookkeeping for one pending task."""
+
+    __slots__ = (
+        "index",
+        "task_index",
+        "request",
+        "key",
+        "digest",
+        "attempts",
+        "crashes",
+        "rng",
+        "submit_t",
+        "attempt_log",
+    )
+
+    def __init__(
+        self, index: int, task_index: int, request: RunRequest, key: Optional[str]
+    ) -> None:
+        self.index = index            # slot in the results list
+        self.task_index = task_index  # submission order (trace + chaos id)
+        self.request = request
+        self.key = key
+        self.digest = key if key is not None else request.cache_key("unversioned")
+        self.attempts = 0
+        self.crashes = 0
+        #: Deterministic backoff jitter, a pure function of the request.
+        self.rng = random.Random(request.task_seed())
+        self.submit_t = 0.0
+        self.attempt_log: List[dict] = []
+
+    def note_attempt(self, kind: str, error: str) -> None:
+        self.attempts += 1
+        # Elapsed wall time is a diagnostic only: failure records are
+        # excluded from identity_dict / bit-identity comparisons.
+        elapsed = time.monotonic() - self.submit_t
+        self.attempt_log.append(
+            {"kind": kind, "error": error, "elapsed_seconds": elapsed}
+        )
+
+
+# -------------------------------------------------------------- supervisor
+
+
+class SupervisedExecutor(ExecutionEngine):
+    """An :class:`ExecutionEngine` that survives worker crashes and hangs.
+
+    Drop-in: same constructor surface plus a :class:`TaskPolicy`, an
+    optional journal path and ``resume``.  Crash-free runs follow the base
+    engine's submission-order code path exactly, so results and telemetry
+    stay byte-identical to an unsupervised (or serial) sweep.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache=None,
+        policy: Optional[TaskPolicy] = None,
+        journal: Union[None, str, SweepJournal] = None,
+        resume: bool = False,
+        sleeper=None,
+        watch_rules=None,
+    ) -> None:
+        super().__init__(max_workers=max_workers, cache=cache)
+        self.policy = policy if policy is not None else TaskPolicy()
+        self.journal = SweepJournal(journal) if isinstance(journal, str) else journal
+        self.resume = resume
+        if resume and self.journal is None:
+            raise ConfigurationError("resume needs a journal path")
+        if resume and cache is None:
+            raise ConfigurationError(
+                "resume needs a cache: completed results replay from it"
+            )
+        #: Injectable for tests; production sleeps real wall time between
+        #: retry rounds (deterministically jittered via RetryPolicy).
+        self._sleep = sleeper if sleeper is not None else time.sleep
+        #: Supervision tallies across this executor's lifetime.
+        self.retries = 0
+        self.worker_crashes = 0
+        self.deadline_expiries = 0
+        self.quarantined = 0
+        self.pool_restarts = 0
+        self.resumed_skips = 0
+        self.serial_fallbacks = 0
+        #: Structured failure records of tasks that exhausted supervision.
+        self.failures: List[dict] = []
+        self._watchdog = Watchdog(
+            default_exec_rules() if watch_rules is None else watch_rules
+        )
+        self._incidents = 0
+        self._workers = 1
+
+    # ------------------------------------------------------------------ api
+
+    def map(self, requests: Sequence[RunRequest]) -> list:
+        """Execute a batch under supervision; order matches ``requests``.
+
+        With a journal, every settled task is recorded as it settles (so a
+        killed sweep leaves a half-finished journal a later ``resume`` run
+        picks up); with ``resume``, completed digests replay from the
+        verified cache and only failures re-run.
+        """
+        requests = list(requests)
+        journal_done: Dict[str, dict] = {}
+        if self.resume and self.journal is not None:
+            journal_done = {
+                digest: rec
+                for digest, rec in SweepJournal.load(self.journal.path).items()
+                if rec.get("status") == "done"
+            }
+        if self.journal is not None:
+            code = self.cache.code_version if self.cache is not None else "unversioned"
+            self.journal.begin(len(requests), code)
+        results = super().map(requests)
+        if self.journal is not None:
+            for index, result in enumerate(results):
+                if result is not None and result.engine == "cache":
+                    self.journal.record(
+                        index=index,
+                        digest=result.cache_key,
+                        status="done",
+                        attempts=0,
+                        origin="cache",
+                    )
+                    if result.cache_key in journal_done:
+                        self.resumed_skips += 1
+                        obs.counter("repro_exec_resumed_skips_total")
+        return results
+
+    # ------------------------------------------------------------ inline path
+
+    def _run_inline(self, pending: list, results: list) -> None:
+        """Supervised inline execution: retries, structured failures.
+
+        No deadline enforcement — an in-process task cannot be preempted;
+        use workers for deadline coverage.  The chaos hook never applies
+        inline, so injected crashes cannot kill the supervisor.
+        """
+        for task_index, (index, request, key) in enumerate(pending):
+            state = _TaskState(index, task_index, request, key)
+            for attempt in range(self.policy.retry.max_attempts):
+                state.submit_t = time.monotonic()
+                try:
+                    result = execute_request(request)
+                except Exception as exc:
+                    state.note_attempt(type(exc).__name__, str(exc))
+                    if self._retryable(exc) and attempt + 1 < self.policy.retry.max_attempts:
+                        self._note_retry(state, "exception")
+                        self._backoff([state])
+                        continue
+                    self._fail(
+                        state,
+                        "exception",
+                        f"{type(exc).__name__}: {exc}",
+                        results,
+                    )
+                    break
+                self._settle_success(state, result, results, None, pooled=False)
+                break
+
+    # -------------------------------------------------------------- pool path
+
+    def _run_pool(self, pending: list, results: list) -> None:
+        """Pooled execution with crash recovery, deadlines and quarantine."""
+        states = [
+            _TaskState(index, task_index, request, key)
+            for task_index, (index, request, key) in enumerate(pending)
+        ]
+        self._workers = min(self.max_workers, len(pending))
+        pool: Optional[ProcessPoolExecutor] = None
+        work = states
+        first_round = True
+        try:
+            while work:
+                retry_next: List[_TaskState] = []
+                # After any pool breakage, suspects (tasks that were in
+                # flight during a crash) run one at a time: a further crash
+                # then attributes to exactly one request, so poison tasks
+                # are identified without condemning innocent bystanders.
+                suspects = [] if first_round else [s for s in work if s.crashes > 0]
+                rest = [s for s in work if s not in suspects]
+                for state in suspects:
+                    pool = self._ensure_pool(pool)
+                    pool = self._run_single(pool, state, results, retry_next)
+                if rest:
+                    pool = self._ensure_pool(pool)
+                    pool = self._run_batch(pool, rest, results, retry_next)
+                first_round = False
+                work = retry_next
+                if work:
+                    self._backoff(work)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _ensure_pool(self, pool: Optional[ProcessPoolExecutor]) -> ProcessPoolExecutor:
+        if pool is not None:
+            return pool
+        return ProcessPoolExecutor(max_workers=self._workers)
+
+    def _respawn(self) -> None:
+        self.pool_restarts += 1
+        obs.counter("repro_exec_pool_restarts_total")
+
+    def _submit(self, pool: ProcessPoolExecutor, state: _TaskState, session):
+        state.submit_t = time.monotonic()
+        return pool.submit(
+            supervised_task,
+            self._with_trace(state.request, session, state.task_index),
+            state.task_index,
+        )
+
+    def _run_batch(
+        self,
+        pool: ProcessPoolExecutor,
+        batch: List[_TaskState],
+        results: list,
+        retry_next: List[_TaskState],
+    ) -> Optional[ProcessPoolExecutor]:
+        """Submit a batch, collect in submission order, survive breakage."""
+        session = obs.active()
+        futures = [self._submit(pool, state, session) for state in batch]
+        broken = None  # None | "deadline" | "crash"
+        for state, future in zip(batch, futures):
+            if broken is not None:
+                # The pool died while this future was outstanding: harvest
+                # it if it finished in time.  Otherwise, a deadline kill has
+                # a known culprit — collateral tasks requeue penalty-free —
+                # while a worker crash has an unknown one, so everything in
+                # flight becomes a crash suspect (isolation exonerates the
+                # innocent next round).
+                if (
+                    future.done()
+                    and not future.cancelled()
+                    and future.exception(timeout=0) is None
+                ):
+                    self._settle_success(
+                        state, future.result(timeout=0), results, session
+                    )
+                elif broken == "deadline":
+                    self._note_interrupted(state, retry_next)
+                else:
+                    self._note_crash(state, results, retry_next)
+                continue
+            try:
+                result = future.result(timeout=self._remaining(state))
+            except FuturesTimeoutError:
+                self._note_deadline(state, results, retry_next)
+                self._kill_pool(pool)
+                pool = None
+                broken = "deadline"
+            except BrokenProcessPool:
+                self._note_crash(state, results, retry_next)
+                broken = "crash"
+            except Exception as exc:
+                self._note_task_error(state, exc, results, retry_next)
+            else:
+                self._settle_success(state, result, results, session)
+        if broken is not None:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            self._respawn()
+            return None
+        return pool
+
+    def _run_single(
+        self,
+        pool: ProcessPoolExecutor,
+        state: _TaskState,
+        results: list,
+        retry_next: List[_TaskState],
+    ) -> Optional[ProcessPoolExecutor]:
+        """One isolated task — crash attribution is unambiguous here."""
+        session = obs.active()
+        future = self._submit(pool, state, session)
+        try:
+            result = future.result(timeout=self._remaining(state))
+        except FuturesTimeoutError:
+            self._note_deadline(state, results, retry_next)
+            self._kill_pool(pool)
+            self._respawn()
+            return None
+        except BrokenProcessPool:
+            self._note_crash(state, results, retry_next)
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._respawn()
+            return None
+        except Exception as exc:
+            self._note_task_error(state, exc, results, retry_next)
+            return pool
+        self._settle_success(state, result, results, session)
+        return pool
+
+    # ------------------------------------------------------------- settling
+
+    def _remaining(self, state: _TaskState) -> Optional[float]:
+        if self.policy.deadline_seconds is None:
+            return None
+        left = state.submit_t + self.policy.deadline_seconds - time.monotonic()
+        return max(_MIN_WAIT_SECONDS, left)
+
+    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Terminate the pool's workers (the only way to evict a hung task)."""
+        try:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except OSError:
+                    continue
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            # Teardown of an already-broken pool must never mask the
+            # supervision decision that triggered it.
+            pass
+
+    def _settle_success(
+        self,
+        state: _TaskState,
+        result: RunResult,
+        results: list,
+        session,
+        pooled: bool = True,
+    ) -> None:
+        if pooled:
+            if session is None:
+                session = obs.active()
+            if result.telemetry is not None:
+                if session is not None:
+                    session.merge_shard(result.telemetry)
+                result = replace(result, telemetry=None)
+            result = replace(result, engine="pool")
+        results[state.index] = self._finish(state.request, state.key, result)
+        if state.attempts > 0:
+            obs.counter("repro_exec_recoveries_total")
+        if self.journal is not None:
+            self.journal.record(
+                index=state.index,
+                digest=state.digest,
+                status="done",
+                attempts=state.attempts + 1,
+            )
+
+    def _note_retry(self, state: _TaskState, kind: str) -> None:
+        self.retries += 1
+        obs.counter("repro_exec_retries_total", kind=kind)
+        self._incident()
+
+    def _note_interrupted(
+        self, state: _TaskState, retry_next: List[_TaskState]
+    ) -> None:
+        """Collateral requeue: the pool died for a *known other* task.
+
+        No attempt or crash penalty — this task did nothing wrong and must
+        not drift toward its retry ceiling because a neighbor hung.
+        """
+        obs.counter("repro_exec_interrupted_total")
+        retry_next.append(state)
+
+    def _note_crash(
+        self, state: _TaskState, results: list, retry_next: List[_TaskState]
+    ) -> None:
+        state.crashes += 1
+        state.note_attempt("worker-crash", "worker process died mid-task")
+        self.worker_crashes += 1
+        obs.counter("repro_exec_worker_crashes_total")
+        if self.journal is not None:
+            self.journal.event(
+                "worker-crash", index=state.index, crashes=state.crashes
+            )
+        self._incident()
+        if state.crashes >= self.policy.max_worker_crashes:
+            self.quarantined += 1
+            obs.counter("repro_exec_quarantined_total")
+            if self.journal is not None:
+                self.journal.event("quarantine", index=state.index)
+            self._incident()
+            self._fail(
+                state,
+                "poison",
+                f"task crashed its worker {state.crashes} time(s); quarantined",
+                results,
+                quarantined=True,
+            )
+        elif state.attempts >= self.policy.retry.max_attempts:
+            self._fail(
+                state,
+                "worker-crash",
+                f"worker crashed on every one of {state.attempts} attempt(s)",
+                results,
+            )
+        else:
+            self._note_retry(state, "worker-crash")
+            retry_next.append(state)
+
+    def _note_deadline(
+        self, state: _TaskState, results: list, retry_next: List[_TaskState]
+    ) -> None:
+        state.note_attempt(
+            "deadline",
+            f"no result within the {self.policy.deadline_seconds}s deadline",
+        )
+        self.deadline_expiries += 1
+        obs.counter("repro_exec_deadline_expired_total")
+        if self.journal is not None:
+            self.journal.event("deadline", index=state.index)
+        self._incident()
+        if state.attempts >= self.policy.retry.max_attempts:
+            self._fail(
+                state,
+                "deadline",
+                f"deadline expired on every one of {state.attempts} attempt(s)",
+                results,
+            )
+        else:
+            self._note_retry(state, "deadline")
+            retry_next.append(state)
+
+    def _note_task_error(
+        self,
+        state: _TaskState,
+        exc: BaseException,
+        results: list,
+        retry_next: List[_TaskState],
+    ) -> None:
+        state.note_attempt(type(exc).__name__, str(exc))
+        if self._retryable(exc) and state.attempts < self.policy.retry.max_attempts:
+            self._note_retry(state, "exception")
+            retry_next.append(state)
+            return
+        self._fail(state, "exception", f"{type(exc).__name__}: {exc}", results)
+
+    @staticmethod
+    def _retryable(exc: BaseException) -> bool:
+        """Transient I/O and OS-level failures retry; deterministic
+        simulation errors fail fast (re-running a pure function of the
+        request would fail identically)."""
+        return isinstance(exc, DEFAULT_RETRYABLE + (OSError,))
+
+    def _fail(
+        self,
+        state: _TaskState,
+        kind: str,
+        error: str,
+        results: list,
+        quarantined: bool = False,
+    ) -> None:
+        """Task exhausted supervision: apply the fail policy."""
+        record = {
+            "kind": kind,
+            "error": error,
+            "attempts": list(state.attempt_log),
+            "quarantined": quarantined,
+        }
+        if self.policy.fail_policy == FAIL_SERIAL and kind in ("poison", "worker-crash"):
+            # Last resort for infrastructure failures: run the task inline
+            # in the parent.  The chaos hook does not apply here; a task
+            # that genuinely segfaults native code would take the parent
+            # down, which is the documented risk of this policy.
+            try:
+                result = execute_request(state.request)
+            except Exception as exc:
+                record["serial_fallback_error"] = f"{type(exc).__name__}: {exc}"
+            else:
+                self.serial_fallbacks += 1
+                obs.counter("repro_exec_serial_fallback_total")
+                result = replace(result, engine="serial-fallback")
+                results[state.index] = self._finish(state.request, state.key, result)
+                if self.journal is not None:
+                    self.journal.record(
+                        index=state.index,
+                        digest=state.digest,
+                        status="done",
+                        attempts=state.attempts + 1,
+                        origin="serial-fallback",
+                    )
+                return
+        self.failures.append(record)
+        failure_result = RunResult(
+            request=state.request,
+            measurement=None,
+            cache_key=state.key,
+            engine="supervised",
+            failure=record,
+        )
+        results[state.index] = self._finish(state.request, state.key, failure_result)
+        if self.journal is not None:
+            self.journal.record(
+                index=state.index,
+                digest=state.digest,
+                status="failed",
+                attempts=state.attempts,
+                error=kind,
+            )
+        if self.policy.fail_policy == FAIL_ABORT:
+            raise SweepError(
+                f"task {state.index} failed ({kind}: {error}) under "
+                f"fail-policy=abort",
+                failures=[record],
+            )
+
+    def _backoff(self, states: List[_TaskState]) -> None:
+        """Sleep out the longest due backoff (retries wait concurrently).
+
+        Each task's delay comes from the frozen retry policy with jitter
+        drawn from the task's own seeded rng, so the backoff schedule is a
+        deterministic function of (request, attempt number).
+        """
+        delays = [
+            self.policy.retry.backoff_delay(max(0, s.attempts - 1), s.rng)
+            for s in states
+        ]
+        delay = max(delays, default=0.0)
+        if delay > 0.0:
+            self._sleep(delay)
+
+    # ----------------------------------------------------------- telemetry
+
+    def _incident(self) -> None:
+        """One supervision incident: timeline sample + watchdog sweep.
+
+        Samples land on the incident sequence number (deterministic for a
+        given failure pattern) — a crash-free run emits none, keeping its
+        telemetry byte-identical to the unsupervised engine's.
+        """
+        self._incidents += 1
+        values = {
+            "repro_timeline_exec_deadline_expiries_total": float(
+                self.deadline_expiries
+            ),
+            "repro_timeline_exec_quarantined_total": float(self.quarantined),
+            "repro_timeline_exec_retries_total": float(self.retries),
+            "repro_timeline_exec_worker_crashes_total": float(self.worker_crashes),
+        }
+        t = float(self._incidents)
+        session = obs.active()
+        if session is not None:
+            session.emit_timeline(
+                {"type": "sample", "t": t, "label": "exec", "values": values}
+            )
+            session.registry.counter(
+                "repro_obs_timeline_samples_total", label="exec"
+            ).inc()
+        for alert in self._watchdog.observe(t, values):
+            if session is not None:
+                session.event("obs.alert", **alert.to_fields())
+                session.registry.counter(
+                    alert_metric_name(alert.rule), severity=alert.severity
+                ).inc()
+
+    def _record_session(self) -> None:
+        """Base provenance plus the supervision tallies."""
+        super()._record_session()
+        session = obs.active()
+        if session is None:
+            return
+        session.config["exec"]["supervise"] = {
+            "policy": self.policy.to_dict(),
+            "journal": None if self.journal is None else self.journal.path,
+            "resume": self.resume,
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "deadline_expiries": self.deadline_expiries,
+            "quarantined": self.quarantined,
+            "pool_restarts": self.pool_restarts,
+            "resumed_skips": self.resumed_skips,
+            "serial_fallbacks": self.serial_fallbacks,
+            "failures": len(self.failures),
+        }

@@ -21,7 +21,12 @@ __all__ = ["JsonlWriter", "read_jsonl", "to_prometheus", "write_prometheus"]
 
 
 class JsonlWriter:
-    """Append-only JSON-lines stream with deterministic key order."""
+    """Append-only JSON-lines stream with deterministic key order.
+
+    Every record is flushed to the OS as one complete line, so a crashed
+    process leaves at most a torn *final* line — exactly the damage
+    :func:`read_jsonl` tolerates — never a buffer's worth of lost records.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -32,11 +37,12 @@ class JsonlWriter:
         self.n_written = 0
 
     def write(self, record: dict) -> None:
-        """Serialize one record onto its own line."""
+        """Serialize one record onto its own line (flushed whole)."""
         if self._fh is None:
             raise ValueError(f"writer for {self.path!r} is closed")
-        self._fh.write(json.dumps(record, sort_keys=True, default=str))
-        self._fh.write("\n")
+        line = json.dumps(record, sort_keys=True, default=str)
+        self._fh.write(line + "\n")
+        self._fh.flush()
         self.n_written += 1
 
     def close(self) -> None:
@@ -140,10 +146,12 @@ def to_prometheus(registry: MetricsRegistry) -> str:
 
 
 def write_prometheus(registry: MetricsRegistry, path: str) -> str:
-    """Write the exposition to ``path``; returns the path."""
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(to_prometheus(registry))
+    """Write the exposition to ``path`` atomically; returns the path.
+
+    Goes through write-to-temp + ``os.replace`` so a scraper (or a crash)
+    never observes a half-written exposition.
+    """
+    from repro.atomicio import atomic_write_text
+
+    atomic_write_text(path, to_prometheus(registry))
     return path

@@ -141,12 +141,17 @@ class RunManifest:
             raise ConfigurationError(f"malformed run manifest: {exc}") from exc
 
     def write(self, directory: str) -> str:
-        """Write ``manifest.json`` into ``directory``; returns the path."""
+        """Write ``manifest.json`` into ``directory`` atomically.
+
+        Write-to-temp + ``os.replace``: a crash mid-write leaves the old
+        manifest (or none), never a torn one that breaks every later
+        ``summarize`` / ``report`` over the directory.
+        """
+        from repro.atomicio import atomic_write_json
+
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, MANIFEST_FILENAME)
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(path, self.to_dict())
         return path
 
     @classmethod

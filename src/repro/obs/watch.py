@@ -34,6 +34,7 @@ __all__ = [
     "SEVERITIES",
     "WatchRule",
     "Watchdog",
+    "default_exec_rules",
     "default_rules",
     "severity_rank",
 ]
@@ -56,6 +57,9 @@ FILL_ALERT_RATIO = 0.9
 
 #: Default consecutive-sample window for the queue-growth rule.
 GROWTH_WINDOW = 6
+
+#: Supervised-executor retries at which the retry-storm rule alerts.
+EXEC_RETRY_STORM_THRESHOLD = 8
 
 
 def severity_rank(severity: str) -> int:
@@ -309,3 +313,38 @@ def default_rules(
             )
         )
     return rules
+
+
+def default_exec_rules(
+    retry_storm_threshold: float = EXEC_RETRY_STORM_THRESHOLD,
+) -> List[WatchRule]:
+    """The supervised-executor rule set (see :mod:`repro.exec.supervise`).
+
+    These watch the ``exec`` incident timeline — one sample per supervision
+    incident, at the incident sequence number — so they are exactly as
+    deterministic as the failure pattern itself.
+    """
+    return [
+        WatchRule(
+            name="exec_worker_crash",
+            series="repro_timeline_exec_worker_crashes_total",
+            op=">=",
+            threshold=1.0,
+            severity="critical",
+            description=(
+                "a pool worker died mid-task; the supervisor respawned the "
+                "pool and requeued in-flight work"
+            ),
+        ),
+        WatchRule(
+            name="exec_retry_storm",
+            series="repro_timeline_exec_retries_total",
+            op=">=",
+            threshold=float(retry_storm_threshold),
+            severity="warning",
+            description=(
+                "supervised task retries reached the storm threshold "
+                f"({retry_storm_threshold:g}); the sweep is thrashing"
+            ),
+        ),
+    ]

@@ -4,6 +4,7 @@ shims, and the ``repro bench`` runner."""
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import warnings
@@ -31,7 +32,7 @@ from repro.exec.api import (
     reset_legacy_warnings,
 )
 from repro.exec.bench import compare_to_baseline, run_bench, write_report
-from repro.exec.cache import DiskCache
+from repro.exec.cache import QUARANTINE_DIRNAME, DiskCache
 from repro.exec.engine import ExecutionEngine, execute_request
 from repro.obs.manifest import SCHEMA_VERSION
 from repro.ocean.driver import MPASOceanConfig
@@ -156,6 +157,58 @@ class TestDiskCache:
     def test_empty_directory_rejected(self):
         with pytest.raises(ConfigurationError):
             DiskCache("")
+
+    def test_sidecar_records_payload_digest(self, tmp_path):
+        cache = DiskCache(str(tmp_path), code_version="v1")
+        key = "ab" + "0" * 62
+        cache.put(key, {"x": 1})
+        meta = cache.meta(key)
+        raw = (tmp_path / key[:2] / f"{key}.pkl").read_bytes()
+        assert meta["payload_sha256"] == hashlib.sha256(raw).hexdigest()
+        assert meta["payload_bytes"] == len(raw)
+
+    def test_corrupt_payload_is_quarantined(self, tmp_path):
+        cache = DiskCache(str(tmp_path), code_version="v1")
+        key = "ab" + "0" * 62
+        cache.put(key, {"x": 1})
+        payload = tmp_path / key[:2] / f"{key}.pkl"
+        with open(payload, "r+b") as fh:
+            fh.write(b"\xde\xad\xbe\xef")
+        assert cache.get(key) is None
+        assert cache.corrupt_quarantined == 1
+        # The entry moved aside — gone from the key listing, present in
+        # quarantine, and a later get() is a plain miss (no re-hash loop).
+        assert cache.keys() == []
+        qdir = tmp_path / QUARANTINE_DIRNAME
+        assert sorted(p.name for p in qdir.iterdir()) == [
+            f"{key}.json", f"{key}.pkl",
+        ]
+        assert cache.get(key) is None
+        assert cache.corrupt_quarantined == 1
+
+    def test_keys_exclude_quarantine_and_are_sorted(self, tmp_path):
+        cache = DiskCache(str(tmp_path), code_version="v1")
+        keys = ["ff" + "0" * 62, "aa" + "0" * 62, "0f" + "0" * 62]
+        for key in keys:
+            cache.put(key, {"k": key})
+        corrupt = keys[0]
+        with open(tmp_path / corrupt[:2] / f"{corrupt}.pkl", "r+b") as fh:
+            fh.write(b"\x00\x00")
+        assert cache.get(corrupt) is None
+        assert cache.keys() == sorted(keys[1:])
+
+    def test_meta_tolerates_torn_sidecar(self, tmp_path):
+        cache = DiskCache(str(tmp_path), code_version="v1")
+        key = "ab" + "0" * 62
+        cache.put(key, {"x": 1})
+        sidecar = tmp_path / key[:2] / f"{key}.json"
+        sidecar.write_text('{"schema_version": 1, "trunc')
+        assert cache.meta(key) is None
+        sidecar.write_text('["not", "an", "object"]')
+        assert cache.meta(key) is None
+        # With the sidecar's digest gone the payload check is skipped — the
+        # pre-digest-era entry still replays.
+        assert cache.get(key) == {"x": 1}
 
 
 class TestExecutionEngine:

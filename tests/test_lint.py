@@ -592,6 +592,43 @@ class TestFaultRetryRule:
         )
         assert "fault-retry" not in rule_ids(findings)
 
+    def test_untimed_future_result_is_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "repro/mod.py",
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def collect(futures):\n"
+            "    return [f.result() for f in futures]\n",
+        )
+        assert "fault-retry" in rule_ids(findings)
+
+    def test_explicit_timeout_none_is_accepted(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "repro/mod.py",
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def collect(futures):\n"
+            "    return [f.result(timeout=None) for f in futures]\n",
+        )
+        assert "fault-retry" not in rule_ids(findings)
+
+    def test_untimed_as_completed_and_wait_are_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "repro/mod.py",
+            "from concurrent.futures import as_completed, wait\n"
+            "def drain(futures):\n"
+            "    wait(futures)\n"
+            "    return list(as_completed(futures))\n",
+        )
+        ids = [f.rule for f in findings if f.rule == "fault-retry"]
+        assert len(ids) == 2
+
+    def test_result_outside_futures_modules_is_fine(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "repro/mod.py",
+            "def collect(jobs):\n"
+            "    return [j.result() for j in jobs]\n",
+        )
+        assert "fault-retry" not in rule_ids(findings)
+
 
 class TestStableReportOrder:
     """Reporters must emit byte-identical output for any input order."""
