@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint lint-flow lint-sarif baseline test check bench-history
+.PHONY: lint lint-flow lint-sarif baseline test check bench-history scenarios
 
 lint:
 	$(PYTHON) -m repro.lint src/ tests/ benchmarks/ examples/
@@ -24,4 +24,8 @@ test:
 bench-history:
 	$(PYTHON) -m repro bench history --quick --check --append
 
-check: lint test
+# Validate the scenario template gallery against its pinned digests.
+scenarios:
+	$(PYTHON) -m repro scenario gallery
+
+check: lint test scenarios

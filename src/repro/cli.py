@@ -16,6 +16,10 @@ Commands map onto the paper's sections:
   engine (serial vs parallel vs cached) and emit ``BENCH_exec.json``;
   ``bench history`` maintains the append-only trajectory ledger
   (``BENCH_history.jsonl``) and gates on MAD-band drift (``--check``).
+* ``run``          — execute a declarative scenario file (YAML/JSON; see
+  ``repro.scenario`` and ``docs/SCENARIOS.md``), with ``--set`` overrides.
+* ``scenario``     — validate/hash scenario files and check the template
+  gallery under ``scenarios/`` against its digest manifest.
 * ``lint``         — the project's static-analysis pass (see ``repro.lint``).
 * ``obs``          — inspect telemetry run directories: ``summarize``,
   ``dump``, ``diff`` (two manifests or BENCH files, threshold-gated) and
@@ -123,6 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
             "from --cache (needs --journal and --cache)",
         )
 
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--emit-scenario", default=None, metavar="PATH",
+            help="write this invocation as a scenario file (YAML or JSON by "
+            "extension) and exit without running",
+        )
+
     p = sub.add_parser("characterize", help="run the Section V experiment grid")
     p.add_argument(
         "--intervals", type=float, nargs="+", default=[8.0, 24.0, 72.0],
@@ -131,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable output")
     add_telemetry_args(p)
     add_engine_args(p)
+    add_scenario_args(p)
 
     p = sub.add_parser("calibrate", help="fit Eq. 5 and validate (Fig. 8)")
 
@@ -154,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_telemetry_args(p)
     add_engine_args(p)
+    add_scenario_args(p)
 
     p = sub.add_parser(
         "faults", help="seeded fault campaign: both pipelines, identical faults"
@@ -193,6 +206,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable output")
     add_telemetry_args(p)
     add_engine_args(p)
+    add_scenario_args(p)
+
+    p = sub.add_parser(
+        "run", help="execute a declarative scenario file (YAML or JSON)"
+    )
+    p.add_argument("path", help="scenario file")
+    p.add_argument(
+        "--set", action="append", default=[], metavar="KEY.PATH=VALUE",
+        dest="overrides",
+        help="override a scenario value before validation (repeatable), "
+        "e.g. --set sampling.intervals_hours=[8,24]",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    add_telemetry_args(p)
+
+    p = sub.add_parser(
+        "scenario", help="validate/hash scenario files; check the gallery"
+    )
+    p.add_argument(
+        "action", choices=("validate", "hash", "gallery"),
+        help="'validate'/'hash' operate on files; 'gallery' re-validates "
+        "the template gallery and diffs digests against its manifest",
+    )
+    p.add_argument("paths", nargs="*", help="scenario files (validate/hash)")
+    p.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="gallery directory (default: scenarios/)",
+    )
+    p.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="digest manifest (default: <dir>/TEMPLATES.json)",
+    )
+    p.add_argument(
+        "--update", action="store_true",
+        help="gallery: rewrite the digest manifest after validating",
+    )
 
     p = sub.add_parser("plan", help="Section VII advisor")
     p.add_argument("--years", type=float, default=100.0, help="campaign length")
@@ -396,15 +445,26 @@ def _study(
     return run_characterization(intervals_hours=tuple(intervals))
 
 
+def _emit_scenario(scenario, args: argparse.Namespace) -> bool:
+    """Handle ``--emit-scenario PATH``: write the file, skip the run."""
+    path = getattr(args, "emit_scenario", None)
+    if path is None:
+        return False
+    from repro.scenario.loader import write_scenario
+
+    write_scenario(scenario, path)
+    print(f"wrote {path}")
+    return True
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    study = _study(args.intervals, engine=_engine(args))
-    if args.json:
-        print(json.dumps(study.to_dict(), indent=2, sort_keys=True))
+    from repro.scenario.build import scenario_from_args
+    from repro.scenario.run import run_scenario
+
+    scenario = scenario_from_args("characterize", args)
+    if _emit_scenario(scenario, args):
         return 0
-    print(study.table())
-    print()
-    print(study.findings())
-    return 0
+    return run_scenario(scenario, json_output=args.json)
 
 
 def _cmd_calibrate(_args: argparse.Namespace) -> int:
@@ -426,73 +486,91 @@ def _cmd_calibrate(_args: argparse.Namespace) -> int:
 
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
-    study = _study(engine=_engine(args))
-    analyzer = study.analyzer()
-    duration = years(args.years)
-    print(f"campaign: {args.years:g} simulated years\n")
-    print(f"{'cadence':>10s} {'post GB':>12s} {'in-situ GB':>11s} "
-          f"{'energy saving':>14s}")
-    for row in analyzer.sweep(intervals_hours=args.intervals, duration_seconds=duration):
-        print(
-            f"{row.interval_hours:>8.0f} h {row.post.s_io_gb:>12.1f} "
-            f"{row.insitu.s_io_gb:>11.2f} {100 * row.energy_savings():>13.1f}%"
-        )
-    limit = analyzer.finest_interval_for_storage(POST_PROCESSING, 2_000.0, duration)
-    print(f"\n2 TB budget forces post-processing to every {limit / 24:.1f} days")
-    if args.mtbf_hours is not None:
-        rows = analyzer.failure_aware_sweep(
-            intervals_hours=args.intervals,
-            duration_seconds=duration,
-            mtbf_hours=args.mtbf_hours,
-            checkpoint_write_seconds=args.checkpoint_write_seconds,
-            restart_seconds=args.restart_seconds,
-        )
-        tau = rows[0].checkpoint_interval_seconds
-        print(f"\nwith failures (MTBF {args.mtbf_hours:g} h, "
-              f"optimal checkpoint every {tau / 3_600:.2f} h):")
-        print(f"{'cadence':>10s} {'post +%':>9s} {'in-situ +%':>11s} "
-              f"{'energy saving':>14s}")
-        for frow in rows:
-            print(
-                f"{frow.interval_hours:>8.0f} h "
-                f"{100 * frow.post_overhead_ratio():>8.1f}% "
-                f"{100 * frow.insitu_overhead_ratio():>10.1f}% "
-                f"{100 * frow.energy_savings():>13.1f}%"
-            )
-    return 0
+    from repro.scenario.build import scenario_from_args
+    from repro.scenario.run import run_scenario
+
+    scenario = scenario_from_args("whatif", args)
+    if _emit_scenario(scenario, args):
+        return 0
+    return run_scenario(scenario)
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from repro.faults.campaign import run_fault_campaign
-    from repro.ocean.driver import MPASOceanConfig
-    from repro.pipelines.base import PipelineSpec
-    from repro.pipelines.sampling import SamplingPolicy
-    from repro.units import MONTH
+    from repro.scenario.build import scenario_from_args
+    from repro.scenario.run import run_scenario
 
-    spec = PipelineSpec(
-        ocean=MPASOceanConfig(duration_seconds=args.months * MONTH),
-        sampling=SamplingPolicy(args.interval),
-    )
-    print(
-        "running the fault campaign (fault-free baselines, protected and "
-        "unprotected runs for both pipelines)...",
-        file=sys.stderr,
-    )
-    result = run_fault_campaign(
-        spec,
-        engine=_engine(args),
-        seed=args.seed,
-        mtbf_hours=args.mtbf_hours,
-        checkpoint_every=args.checkpoint_every,
-        restart_penalty_seconds=args.restart_penalty,
-        brownout_rate_per_hour=args.brownout_rate,
-        io_error_rate_per_hour=args.io_error_rate,
-        include_unprotected=not args.no_unprotected,
-    )
-    if args.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    scenario = scenario_from_args("faults", args)
+    if _emit_scenario(scenario, args):
         return 0
-    print(result.table())
+    return run_scenario(scenario, json_output=args.json)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.scenario.loader import load_scenario
+    from repro.scenario.run import run_scenario
+    from repro.scenario.schema import PowerConfig
+
+    scenario = load_scenario(args.path, overrides=tuple(args.overrides))
+    # CLI telemetry flags override the scenario's telemetry section.
+    telemetry = scenario.telemetry
+    if args.telemetry is not None:
+        telemetry = dataclasses.replace(telemetry, directory=args.telemetry)
+    if args.no_timeline:
+        telemetry = dataclasses.replace(telemetry, timeline=False)
+    if args.timeline_interval is not None:
+        telemetry = dataclasses.replace(
+            telemetry, interval_seconds=args.timeline_interval
+        )
+    if telemetry != scenario.telemetry:
+        scenario = dataclasses.replace(scenario, telemetry=telemetry)
+    if args.power_cap is not None:
+        scenario = dataclasses.replace(
+            scenario, power=PowerConfig(cap_watts=args.power_cap)
+        )
+    return run_scenario(
+        scenario, json_output=args.json, argv=getattr(args, "_raw_argv", None)
+    )
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.scenario import gallery as scenario_gallery
+    from repro.scenario.loader import load_scenario
+
+    if args.action in ("validate", "hash"):
+        if not args.paths:
+            print("error: no scenario files given", file=sys.stderr)
+            return 2
+        for path in args.paths:
+            scenario = load_scenario(path)
+            if args.action == "hash":
+                print(f"{scenario.content_digest()}  {path}")
+            else:
+                print(
+                    f"ok {path} ({scenario.name}, "
+                    f"digest {scenario.content_digest()[:12]})"
+                )
+        return 0
+    directory = args.dir or scenario_gallery.DEFAULT_GALLERY_DIR
+    manifest = args.manifest or (
+        scenario_gallery.DEFAULT_MANIFEST
+        if args.dir is None
+        else os.path.join(directory, "TEMPLATES.json")
+    )
+    if args.update:
+        payload = scenario_gallery.write_manifest(directory, manifest)
+        print(f"wrote {manifest} ({len(payload['templates'])} template(s))")
+        return 0
+    problems = scenario_gallery.check_gallery(directory, manifest)
+    if problems:
+        for problem in problems:
+            print(f"GALLERY: {problem}", file=sys.stderr)
+        return 2
+    n = len(scenario_gallery.gallery_paths(directory))
+    print(f"gallery ok: {n} template(s) validated, digests match {manifest}")
     return 0
 
 
@@ -707,6 +785,8 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "whatif": _cmd_whatif,
     "faults": _cmd_faults,
+    "run": _cmd_run,
+    "scenario": _cmd_scenario,
     "plan": _cmd_plan,
     "quality": _cmd_quality,
     "report": _cmd_report,
@@ -751,6 +831,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         return obs_main(raw[1:])
     args = build_parser().parse_args(raw)
+    args._raw_argv = raw
     if getattr(args, "resume", False) and (
         getattr(args, "journal", None) is None or getattr(args, "cache", None) is None
     ):
@@ -758,6 +839,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     handler = _COMMANDS[args.command]
     telemetry = getattr(args, "telemetry", None)
+    if args.command == "run" or getattr(args, "emit_scenario", None) is not None:
+        # `repro run` opens its own session (label = the experiment kind, so
+        # traces match the legacy command); --emit-scenario only writes a file.
+        telemetry = None
     try:
         if telemetry is None:
             return handler(args)

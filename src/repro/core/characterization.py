@@ -155,6 +155,8 @@ def run_characterization(
     intervals_hours: Sequence[float] = (8.0, 24.0, 72.0),
     spec: Optional[PipelineSpec] = None,
     engine: Optional["ExecutionEngine"] = None,
+    *,
+    pipelines: Optional[Sequence] = None,
 ) -> CharacterizationStudy:
     """Run the full experiment grid and return the study.
 
@@ -167,6 +169,12 @@ def run_characterization(
     to the historical serial loop.  ``platform_factory`` (custom clusters,
     instrumented storage) forces the inline path: bespoke platform objects
     cannot cross the engine's process/cache boundary.
+
+    ``pipelines`` (keyword-only) widens or reorders the grid: a sequence of
+    :class:`~repro.pipelines.base.Pipeline` instances replacing the default
+    in-situ / post-processing pair (e.g. adding
+    :class:`~repro.pipelines.intransit.InTransitPipeline`).  The default
+    ``None`` keeps the historical request list byte-for-byte.
     """
     if not intervals_hours:
         raise ConfigurationError("need at least one sampling interval")
@@ -174,7 +182,12 @@ def run_characterization(
     metrics = MetricSet()
     if platform_factory is not None:
         for hours in intervals_hours:
-            for pipeline in (InSituPipeline(), PostProcessingPipeline()):
+            cell_pipelines = (
+                (InSituPipeline(), PostProcessingPipeline())
+                if pipelines is None
+                else pipelines
+            )
+            for pipeline in cell_pipelines:
                 cell_spec = base.with_sampling(SamplingPolicy(hours))
                 result = pipeline.execute(
                     RunRequest(spec=cell_spec), platform=platform_factory()
@@ -182,11 +195,24 @@ def run_characterization(
                 metrics.add(result.measurement)
     else:
         runner = engine if engine is not None else ExecutionEngine()
-        requests = [
-            RunRequest(pipeline=name, spec=base.with_sampling(SamplingPolicy(hours)))
-            for hours in intervals_hours
-            for name in (InSituPipeline.name, PostProcessingPipeline.name)
-        ]
+        if pipelines is None:
+            requests = [
+                RunRequest(
+                    pipeline=name, spec=base.with_sampling(SamplingPolicy(hours))
+                )
+                for hours in intervals_hours
+                for name in (InSituPipeline.name, PostProcessingPipeline.name)
+            ]
+        else:
+            requests = [
+                RunRequest(
+                    pipeline=pipeline.name,
+                    pipeline_args=pipeline.request_args(),
+                    spec=base.with_sampling(SamplingPolicy(hours)),
+                )
+                for hours in intervals_hours
+                for pipeline in pipelines
+            ]
         results = runner.map(requests)
         failed = [r.failure for r in results if r.failure is not None]
         if failed:

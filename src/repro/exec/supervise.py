@@ -262,10 +262,11 @@ class SweepJournal:
     skipped (replayed from the verified cache) and failures re-run.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, label: str = "sweep") -> None:
         if not path:
             raise ConfigurationError("journal path must be non-empty")
         self.path = path
+        self.label = label
 
     def begin(self, n_tasks: int, code_version: str, label: str = "sweep") -> None:
         """Append the sweep header record."""
@@ -440,7 +441,7 @@ class SupervisedExecutor(ExecutionEngine):
             }
         if self.journal is not None:
             code = self.cache.code_version if self.cache is not None else "unversioned"
-            self.journal.begin(len(requests), code)
+            self.journal.begin(len(requests), code, label=self.journal.label)
         results = super().map(requests)
         if self.journal is not None:
             for index, result in enumerate(results):

@@ -1,0 +1,50 @@
+"""Shared machinery for deprecated positional-argument shims (PR 4 idiom).
+
+The scenario API redesign made the platform/pipeline builder signatures
+keyword-only (plus an optional frozen scenario sub-config).  The old
+positional spellings keep working through :func:`merge_legacy_positionals`:
+they warn once per process via :func:`repro.exec.api.warn_legacy`, collide
+loudly with keyword duplicates, and overflow loudly past the old arity —
+exactly like a real signature would.  This module is import-light on
+purpose: it sits below every builder that needs it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UNSET", "merge_legacy_positionals"]
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+UNSET = _Unset()
+
+
+def merge_legacy_positionals(
+    builder: str, values: dict, legacy: tuple, replacement: str
+) -> None:
+    """Fold deprecated positional arguments into the keyword value map.
+
+    ``values`` maps parameter names (in the old positional order) to the
+    keyword values received — :data:`UNSET` where the caller did not pass
+    one.  Mutates ``values`` in place.
+    """
+    from repro.exec.api import warn_legacy
+
+    warn_legacy(f"{builder} with positional arguments", replacement)
+    names = tuple(values)
+    if len(legacy) > len(names):
+        raise TypeError(
+            f"{builder} takes at most {len(names)} deprecated positional "
+            f"argument(s), got {len(legacy)}"
+        )
+    for key, value in zip(names, legacy):
+        if values[key] is not UNSET:
+            raise TypeError(
+                f"{builder} got multiple values for argument {key!r}"
+            )
+        values[key] = value

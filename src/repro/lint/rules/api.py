@@ -186,6 +186,19 @@ _KEYWORD_ONLY_SWEEPS = {
     "failure_aware_sweep",
 }
 
+#: Builders that went keyword-only in the scenario API redesign, mapped to
+#: the number of positional arguments their modern spelling still takes
+#: (the leading ``sim``/``workdir``-style anchors).  Anything beyond that
+#: hits the warn-once legacy shim.
+_KEYWORD_ONLY_BUILDERS = {
+    "ComputeCluster": 1,
+    "StorageCluster": 1,
+    "LustreFileSystem": 1,
+    "SimulatedPlatform": 0,
+    "RealPlatform": 1,
+    "InTransitPipeline": 0,
+}
+
 
 def _looks_like_pipeline(arg: ast.expr) -> bool:
     """Does this expression plausibly evaluate to a Pipeline instance?"""
@@ -216,14 +229,36 @@ class ApiDeprecatedRule(Rule):
             ctx.posix.endswith("/repro/pipelines/platform.py")
             or ctx.posix.endswith("/repro/core/whatif.py")
             or ctx.posix.endswith("/repro/exec/api.py")
+            or ctx.posix.endswith("/repro/cluster/machine.py")
+            or ctx.posix.endswith("/repro/storage/lustre.py")
+            or ctx.posix.endswith("/repro/pipelines/intransit.py")
+            or ctx.posix.endswith("/repro/legacy.py")
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        """Flag ``platform.run(pipeline, ...)`` and positional sweep calls."""
+        """Flag ``platform.run(pipeline, ...)``, positional sweep calls and
+        positional builder construction."""
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
+            builder = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if builder in _KEYWORD_ONLY_BUILDERS:
+                allowed = _KEYWORD_ONLY_BUILDERS[builder]
+                if len(node.args) > allowed or any(
+                    isinstance(a, ast.Starred) for a in node.args
+                ):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"positional arguments to {builder}(...) hit the "
+                        "warn-once legacy shim; pass keywords or "
+                        "config=<scenario sub-config> (see docs/MIGRATION.md)",
+                    )
+                continue
             if not isinstance(func, ast.Attribute):
                 continue
             if func.attr == "run":

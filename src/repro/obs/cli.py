@@ -195,6 +195,12 @@ def summarize(path: str) -> str:
     ]
     if manifest.argv:
         lines.append("argv: " + " ".join(manifest.argv))
+    scenario = manifest.config.get("scenario")
+    if isinstance(scenario, dict) and scenario.get("digest"):
+        lines.append(
+            f"scenario: {scenario.get('name', '?')} "
+            f"(digest {str(scenario['digest'])[:12]})"
+        )
     prov = manifest.provenance
     if prov:
         commit = prov.get("git_commit")

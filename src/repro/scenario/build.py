@@ -1,0 +1,273 @@
+"""Build the runtime objects a :class:`Scenario` describes.
+
+This is the single place where declarative scenario data turns into the
+live Platform / Pipeline / engine objects the experiments run on.  The
+flag-driven CLI path goes through :func:`scenario_from_args`, so both
+spellings construct the *same* scenario and therefore the same objects —
+the byte-identical-telemetry guarantee holds by construction.
+
+Builders return ``None`` whenever the scenario asks for the library
+default, so the default code path (and its cache keys, event streams and
+request lists) stays exactly what it was before scenarios existed.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Optional, Tuple
+
+from repro.scenario.schema import (
+    ExecutionConfig,
+    ExperimentConfig,
+    FaultsCampaignConfig,
+    ImagesConfig,
+    OceanConfig,
+    PowerConfig,
+    SamplingConfig,
+    Scenario,
+    ScenarioError,
+    TelemetryConfig,
+)
+from repro.units import MONTH
+
+__all__ = [
+    "build_ocean",
+    "build_images",
+    "build_spec",
+    "build_pipelines",
+    "build_platform_factory",
+    "build_engine",
+    "scenario_from_args",
+]
+
+
+def build_ocean(config: OceanConfig):
+    """The :class:`~repro.ocean.driver.MPASOceanConfig` a scenario describes."""
+    from repro.ocean.driver import MPASOceanConfig
+
+    return MPASOceanConfig(
+        resolution_km=config.resolution_km,
+        n_vertical_levels=config.vertical_levels,
+        timestep_seconds=config.timestep_seconds,
+        duration_seconds=config.duration_seconds,
+        bytes_per_value=config.bytes_per_value,
+    )
+
+
+def build_images(config: ImagesConfig):
+    """The :class:`~repro.viz.render.ImageSpec` a scenario describes."""
+    from repro.viz.render import ImageSpec
+
+    return ImageSpec(width=config.width, height=config.height)
+
+
+def build_spec(scenario: Scenario):
+    """The :class:`~repro.pipelines.base.PipelineSpec` for this scenario.
+
+    Returns ``None`` when every field resolves to the library default so
+    the historical ``spec=None`` code path (and its request hashes) is
+    taken verbatim.  Fault campaigns always materialize a spec: their
+    cadence and campaign length live in it.
+    """
+    from repro.pipelines.base import PipelineSpec
+    from repro.pipelines.sampling import SamplingPolicy
+
+    if scenario.experiment.kind == "faults":
+        return PipelineSpec(
+            ocean=build_ocean(scenario.ocean),
+            sampling=SamplingPolicy(scenario.sampling.intervals_hours[0]),
+            images=build_images(scenario.images),
+        )
+    if scenario.ocean == OceanConfig() and scenario.images == ImagesConfig():
+        return None
+    return PipelineSpec(
+        ocean=build_ocean(scenario.ocean), images=build_images(scenario.images)
+    )
+
+
+def build_pipelines(scenario: Scenario) -> Optional[Tuple]:
+    """Pipeline instances for a non-default grid (``None`` = default pair)."""
+    if scenario.pipelines is None:
+        return None
+    from repro.pipelines.insitu import InSituPipeline
+    from repro.pipelines.intransit import InTransitPipeline
+    from repro.pipelines.postprocessing import PostProcessingPipeline
+
+    instances = []
+    for entry in scenario.pipelines:
+        if entry.kind == "in-transit":
+            if entry.staging_nodes is not None:
+                instances.append(InTransitPipeline(config=entry))
+            else:
+                instances.append(InTransitPipeline())
+        elif entry.kind == "in-situ":
+            instances.append(InSituPipeline())
+        else:
+            instances.append(PostProcessingPipeline())
+    return tuple(instances)
+
+
+def build_platform_factory(scenario: Scenario) -> Optional[Callable]:
+    """A fresh-platform factory for non-default topologies (``None`` = default).
+
+    Bespoke platform objects cannot cross the engine's process/cache
+    boundary, so a non-``None`` factory forces the inline execution path —
+    scenario validation already rejects combining it with ``execution``.
+    """
+    if not scenario.needs_custom_platform:
+        return None
+    cluster_config = scenario.cluster
+    storage_config = scenario.storage
+
+    def factory():
+        from repro.events.engine import Simulator
+        from repro.cluster.machine import ComputeCluster
+        from repro.pipelines.platform import SimulatedPlatform
+        from repro.storage.lustre import StorageCluster
+
+        sim = Simulator()
+        cluster = ComputeCluster(sim, config=cluster_config)
+        storage = StorageCluster(sim, config=storage_config)
+        return SimulatedPlatform(
+            cluster=cluster,
+            storage=storage,
+            n_io_aggregators=storage_config.io_aggregators,
+        )
+
+    return factory
+
+
+def build_engine(scenario: Scenario):
+    """The execution engine a scenario's ``execution`` section asks for.
+
+    Mirrors the historical flag handling exactly, with one addition: the
+    on-disk cache's code version and the sweep journal's label are
+    namespaced by the scenario content digest, so artifacts key on the
+    exact configuration that produced them.
+    """
+    config = scenario.execution
+    if not config.wants_engine:
+        return None
+    from repro.exec.cache import DiskCache, default_code_version
+
+    stamp = f"scenario-{scenario.content_digest()[:12]}"
+    cache = None
+    if config.cache is not None:
+        cache = DiskCache(
+            config.cache, code_version=f"{default_code_version()}+{stamp}"
+        )
+    if not config.supervised:
+        from repro.exec.engine import ExecutionEngine
+
+        return ExecutionEngine(max_workers=config.workers, cache=cache)
+    from repro.exec.supervise import SupervisedExecutor, SweepJournal, TaskPolicy
+    from repro.faults.retry import RetryPolicy
+
+    defaults = TaskPolicy()
+    retry = defaults.retry
+    if config.task_retries is not None:
+        retry = RetryPolicy(
+            max_attempts=config.task_retries,
+            base_delay_seconds=retry.base_delay_seconds,
+            backoff_factor=retry.backoff_factor,
+            max_delay_seconds=retry.max_delay_seconds,
+            jitter=retry.jitter,
+        )
+    policy = TaskPolicy(
+        deadline_seconds=config.deadline_seconds,
+        retry=retry,
+        max_worker_crashes=(
+            config.max_worker_crashes
+            if config.max_worker_crashes is not None
+            else defaults.max_worker_crashes
+        ),
+        fail_policy=(
+            config.fail_policy
+            if config.fail_policy is not None
+            else defaults.fail_policy
+        ),
+    )
+    journal = None
+    if config.journal is not None:
+        journal = SweepJournal(config.journal, label=stamp)
+    return SupervisedExecutor(
+        max_workers=config.workers,
+        cache=cache,
+        policy=policy,
+        journal=journal,
+        resume=config.resume,
+    )
+
+
+# ------------------------------------------------------------ flags → scenario
+
+
+def _execution_from_args(args: argparse.Namespace) -> ExecutionConfig:
+    return ExecutionConfig(
+        workers=getattr(args, "workers", None),
+        cache=getattr(args, "cache", None),
+        supervise=bool(getattr(args, "supervise", False)),
+        deadline_seconds=getattr(args, "deadline", None),
+        task_retries=getattr(args, "task_retries", None),
+        max_worker_crashes=getattr(args, "max_worker_crashes", None),
+        fail_policy=getattr(args, "fail_policy", None),
+        journal=getattr(args, "journal", None),
+        resume=bool(getattr(args, "resume", False)),
+    )
+
+
+def _telemetry_from_args(args: argparse.Namespace) -> TelemetryConfig:
+    return TelemetryConfig(
+        directory=getattr(args, "telemetry", None),
+        timeline=not getattr(args, "no_timeline", False),
+        interval_seconds=getattr(args, "timeline_interval", None),
+    )
+
+
+def scenario_from_args(command: str, args: argparse.Namespace) -> Scenario:
+    """The scenario equivalent to a legacy flag invocation, exactly."""
+    common = {
+        "power": PowerConfig(cap_watts=getattr(args, "power_cap", None)),
+        "execution": _execution_from_args(args),
+        "telemetry": _telemetry_from_args(args),
+    }
+    if command == "characterize":
+        return Scenario(
+            name="characterize",
+            experiment=ExperimentConfig(kind="characterize"),
+            sampling=SamplingConfig(intervals_hours=tuple(args.intervals)),
+            **common,
+        )
+    if command == "whatif":
+        return Scenario(
+            name="whatif",
+            experiment=ExperimentConfig(
+                kind="whatif",
+                years=args.years,
+                sweep_intervals_hours=tuple(args.intervals),
+                mtbf_hours=args.mtbf_hours,
+                checkpoint_write_seconds=args.checkpoint_write_seconds,
+                restart_seconds=args.restart_seconds,
+            ),
+            **common,
+        )
+    if command == "faults":
+        return Scenario(
+            name="faults",
+            experiment=ExperimentConfig(kind="faults"),
+            sampling=SamplingConfig(intervals_hours=(args.interval,)),
+            ocean=OceanConfig(duration_seconds=args.months * MONTH),
+            faults=FaultsCampaignConfig(
+                seed=args.seed,
+                mtbf_hours=args.mtbf_hours,
+                checkpoint_every=args.checkpoint_every,
+                restart_penalty_seconds=args.restart_penalty,
+                brownout_rate_per_hour=args.brownout_rate,
+                io_error_rate_per_hour=args.io_error_rate,
+                include_unprotected=not args.no_unprotected,
+            ),
+            **common,
+        )
+    raise ScenarioError(
+        "experiment.kind", f"no scenario mapping for command {command!r}"
+    )
