@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint lint-flow lint-sarif baseline test check bench-history scenarios
+.PHONY: lint lint-flow lint-sarif baseline test check bench-history scenarios obs-store
 
 lint:
 	$(PYTHON) -m repro.lint src/ tests/ benchmarks/ examples/
@@ -27,5 +27,16 @@ bench-history:
 # Validate the scenario template gallery against its pinned digests.
 scenarios:
 	$(PYTHON) -m repro scenario gallery
+
+# Run registry demo: three instrumented runs ingested into .repro/store,
+# then cross-run query + trend gate + HTML dashboard over them.
+STORE ?= .repro/store
+obs-store:
+	$(PYTHON) -m repro characterize --intervals 8 --telemetry .repro/runs/char-8h --store $(STORE) >/dev/null
+	$(PYTHON) -m repro characterize --intervals 24 --telemetry .repro/runs/char-24h --store $(STORE) >/dev/null
+	$(PYTHON) -m repro characterize --intervals 72 --telemetry .repro/runs/char-72h --store $(STORE) >/dev/null
+	$(PYTHON) -m repro obs query --store $(STORE) --runs
+	$(PYTHON) -m repro obs trend --store $(STORE) --check repro_pipeline_phase_seconds
+	$(PYTHON) -m repro obs report --store $(STORE)
 
 check: lint test scenarios

@@ -82,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="watchdog power cap: sampled draw above this emits a "
             "critical obs.alert",
         )
+        p.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="after the run, ingest its telemetry into this run "
+            "registry (needs --telemetry; query with `repro obs query`)",
+        )
 
     def add_engine_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -523,6 +528,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         telemetry = dataclasses.replace(
             telemetry, interval_seconds=args.timeline_interval
         )
+    if args.store is not None:
+        telemetry = dataclasses.replace(telemetry, store=args.store)
     if telemetry != scenario.telemetry:
         scenario = dataclasses.replace(scenario, telemetry=telemetry)
     if args.power_cap is not None:
@@ -843,11 +850,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # `repro run` opens its own session (label = the experiment kind, so
         # traces match the legacy command); --emit-scenario only writes a file.
         telemetry = None
+    store = getattr(args, "store", None)
     try:
         if telemetry is None:
+            if store is not None and args.command != "run":
+                print("error: --store needs --telemetry", file=sys.stderr)
+                return 2
             return handler(args)
+        # "store" stays out of the session config: the registry stamp added
+        # at ingest time is the durable record, and store-off runs must keep
+        # byte-identical manifests.
         config = {
-            k: v for k, v in vars(args).items() if k not in ("command", "telemetry")
+            k: v
+            for k, v in vars(args).items()
+            if k not in ("command", "telemetry", "store")
         }
         timeline = None
         if not getattr(args, "no_timeline", False):
@@ -862,7 +878,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             config=config,
             timeline=timeline,
         ):
-            return handler(args)
+            code = handler(args)
+        if store is not None:
+            # After the session closed: ingest reads the freshly written
+            # manifest, and the stamp rewrites it with the store verdict.
+            from repro.obs.store.core import RunStore
+
+            result = RunStore(store).ingest(telemetry)
+            print(f"store: {result.describe()}", file=sys.stderr)
+        return code
     except SweepError as exc:
         return _report_sweep_failure(exc)
     except ConfigurationError as exc:

@@ -13,13 +13,12 @@ small regressions that each pass a 20 % gate.  The ledger fixes that:
   MAD-based tolerance band.  Wall times fail *above* the band, speedups
   fail *below* it; the other direction is improvement, not drift.
 
-The band half-width is ``max(mad_k * 1.4826 * MAD, rel_floor * |median|)``:
-the ``1.4826`` factor makes the MAD a consistent sigma estimator under
-normal noise, and the relative floor keeps near-constant histories (MAD
-~ 0) from flagging ordinary scheduler jitter.  Fewer than
-:data:`MIN_RECORDS` comparable rows means there is no trajectory yet — the
-check reports informationally and passes, so a fresh clone or a new CI
-host class never blocks on an empty ledger.
+The band itself — ``max(mad_k * 1.4826 * MAD, rel_floor * |median|)`` —
+lives in :mod:`repro.obs.drift`, shared with the run registry's cross-run
+metric trends (``repro obs trend``), so the two longitudinal gates cannot
+diverge.  Fewer than :data:`MIN_RECORDS` comparable rows means there is no
+trajectory yet — the check reports informationally and passes, so a fresh
+clone or a new CI host class never blocks on an empty ledger.
 """
 
 from __future__ import annotations
@@ -28,10 +27,10 @@ import os
 import platform
 import sys
 import time
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.drift import MAD_SCALE, DriftCheck, check_value
 from repro.obs.manifest import SCHEMA_VERSION, collect_provenance
 
 __all__ = [
@@ -66,9 +65,6 @@ DEFAULT_MAD_K = 4.0
 
 #: Relative floor on the band half-width, as a fraction of |median|.
 DEFAULT_REL_FLOOR = 0.25
-
-#: MAD -> sigma consistency factor for normally distributed noise.
-MAD_SCALE = 1.4826
 
 #: Report keys where *larger* is worse (fail above the band).
 WALL_METRICS = ("serial_seconds", "parallel_seconds", "cached_seconds")
@@ -150,41 +146,6 @@ def _comparable(record: dict, report: dict) -> bool:
     )
 
 
-def _median(values: Sequence[float]) -> float:
-    ordered = sorted(values)
-    n = len(ordered)
-    mid = n // 2
-    if n % 2:
-        return ordered[mid]
-    return (ordered[mid - 1] + ordered[mid]) / 2.0
-
-
-@dataclass(frozen=True)
-class DriftCheck:
-    """One metric's verdict against its trajectory band."""
-
-    metric: str
-    value: float
-    median: float
-    halfwidth: float
-    n: int
-    direction: str  # "above" (wall time) or "below" (speedup) is failure
-    failed: bool
-
-    def describe(self) -> str:
-        """One human-readable line."""
-        edge = (
-            self.median + self.halfwidth
-            if self.direction == "above"
-            else self.median - self.halfwidth
-        )
-        verdict = "DRIFT" if self.failed else "ok"
-        return (
-            f"{self.metric:18s} {self.value:10.3f} vs median {self.median:10.3f} "
-            f"(n={self.n}, {self.direction}-edge {edge:10.3f})  {verdict}"
-        )
-
-
 def check_drift(
     report: dict,
     history: Sequence[dict],
@@ -216,29 +177,18 @@ def check_drift(
             for r in recent
             if metric in (r.get("metrics") or {})
         ]
-        if len(series) < min_records:
-            continue
-        med = _median(series)
-        mad = _median([abs(v - med) for v in series])
-        halfwidth = max(mad_k * MAD_SCALE * mad, rel_floor * abs(med))
-        value = float(report[metric])
-        if metric in WALL_METRICS:
-            direction = "above"
-            failed = value > med + halfwidth
-        else:
-            direction = "below"
-            failed = value < med - halfwidth
-        checks.append(
-            DriftCheck(
-                metric=metric,
-                value=value,
-                median=med,
-                halfwidth=halfwidth,
-                n=len(series),
-                direction=direction,
-                failed=failed,
-            )
+        direction = "above" if metric in WALL_METRICS else "below"
+        check = check_value(
+            metric,
+            float(report[metric]),
+            series,
+            direction=direction,
+            mad_k=mad_k,
+            rel_floor=rel_floor,
+            min_records=min_records,
         )
+        if check is not None:
+            checks.append(check)
     return checks
 
 

@@ -14,6 +14,13 @@
   selectors the same grammar (a trailing ``*`` prefix wildcard allowed),
   and ``WatchRule(name=...)`` must be snake_case so the derived
   ``repro_alert_<name>_total`` counter is well-formed.
+
+  Run-registry APIs are covered too: metric names handed to
+  ``compute_trend`` / ``compute_trends`` / ``run_metric_value`` and the
+  ``name=`` / ``series=`` values inside ``parse_where`` clause literals
+  must be well-formed metric *or* timeline-series names — a typo there
+  silently matches nothing across every ingested run, which is exactly
+  the failure a static check prevents.
 """
 
 from __future__ import annotations
@@ -42,6 +49,20 @@ _PROBE_CALLS = frozenset({"add_probe"})
 
 #: Constructor names whose keyword literals carry watch-rule naming.
 _WATCH_CALLS = frozenset({"WatchRule"})
+
+#: Run-registry calls -> positional index of their metric-name argument
+#: (``compute_trends`` takes a list/tuple of names at that index).
+_STORE_NAME_CALLS = {
+    "compute_trend": 1,
+    "compute_trends": 1,
+    "run_metric_value": 1,
+}
+
+#: Calls whose first argument holds ``k=v[,k=v...]`` where-clause literals.
+_WHERE_CALLS = frozenset({"parse_where"})
+
+#: Where-clause keys whose values are metric/series names.
+_WHERE_NAME_KEYS = ("name", "series")
 
 
 def _call_name(node: ast.Call) -> str:
@@ -73,6 +94,10 @@ class ObsNamingRule(Rule):
             call = _call_name(node)
             if call in _WATCH_CALLS:
                 yield from self._check_watch_rule(ctx, node)
+            if call in _STORE_NAME_CALLS:
+                yield from self._check_store_names(ctx, node, _STORE_NAME_CALLS[call])
+            if call in _WHERE_CALLS:
+                yield from self._check_where_clauses(ctx, node)
             if not node.args:
                 continue
             first = node.args[0]
@@ -125,3 +150,70 @@ class ObsNamingRule(Rule):
                     f"watch-rule name {value.value!r} must be snake_case so "
                     f"repro_alert_<name>_total is well-formed",
                 )
+
+    @staticmethod
+    def _store_name_ok(name: str) -> bool:
+        """Registry/trend names may be metric *or* timeline-series shaped."""
+        return bool(METRIC_NAME_RE.match(name) or TIMELINE_SERIES_RE.match(name))
+
+    def _check_store_names(
+        self, ctx: FileContext, node: ast.Call, index: int
+    ) -> Iterator[Finding]:
+        """Validate metric-name literals at a run-registry trend call."""
+        if len(node.args) <= index:
+            return
+        arg = node.args[index]
+        literals = (
+            list(arg.elts) if isinstance(arg, (ast.List, ast.Tuple)) else [arg]
+        )
+        for literal in literals:
+            if not isinstance(literal, ast.Constant) or not isinstance(
+                literal.value, str
+            ):
+                continue
+            name = literal.value
+            if name.startswith("repro_") and not self._store_name_ok(name):
+                yield ctx.finding(
+                    self.id,
+                    literal,
+                    f"store metric name {name!r} matches neither "
+                    f"repro_<layer>_<name>_<unit> nor "
+                    f"repro_timeline_<layer>_<name>_<unit> — it would select "
+                    f"nothing across every ingested run",
+                )
+
+    def _check_where_clauses(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        """Validate name/series values inside ``parse_where`` literals."""
+        if not node.args:
+            return
+        arg = node.args[0]
+        literals = (
+            list(arg.elts) if isinstance(arg, (ast.List, ast.Tuple)) else [arg]
+        )
+        for literal in literals:
+            if not isinstance(literal, ast.Constant) or not isinstance(
+                literal.value, str
+            ):
+                continue
+            for part in literal.value.split(","):
+                key, _, value = part.strip().partition("=")
+                if key.strip() not in _WHERE_NAME_KEYS:
+                    continue
+                value = value.strip()
+                # A trailing '*' is the query grammar's prefix wildcard; the
+                # abbreviation is deliberate, so only police full names.
+                if (
+                    value.startswith("repro_")
+                    and not value.endswith("*")
+                    and not self._store_name_ok(value)
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        literal,
+                        f"where-clause {key.strip()}={value!r} matches neither "
+                        f"repro_<layer>_<name>_<unit> nor "
+                        f"repro_timeline_<layer>_<name>_<unit> (use a trailing "
+                        f"'*' for a deliberate prefix match)",
+                    )

@@ -24,6 +24,7 @@ code paths are bit-identical with telemetry disabled.  See
 
 from __future__ import annotations
 
+from repro.obs.drift import DriftCheck, check_value, mad_band
 from repro.obs.exporters import JsonlWriter, read_jsonl, to_prometheus, write_prometheus
 from repro.obs.manifest import (
     EVENTS_FILENAME,
@@ -49,6 +50,7 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
     default_registry,
 )
 from repro.obs.telemetry import (
@@ -94,6 +96,7 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_TIMELINE_POINTS",
+    "DriftCheck",
     "EVENTS_FILENAME",
     "Gauge",
     "Histogram",
@@ -121,6 +124,8 @@ __all__ = [
     "Watchdog",
     "active",
     "alert_metric_name",
+    "bucket_quantile",
+    "check_value",
     "collect_provenance",
     "counter",
     "default_registry",
@@ -130,6 +135,7 @@ __all__ = [
     "engine_probes",
     "event",
     "gauge",
+    "mad_band",
     "observe",
     "phase",
     "power_probes",

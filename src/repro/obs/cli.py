@@ -2,16 +2,23 @@
 
 * ``repro obs summarize PATH`` — round-trip a run's ``manifest.json`` +
   ``events.jsonl`` and print the human summary (phases, spans, metrics,
-  timeline coverage, alerts, provenance).
+  timeline coverage, alerts, provenance); ``--json`` for the machine form.
 * ``repro obs dump PATH`` — stream the raw JSONL records to stdout.
 * ``repro obs diff BASELINE CANDIDATE`` — per-metric relative deltas of two
   manifests (or any numeric JSON, e.g. BENCH reports); exit 3 beyond
   ``--threshold`` (see :mod:`repro.obs.diff`).
 * ``repro obs report DIR`` — one self-contained HTML file: phase timeline,
   per-span energy table, timeline sparklines with alert markers, optional
-  diff summary (see :mod:`repro.obs.report`).
+  diff summary (see :mod:`repro.obs.report`); ``--store`` renders the
+  cross-run trend dashboard instead (see :mod:`repro.obs.store.report`).
 * ``repro obs check PATH`` — gate on watchdog alerts: exit 2 when the run
   recorded any ``obs.alert`` at or above ``--min-severity``.
+* ``repro obs ingest PATH...`` — register runs (or bench reports) in the
+  content-addressed run registry (see :mod:`repro.obs.store`).
+* ``repro obs query`` — select normalized records across every ingested
+  run, with run- and record-level filters; deterministic text/JSON output.
+* ``repro obs trend METRIC...`` — per-metric trajectories across runs,
+  MAD-band gated; ``--check`` exits 2 on a regression, like ``obs check``.
 
 ``PATH`` may be the telemetry directory, the manifest file, or the events
 file; the other artifacts are found beside it.
@@ -23,6 +30,7 @@ import argparse
 import os
 import sys
 import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro import obs as _obs
@@ -37,7 +45,9 @@ from repro.obs.manifest import (
 from repro.obs.watch import SEVERITIES, severity_rank
 
 __all__ = [
+    "RunSummary",
     "build_parser",
+    "build_summary",
     "collect_alerts",
     "main",
     "resolve_directory",
@@ -179,72 +189,160 @@ def _metric_lines(manifest: RunManifest) -> List[str]:
     return lines
 
 
-def summarize(path: str) -> str:
-    """The human-readable summary of one telemetry directory."""
+@dataclass
+class RunSummary:
+    """Everything ``repro obs summarize`` reports about one run.
+
+    :meth:`render` produces the human text (byte-identical to the historic
+    ``summarize`` output); :meth:`to_dict` mirrors the same facts —
+    identity, phase totals, span rollup, timeline coverage, alert counts,
+    metric snapshot — in machine-readable form for ``--json``.
+    """
+
+    directory: str
+    manifest: RunManifest
+    span_rollup: Dict[str, List[float]] = field(default_factory=dict)
+    timeline_samples: List[dict] = field(default_factory=list)
+    alerts: List[dict] = field(default_factory=list)
+    unknown_kinds: Dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The human-readable summary text."""
+        manifest = self.manifest
+        created = time.strftime(
+            "%Y-%m-%d %H:%M:%S UTC", time.gmtime(manifest.created_unix)
+        )
+        lines = [
+            f"run {manifest.label!r} ({manifest.run_id})",
+            f"created {created}   schema v{manifest.schema_version}   "
+            f"{manifest.n_events} events",
+        ]
+        if manifest.argv:
+            lines.append("argv: " + " ".join(manifest.argv))
+        scenario = manifest.config.get("scenario")
+        if isinstance(scenario, dict) and scenario.get("digest"):
+            lines.append(
+                f"scenario: {scenario.get('name', '?')} "
+                f"(digest {str(scenario['digest'])[:12]})"
+            )
+        prov = manifest.provenance
+        if prov:
+            commit = prov.get("git_commit")
+            lines.append(
+                "provenance: repro "
+                f"{prov.get('repro_version', '?')}, python {prov.get('python', '?')}, "
+                f"commit {commit[:12] if commit else 'n/a'}"
+            )
+
+        if manifest.durations:
+            total = sum(manifest.durations.values())
+            lines.append("phase totals:")
+            for name, seconds in sorted(
+                manifest.durations.items(), key=lambda kv: -kv[1]
+            ):
+                share = 100.0 * seconds / total if total else 0.0
+                lines.append(f"  {name:14s} {seconds:12.2f} s  {share:5.1f}%")
+
+        rollup = self.span_rollup
+        if rollup:
+            lines.append(f"spans/phases: {sum(int(v[0]) for v in rollup.values())} "
+                         f"records across {len(rollup)} names")
+            for name, (count, dur) in sorted(
+                rollup.items(), key=lambda kv: -kv[1][1]
+            )[:10]:
+                lines.append(f"  {name:24s} x{int(count):<6d} {dur:12.2f} s")
+
+        lines.extend(_timeline_lines(self.timeline_samples))
+        lines.extend(_alert_lines(self.alerts))
+
+        metric_lines = _metric_lines(manifest)
+        if metric_lines:
+            lines.append(f"metrics: {len(manifest.metrics)} families")
+            lines.extend(metric_lines)
+
+        unknown = self.unknown_kinds
+        if unknown:
+            kinds = ", ".join(f"{k} (x{unknown[k]})" for k in sorted(unknown))
+            lines.append(
+                f"ignored {sum(unknown.values())} record(s) of unknown kind: {kinds}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """The machine-readable mirror of :meth:`render` (``--json``)."""
+        manifest = self.manifest
+        scenario = manifest.config.get("scenario")
+        timeline = None
+        if self.timeline_samples:
+            series: set = set()
+            for sample in self.timeline_samples:
+                series.update((sample.get("values") or {}).keys())
+            timeline = {
+                "n_samples": len(self.timeline_samples),
+                "n_series": len(series),
+                "t0": float(self.timeline_samples[0].get("t", 0.0)),
+                "t1": float(self.timeline_samples[-1].get("t", 0.0)),
+            }
+        by_severity: Dict[str, int] = {}
+        for alert in self.alerts:
+            severity = str(alert.get("severity", "warning"))
+            by_severity[severity] = by_severity.get(severity, 0) + 1
+        return {
+            "label": manifest.label,
+            "run_id": manifest.run_id,
+            "trace_id": manifest.trace_id,
+            "created_unix": manifest.created_unix,
+            "schema_version": manifest.schema_version,
+            "n_events": manifest.n_events,
+            "argv": list(manifest.argv),
+            "scenario": dict(scenario) if isinstance(scenario, dict) else None,
+            "provenance": dict(manifest.provenance),
+            "durations": dict(manifest.durations),
+            "spans": {
+                name: {"count": int(count), "seconds": float(dur)}
+                for name, (count, dur) in sorted(self.span_rollup.items())
+            },
+            "timeline": timeline,
+            "alerts": {
+                "total": len(self.alerts),
+                "by_severity": by_severity,
+            },
+            "metrics": manifest.metrics,
+            "unknown_record_kinds": dict(self.unknown_kinds),
+        }
+
+
+def build_summary(path: str) -> RunSummary:
+    """Gather everything the summary reports for one telemetry directory."""
     directory = resolve_directory(path)
     manifest = RunManifest.load(directory)
     events = _load_events(directory)
-
-    created = time.strftime(
-        "%Y-%m-%d %H:%M:%S UTC", time.gmtime(manifest.created_unix)
+    return RunSummary(
+        directory=directory,
+        manifest=manifest,
+        span_rollup=_span_rollup(events),
+        timeline_samples=_load_timeline(directory),
+        alerts=collect_alerts(events),
+        unknown_kinds=_unknown_kinds(events),
     )
-    lines = [
-        f"run {manifest.label!r} ({manifest.run_id})",
-        f"created {created}   schema v{manifest.schema_version}   "
-        f"{manifest.n_events} events",
-    ]
-    if manifest.argv:
-        lines.append("argv: " + " ".join(manifest.argv))
-    scenario = manifest.config.get("scenario")
-    if isinstance(scenario, dict) and scenario.get("digest"):
-        lines.append(
-            f"scenario: {scenario.get('name', '?')} "
-            f"(digest {str(scenario['digest'])[:12]})"
-        )
-    prov = manifest.provenance
-    if prov:
-        commit = prov.get("git_commit")
-        lines.append(
-            "provenance: repro "
-            f"{prov.get('repro_version', '?')}, python {prov.get('python', '?')}, "
-            f"commit {commit[:12] if commit else 'n/a'}"
-        )
 
-    if manifest.durations:
-        total = sum(manifest.durations.values())
-        lines.append("phase totals:")
-        for name, seconds in sorted(
-            manifest.durations.items(), key=lambda kv: -kv[1]
-        ):
-            share = 100.0 * seconds / total if total else 0.0
-            lines.append(f"  {name:14s} {seconds:12.2f} s  {share:5.1f}%")
 
-    rollup = _span_rollup(events)
-    if rollup:
-        lines.append(f"spans/phases: {sum(int(v[0]) for v in rollup.values())} "
-                     f"records across {len(rollup)} names")
-        for name, (count, dur) in sorted(rollup.items(), key=lambda kv: -kv[1][1])[:10]:
-            lines.append(f"  {name:24s} x{int(count):<6d} {dur:12.2f} s")
-
-    lines.extend(_timeline_lines(_load_timeline(directory)))
-    lines.extend(_alert_lines(collect_alerts(events)))
-
-    metric_lines = _metric_lines(manifest)
-    if metric_lines:
-        lines.append(f"metrics: {len(manifest.metrics)} families")
-        lines.extend(metric_lines)
-
-    unknown = _unknown_kinds(events)
-    if unknown:
-        kinds = ", ".join(f"{k} (x{unknown[k]})" for k in sorted(unknown))
-        lines.append(
-            f"ignored {sum(unknown.values())} record(s) of unknown kind: {kinds}"
-        )
-    return "\n".join(lines)
+def summarize(path: str) -> str:
+    """The human-readable summary of one telemetry directory."""
+    return build_summary(path).render()
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for ``repro obs``."""
+    from repro.obs.drift import (
+        DEFAULT_MAD_K,
+        DEFAULT_MIN_RECORDS,
+        DEFAULT_REL_FLOOR,
+        DIRECTIONS,
+    )
+    from repro.obs.store.core import DEFAULT_STORE_DIR
+    from repro.obs.store.trend import DEFAULT_TREND_WINDOW, STATS
+
     parser = argparse.ArgumentParser(
         prog="repro obs", description="inspect telemetry run directories"
     )
@@ -254,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "path", help="telemetry directory (or its manifest/events file)"
     )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
 
     p = sub.add_parser("dump", help="stream the raw JSONL records to stdout")
     p.add_argument(
@@ -280,12 +379,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable output")
 
     p = sub.add_parser(
-        "report", help="write a self-contained HTML report of a run"
+        "report", help="write a self-contained HTML report of a run "
+        "(or, with --store, the cross-run trend dashboard)"
     )
-    p.add_argument("path", help="telemetry directory")
+    p.add_argument(
+        "path", nargs="?", default=None,
+        help="telemetry directory (omit when using --store)",
+    )
     p.add_argument(
         "--output", default=None, metavar="PATH",
-        help="output file (default: <dir>/report.html)",
+        help="output file (default: <dir>/report.html, <store>/trends.html)",
     )
     p.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -294,6 +397,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--threshold", type=float, default=0.2,
         help="diff threshold for the embedded comparison",
+    )
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="render the cross-run trend dashboard of this run registry",
+    )
+    p.add_argument(
+        "--metric", action="append", default=[], metavar="NAME",
+        help="trend this metric in the --store dashboard (repeatable; "
+        "default: every metric shared by >= 2 runs)",
     )
 
     p = sub.add_parser(
@@ -306,6 +418,117 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-severity", default="warning", choices=SEVERITIES,
         help="lowest severity that fails the check (default: warning)",
     )
+
+    p = sub.add_parser(
+        "ingest", help="register telemetry runs / bench reports in the run "
+        "registry (idempotent by content digest)"
+    )
+    p.add_argument(
+        "paths", nargs="+",
+        help="telemetry directories (or BENCH_*.json reports) to ingest",
+    )
+    p.add_argument(
+        "--store", default=DEFAULT_STORE_DIR, metavar="DIR",
+        help=f"registry root (default: {DEFAULT_STORE_DIR})",
+    )
+    p.add_argument(
+        "--no-stamp", action="store_true",
+        help="do not write the store verdict back into the run manifest",
+    )
+
+    p = sub.add_parser(
+        "query", help="select normalized records across ingested runs"
+    )
+    p.add_argument(
+        "--store", default=DEFAULT_STORE_DIR, metavar="DIR",
+        help=f"registry root (default: {DEFAULT_STORE_DIR})",
+    )
+    p.add_argument(
+        "--where", action="append", default=[], metavar="K=V[,K=V...]",
+        help="record filter clauses (kind/name/series/rule/severity/domain/"
+        "metric_type/label.<name>; trailing * = prefix match; repeatable, "
+        "all must hold)",
+    )
+    p.add_argument(
+        "--scenario-digest", default=None, metavar="HEX",
+        help="only runs of this scenario content digest (prefix ok)",
+    )
+    p.add_argument("--label", default=None, help="only runs with this label")
+    p.add_argument(
+        "--trace", default=None, metavar="HEX",
+        help="only runs with this trace id (prefix ok)",
+    )
+    p.add_argument(
+        "--run", default=None, metavar="HEX", dest="run_key",
+        help="only this run key (prefix ok)",
+    )
+    p.add_argument(
+        "--since", default=None, metavar="WHEN",
+        help="only runs created at/after WHEN (unix seconds, YYYY-MM-DD, "
+        "or YYYY-MM-DDTHH:MM:SS, UTC)",
+    )
+    p.add_argument(
+        "--limit", type=int, default=None,
+        help="stop after this many matching records",
+    )
+    p.add_argument(
+        "--runs", action="store_true",
+        help="list the matching run index rows instead of records",
+    )
+    p.add_argument("--json", action="store_true", help="JSON-lines output")
+
+    p = sub.add_parser(
+        "trend", help="per-metric trajectories across ingested runs, "
+        "MAD-band gated (exit 2 on regression with --check)"
+    )
+    p.add_argument(
+        "metrics", nargs="+", metavar="METRIC",
+        help="registry metric, timeline series, span name, or bench key",
+    )
+    p.add_argument(
+        "--store", default=DEFAULT_STORE_DIR, metavar="DIR",
+        help=f"registry root (default: {DEFAULT_STORE_DIR})",
+    )
+    p.add_argument(
+        "--stat", default="auto", choices=STATS,
+        help="per-run aggregation (default: auto)",
+    )
+    p.add_argument(
+        "--direction", default="above", choices=DIRECTIONS,
+        help="which side of the band counts as regression (default: above)",
+    )
+    p.add_argument(
+        "--window", type=int, default=DEFAULT_TREND_WINDOW,
+        help=f"reference window of prior runs (default {DEFAULT_TREND_WINDOW})",
+    )
+    p.add_argument(
+        "--mad-k", type=float, default=DEFAULT_MAD_K,
+        help=f"band half-width in scaled MAD units (default {DEFAULT_MAD_K})",
+    )
+    p.add_argument(
+        "--rel-floor", type=float, default=DEFAULT_REL_FLOOR,
+        help="relative floor on the half-width as a fraction of |median| "
+        f"(default {DEFAULT_REL_FLOOR})",
+    )
+    p.add_argument(
+        "--min-records", type=int, default=DEFAULT_MIN_RECORDS,
+        help="prior points required before gating "
+        f"(default {DEFAULT_MIN_RECORDS})",
+    )
+    p.add_argument(
+        "--scenario-digest", default=None, metavar="HEX",
+        help="only runs of this scenario content digest (prefix ok)",
+    )
+    p.add_argument("--label", default=None, help="only runs with this label")
+    p.add_argument(
+        "--since", default=None, metavar="WHEN",
+        help="only runs created at/after WHEN (unix seconds or UTC date)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit 2 when any trended metric regressed",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -320,6 +543,17 @@ def _cmd_dump(args: argparse.Namespace) -> int:
         if args.limit is not None and i >= args.limit:
             break
         print(json.dumps(record, sort_keys=True))
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    summary = build_summary(args.path)
+    if args.json:
+        import json
+
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(summary.render())
     return 0
 
 
@@ -355,6 +589,23 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.store is not None and args.path is not None:
+        raise ConfigurationError(
+            "give either a run directory or --store, not both"
+        )
+    if args.store is not None:
+        from repro.obs.store.core import RunStore
+        from repro.obs.store.report import write_store_report
+
+        path = write_store_report(
+            RunStore(args.store),
+            output=args.output,
+            metrics=args.metric or None,
+        )
+        print(f"wrote {path}", file=sys.stderr)
+        return 0
+    if args.path is None:
+        raise ConfigurationError("report needs a run directory or --store DIR")
     from repro.obs.report import write_report
 
     path = write_report(
@@ -388,19 +639,130 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.obs.store.core import RunStore
+
+    store = RunStore(args.store)
+    for path in args.paths:
+        result = store.ingest(path, stamp_manifest=not args.no_stamp)
+        print(f"{result.describe()} from {path}")
+    print(store.describe())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.store.core import RunStore
+    from repro.obs.store.query import (
+        parse_since,
+        parse_where,
+        record_to_dict,
+        render_records,
+        render_runs,
+        run_query,
+        select_runs,
+    )
+
+    store = RunStore(args.store)
+    since = parse_since(args.since) if args.since is not None else None
+    if args.runs:
+        rows = select_runs(
+            store,
+            scenario_digest=args.scenario_digest,
+            label=args.label,
+            trace=args.trace,
+            run_key=args.run_key,
+            since=since,
+        )
+        if args.json:
+            for row in rows:
+                print(json.dumps(row.to_dict(), sort_keys=True))
+        else:
+            print(render_runs(rows))
+        return 0
+    results = run_query(
+        store,
+        where=parse_where(args.where),
+        scenario_digest=args.scenario_digest,
+        label=args.label,
+        trace=args.trace,
+        run_key=args.run_key,
+        since=since,
+        limit=args.limit,
+    )
+    if args.json:
+        for row, record in results:
+            print(json.dumps(record_to_dict(row, record), sort_keys=True))
+    else:
+        print(render_records(results))
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.store.core import RunStore
+    from repro.obs.store.query import parse_since, select_runs
+    from repro.obs.store.trend import compute_trends, render_trends
+
+    store = RunStore(args.store)
+    since = parse_since(args.since) if args.since is not None else None
+    rows = select_runs(
+        store,
+        scenario_digest=args.scenario_digest,
+        label=args.label,
+        since=since,
+    )
+    trends = compute_trends(
+        store,
+        args.metrics,
+        runs=rows,
+        stat=args.stat,
+        direction=args.direction,
+        window=args.window,
+        mad_k=args.mad_k,
+        rel_floor=args.rel_floor,
+        min_records=args.min_records,
+    )
+    failed = [t for t in trends if t.failed]
+    if args.json:
+        print(json.dumps(
+            {
+                "trends": [t.to_dict() for t in trends],
+                "failed": [t.metric for t in failed],
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(render_trends(trends))
+    if args.check and failed:
+        print(
+            f"trend check failed: {len(failed)} metric(s) regressed",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro obs``; returns the exit code."""
     args = build_parser().parse_args(argv)
     try:
         if args.action == "summarize":
-            print(summarize(args.path))
-            return 0
+            return _cmd_summarize(args)
         if args.action == "dump":
             return _cmd_dump(args)
         if args.action == "diff":
             return _cmd_diff(args)
         if args.action == "check":
             return _cmd_check(args)
+        if args.action == "ingest":
+            return _cmd_ingest(args)
+        if args.action == "query":
+            return _cmd_query(args)
+        if args.action == "trend":
+            return _cmd_trend(args)
         return _cmd_report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -30,6 +30,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "bucket_quantile",
     "default_registry",
 ]
 
@@ -44,6 +45,41 @@ _LabelKey = Tuple[Tuple[str, str], ...]
 
 def _label_key(labels: Dict[str, str]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def bucket_quantile(
+    cumulative: Sequence[Tuple[float, int]], q: float
+) -> float:
+    """Quantile ``q`` estimated from ``(upper_bound, cumulative_count)`` pairs.
+
+    The Prometheus ``histogram_quantile`` estimator: locate the bucket the
+    rank falls into and interpolate linearly inside it, taking the bucket's
+    lower edge from the previous bound (0 for the first bucket — the
+    project's histograms record non-negative quantities).  A rank landing
+    in the ``+inf`` overflow bucket returns the last finite bound, the only
+    honest point estimate available.  ``nan`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    if not cumulative:
+        return float("nan")
+    total = cumulative[-1][1]
+    if total == 0:
+        return float("nan")
+    rank = q * total
+    lower = 0.0
+    prev_count = 0
+    for bound, count in cumulative:
+        if count >= rank and count > prev_count:
+            if bound == float("inf"):
+                return lower
+            return lower + (bound - lower) * (rank - prev_count) / (
+                count - prev_count
+            )
+        if bound != float("inf"):
+            lower = bound
+        prev_count = count
+    return lower
 
 
 class Counter:
@@ -112,6 +148,14 @@ class Histogram:
             out.append((bound, running))
         out.append((float("inf"), running + self.bucket_counts[-1]))
         return out
+
+    def quantile(self, q: float) -> float:
+        """Quantile ``q`` by linear interpolation within the fixed buckets.
+
+        See :func:`bucket_quantile` for the estimator; ``nan`` before the
+        first observation.
+        """
+        return bucket_quantile(self.cumulative(), q)
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}

@@ -1,0 +1,40 @@
+"""The run registry: content-addressed ingest, cross-run query and trends.
+
+* :mod:`repro.obs.store.core` — :class:`RunStore`: ingest telemetry
+  directories (and bench reports) into an append-only, content-addressed
+  store under ``.repro/store/``; idempotent by digest, crash-safe via
+  :mod:`repro.atomicio`, corrupt segments quarantined.
+* :mod:`repro.obs.store.query` — the ``repro obs query`` engine: run- and
+  record-level filters with deterministic, byte-identical output.
+* :mod:`repro.obs.store.trend` — per-metric trajectories across runs,
+  gated by the shared MAD-band drift detector (:mod:`repro.obs.drift`).
+* :mod:`repro.obs.store.report` — the static HTML trend dashboard.
+"""
+
+from repro.obs.store.core import (
+    DEFAULT_STORE_DIR,
+    IngestResult,
+    RunRow,
+    RunStore,
+    STORE_SCHEMA_VERSION,
+)
+from repro.obs.store.query import parse_where, run_query, select_runs
+from repro.obs.store.trend import MetricTrend, TrendPoint, compute_trend, compute_trends
+from repro.obs.store.report import render_store_html, write_store_report
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "IngestResult",
+    "MetricTrend",
+    "RunRow",
+    "RunStore",
+    "STORE_SCHEMA_VERSION",
+    "TrendPoint",
+    "compute_trend",
+    "compute_trends",
+    "parse_where",
+    "render_store_html",
+    "run_query",
+    "select_runs",
+    "write_store_report",
+]

@@ -1,0 +1,299 @@
+"""Cross-run selection: the engine behind ``repro obs query``.
+
+A query walks the store's index (run-level filters), then each surviving
+run's segment (record-level filters), and yields ``(RunRow, record)``
+pairs in a fully deterministic order: runs by ingest sequence, records by
+segment position.  Two invocations over the same store are byte-identical
+— no timestamps, no hash-order leaks.
+
+Record filters use a tiny conjunctive grammar, ``--where 'k=v[,k=v...]'``
+(repeatable; all clauses must hold):
+
+* keys: ``kind``, ``name``, ``series``, ``rule``, ``severity``,
+  ``domain``, ``metric_type``, or ``label.<label-name>`` for metric labels
+* ``name`` matches a record's name, series, *or* rule — "the thing it is
+  about" — so ``name=repro_timeline_power_node_w`` finds both the samples
+  and the alerts on that series
+* a trailing ``*`` makes the value a prefix match:
+  ``name=repro_power_*``
+"""
+
+from __future__ import annotations
+
+import calendar
+import json
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.store.core import RunRow, RunStore
+
+__all__ = [
+    "WHERE_KEYS",
+    "WhereClause",
+    "parse_since",
+    "parse_where",
+    "record_to_dict",
+    "render_records",
+    "render_records_json",
+    "render_runs",
+    "run_query",
+    "select_runs",
+]
+
+#: Record-level filter keys (plus the ``label.<name>`` family).
+WHERE_KEYS = (
+    "kind",
+    "name",
+    "series",
+    "rule",
+    "severity",
+    "domain",
+    "metric_type",
+)
+
+
+@dataclass(frozen=True)
+class WhereClause:
+    """One ``key=value`` conjunct (``prefix`` for a trailing ``*``)."""
+
+    key: str
+    value: str
+    prefix: bool = False
+
+    def matches(self, record: dict) -> bool:
+        """Whether ``record`` satisfies this clause."""
+        if self.key.startswith("label."):
+            value = (record.get("labels") or {}).get(self.key[len("label."):])
+        elif self.key == "name":
+            value = (
+                record.get("name")
+                or record.get("series")
+                or record.get("rule")
+            )
+        else:
+            value = record.get(self.key)
+        if value is None:
+            return False
+        text = str(value)
+        if self.prefix:
+            return text.startswith(self.value)
+        return text == self.value
+
+
+def parse_where(expressions: Sequence[str]) -> List[WhereClause]:
+    """Parse repeatable ``k=v[,k=v...]`` expressions into clauses."""
+    clauses: List[WhereClause] = []
+    for expression in expressions:
+        for part in expression.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"bad --where clause {part!r}: expected key=value"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key not in WHERE_KEYS and not key.startswith("label."):
+                raise ConfigurationError(
+                    f"unknown --where key {key!r}; expected one of "
+                    f"{WHERE_KEYS} or label.<name>"
+                )
+            if not value:
+                raise ConfigurationError(f"empty value in --where clause {part!r}")
+            if value.endswith("*"):
+                clauses.append(WhereClause(key, value[:-1], prefix=True))
+            else:
+                clauses.append(WhereClause(key, value))
+    return clauses
+
+
+def parse_since(text: str) -> float:
+    """``--since`` as a unix timestamp.
+
+    Accepts a raw unix timestamp, ``YYYY-MM-DD``, or
+    ``YYYY-MM-DDTHH:MM:SS`` — the date forms are interpreted as UTC so the
+    cut is host-timezone independent.
+    """
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    for fmt in ("%Y-%m-%dT%H:%M:%S", "%Y-%m-%d"):
+        try:
+            return float(calendar.timegm(time.strptime(text, fmt)))
+        except ValueError:
+            continue
+    raise ConfigurationError(
+        f"bad --since value {text!r}: expected unix seconds, YYYY-MM-DD, "
+        "or YYYY-MM-DDTHH:MM:SS (UTC)"
+    )
+
+
+def select_runs(
+    store: RunStore,
+    scenario_digest: Optional[str] = None,
+    label: Optional[str] = None,
+    trace: Optional[str] = None,
+    run_key: Optional[str] = None,
+    since: Optional[float] = None,
+) -> List[RunRow]:
+    """Index rows passing the run-level filters, in ingest order.
+
+    ``scenario_digest``, ``trace`` and ``run_key`` match on prefix (any
+    unambiguous abbreviation of a hex digest works, as with git).
+    """
+    rows = store.runs()
+    if scenario_digest is not None:
+        rows = [
+            r
+            for r in rows
+            if r.scenario_digest and r.scenario_digest.startswith(scenario_digest)
+        ]
+    if label is not None:
+        rows = [r for r in rows if r.label == label]
+    if trace is not None:
+        rows = [r for r in rows if r.trace_id and r.trace_id.startswith(trace)]
+    if run_key is not None:
+        rows = [r for r in rows if r.run_key.startswith(run_key)]
+    if since is not None:
+        rows = [r for r in rows if r.created_unix >= since]
+    return rows
+
+
+def run_query(
+    store: RunStore,
+    where: Sequence[WhereClause] = (),
+    scenario_digest: Optional[str] = None,
+    label: Optional[str] = None,
+    trace: Optional[str] = None,
+    run_key: Optional[str] = None,
+    since: Optional[float] = None,
+    limit: Optional[int] = None,
+) -> List[Tuple[RunRow, dict]]:
+    """Matching ``(run, record)`` pairs in deterministic store order."""
+    if limit is not None and limit < 1:
+        raise ConfigurationError(f"limit must be >= 1: {limit}")
+    out: List[Tuple[RunRow, dict]] = []
+    for row in select_runs(
+        store,
+        scenario_digest=scenario_digest,
+        label=label,
+        trace=trace,
+        run_key=run_key,
+        since=since,
+    ):
+        for record in store.records(row):
+            if all(clause.matches(record) for clause in where):
+                out.append((row, record))
+                if limit is not None and len(out) >= limit:
+                    return out
+    return out
+
+
+# ----------------------------------------------------------------- rendering
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+def _record_name(record: dict) -> str:
+    name = str(
+        record.get("name") or record.get("series") or record.get("rule") or "?"
+    )
+    return name + _format_labels(record.get("labels") or {})
+
+
+def _record_value(record: dict) -> str:
+    kind = record.get("kind")
+    if kind == "span":
+        return (
+            f"dur={record.get('dur', 0.0):g} t0={record.get('t0', 0.0):g} "
+            f"domain={record.get('domain', '')}"
+        )
+    if kind == "metric":
+        if record.get("metric_type") == "histogram":
+            parts = [
+                f"count={record.get('count', 0)}",
+                f"sum={record.get('sum', 0.0):g}",
+            ]
+            for column in ("p50", "p95", "p99"):
+                if column in record:
+                    parts.append(f"{column}={record[column]:g}")
+            return " ".join(parts)
+        return f"value={record.get('value', 0.0):g}"
+    if kind == "sample":
+        return f"t={record.get('t', 0.0):g} value={record.get('value', 0.0):g}"
+    if kind == "alert":
+        return (
+            f"severity={record.get('severity', '')} t={record.get('t', 0.0):g} "
+            f"value={record.get('value', 0.0):g} "
+            f"threshold={record.get('threshold', 0.0):g}"
+        )
+    if kind == "bench":
+        return f"value={record.get('value', 0.0):g}"
+    fields = record.get("fields") or {}
+    return " ".join(f"{k}={fields[k]}" for k in sorted(fields))
+
+
+def record_to_dict(row: RunRow, record: dict) -> dict:
+    """One JSON-lines output record: the record plus its run context."""
+    out = dict(record)
+    out["run_key"] = row.run_key
+    out["run_label"] = row.label
+    if row.scenario_digest:
+        out["run_scenario_digest"] = row.scenario_digest
+    return out
+
+
+def render_records(results: Sequence[Tuple[RunRow, dict]]) -> str:
+    """Matching records as an aligned, deterministic text table."""
+    if not results:
+        return "query: no matching records"
+    triples = [
+        (row.run_key[:12], str(record.get("kind", "?")), _record_name(record),
+         _record_value(record))
+        for row, record in results
+    ]
+    name_width = max(len(t[2]) for t in triples)
+    name_width = min(max(name_width, 4), 60)
+    lines = [f"  {'run':12s} {'kind':7s} {'name':{name_width}s} value"]
+    for run, kind, name, value in triples:
+        lines.append(f"  {run:12s} {kind:7s} {name:{name_width}s} {value}")
+    lines.append(f"query: {len(results)} matching record(s)")
+    return "\n".join(lines)
+
+
+def render_runs(rows: Sequence[RunRow]) -> str:
+    """The run index as an aligned text table (``repro obs query --runs``)."""
+    if not rows:
+        return "store: no ingested runs"
+    lines = [
+        f"  {'run':12s} {'trace':9s} {'scenario':20s} {'digest':9s} "
+        f"{'rows':>6s} label"
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row.run_key[:12]:12s} "
+            f"{(row.trace_id or '-')[:9]:9s} "
+            f"{(row.scenario_name or '-')[:20]:20s} "
+            f"{(row.scenario_digest or '-')[:9]:9s} "
+            f"{row.n_rows:>6d} {row.label}"
+        )
+    lines.append(f"store: {len(rows)} run(s)")
+    return "\n".join(lines)
+
+
+def render_records_json(results: Sequence[Tuple[RunRow, dict]]) -> str:
+    """Matching records as JSON lines (sorted keys, one record per line)."""
+    return "\n".join(
+        json.dumps(record_to_dict(row, record), sort_keys=True, default=str)
+        for row, record in results
+    )

@@ -221,6 +221,7 @@ def _telemetry_from_args(args: argparse.Namespace) -> TelemetryConfig:
         directory=getattr(args, "telemetry", None),
         timeline=not getattr(args, "no_timeline", False),
         interval_seconds=getattr(args, "timeline_interval", None),
+        store=getattr(args, "store", None),
     )
 
 

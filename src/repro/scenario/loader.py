@@ -270,6 +270,7 @@ _SECTION_SPECS: Dict[str, Dict[str, Tuple[str, Callable]]] = {
         "directory": ("directory", _optional(_str)),
         "timeline": ("timeline", _bool),
         "timeline_interval": ("interval_seconds", _optional(parse_duration)),
+        "store": ("store", _optional(_str)),
     },
     "pipeline": {  # one entry of the pipelines list
         "kind": ("kind", _str),

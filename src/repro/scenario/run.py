@@ -217,4 +217,12 @@ def run_scenario(
         timeline=timeline,
     ):
         _stamp_session(scenario)
-        return handler(scenario, json_output)
+        code = handler(scenario, json_output)
+    if telemetry.store is not None:
+        # Only after the session closed: ingestion reads the manifest the
+        # session just wrote, and the stamp rewrites it with the verdict.
+        from repro.obs.store.core import RunStore
+
+        result = RunStore(telemetry.store).ingest(telemetry.directory)
+        print(f"store: {result.describe()}", file=sys.stderr)
+    return code

@@ -508,6 +508,8 @@ class TelemetryConfig:
     directory: Optional[str] = None
     timeline: bool = True
     interval_seconds: Optional[float] = None
+    #: Run-registry root to ingest the finished run into (needs a directory).
+    store: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.interval_seconds is not None:
@@ -516,13 +518,25 @@ class TelemetryConfig:
                 "telemetry.timeline_interval",
                 f"must be positive seconds, got {self.interval_seconds}",
             )
+        if self.store is not None:
+            _require(
+                self.directory is not None,
+                "telemetry.store",
+                "needs telemetry.directory: only recorded runs can be "
+                "ingested into the run registry",
+            )
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "directory": self.directory,
             "timeline": self.timeline,
             "timeline_interval": self.interval_seconds,
         }
+        # Emitted only when set: scenarios (and the manifests embedding
+        # them) written before the run registry existed stay byte-identical.
+        if self.store is not None:
+            out["store"] = self.store
+        return out
 
 
 #: Scenario sections that are part of run identity (digested), in order.
